@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared harness for the figure-reproduction benches.
+///
+/// Maps the paper's evaluated systems onto simulator configurations:
+///
+///   PyTorch        -> kDataParallel
+///   GPipe          -> kAfab            (flushed, all-forward-all-backward)
+///   PipeDream      -> kPipeDream      (flush-free, K..1 weight versions)
+///   PipeDream-2BW  -> kPipeDream2BW   (flush-free, 2 weight versions)
+///   Dapple         -> kOneFOneB       (flushed 1F1B, 1 version)
+///   AvgPipe(X)     -> kAdvanceForward + N elastic pipelines, parallelism
+///                     degrees picked by the profiling tuner under the
+///                     memory footprint of baseline X (the paper's §7.1
+///                     "same memory constraint" methodology)
+///
+/// Baselines get their best micro-batch count from a sweep (strong
+/// baselines), mirroring that the paper tunes each system independently.
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/simulator.hpp"
+#include "tuning/tuner.hpp"
+
+namespace avgpipe::bench {
+
+struct SystemResult {
+  std::string name;
+  sim::SimJob job;
+  sim::SimResult sim;
+  Seconds epoch_seconds = 0;
+  Bytes peak_memory = 0;  ///< max over GPUs
+  bool oom = false;
+  std::size_t micro_batches = 1;
+  std::size_t pipelines = 1;
+};
+
+/// Simulate one system configuration on a paper workload.
+SystemResult run_system(const workloads::WorkloadProfile& w,
+                        const std::string& name, schedule::Kind kind,
+                        std::size_t micro_batches, std::size_t pipelines,
+                        bool elastic, std::size_t advance_num,
+                        Bytes memory_limit, std::size_t num_batches = 4);
+
+/// Best micro-batch count (powers of two dividing the batch) for a baseline
+/// schedule with one pipeline.
+std::size_t best_micro_batches(const workloads::WorkloadProfile& w,
+                               schedule::Kind kind);
+
+/// The paper's five baselines, each at its best micro-batch count.
+std::vector<SystemResult> run_baselines(const workloads::WorkloadProfile& w);
+
+/// AvgPipe tuned under `memory_limit` via the profiling tuner, executed with
+/// the adaptive advance-forward schedule and elastic averaging.
+SystemResult run_avgpipe(const workloads::WorkloadProfile& w,
+                         const std::string& name, Bytes memory_limit);
+
+/// Relative epochs-to-target used to convert epoch time into total training
+/// time for Figure 11. Measured by bench/fig14 at reduced scale (see
+/// EXPERIMENTS.md): synchronous systems and AvgPipe match; PipeDream's
+/// multi-version training needs noticeably more epochs.
+double relative_epochs(const std::string& system_name);
+
+/// One compact line for the per-GPU utilization curve (ASCII sparkline of
+/// φ(t) sampled into `bins` buckets).
+std::string sparkline(const StepFunction& phi, Seconds t_begin, Seconds t_end,
+                      std::size_t bins);
+
+}  // namespace avgpipe::bench

@@ -1,0 +1,80 @@
+/// \file fig11_training_time.cpp
+/// Reproduces Figure 11: end-to-end training time of PyTorch (data
+/// parallelism), GPipe, PipeDream, PipeDream-2BW and Dapple versus AvgPipe
+/// memory-matched to each baseline (AvgPipe(P/G/PD/2BW/D)), on the GNMT,
+/// BERT and AWD workloads.
+///
+/// Total time = simulated epoch time x relative epochs-to-target (the
+/// statistical-efficiency factor measured by bench/fig14 at reduced scale).
+/// Expected shape (paper §7.1.1): AvgPipe beats data parallelism by ~4.7x
+/// and the pipeline baselines by ~1.7x on average; PipeDream OOMs on BERT.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace avgpipe;
+
+int main() {
+  double dp_speedup_sum = 0, pipe_speedup_sum = 0;
+  int dp_count = 0, pipe_count = 0;
+
+  for (const auto& w : workloads::paper_workloads()) {
+    std::printf("== Figure 11 — %s (batch %zu, %zu GPUs) ==\n",
+                w.name.c_str(), w.batch_size, w.num_gpus);
+    Table table({"system", "M", "N", "epoch", "total", "vs AvgPipe", "note"});
+
+    auto baselines = bench::run_baselines(w);
+    std::vector<bench::SystemResult> avg;
+    const char* suffix[] = {"P", "G", "PD", "2BW", "D"};
+    for (std::size_t i = 0; i < baselines.size(); ++i) {
+      avg.push_back(bench::run_avgpipe(
+          w, std::string("AvgPipe(") + suffix[i] + ")",
+          baselines[i].peak_memory));
+    }
+
+    auto total_time = [&](const bench::SystemResult& r) {
+      return r.epoch_seconds * bench::relative_epochs(r.name);
+    };
+
+    for (std::size_t i = 0; i < baselines.size(); ++i) {
+      const auto& b = baselines[i];
+      const auto& a = avg[i];
+      const double bt = total_time(b), at = total_time(a);
+      table.row()
+          .cell(b.name)
+          .cell_int(static_cast<long long>(b.micro_batches))
+          .cell_int(static_cast<long long>(b.pipelines))
+          .cell(format_seconds(b.epoch_seconds))
+          .cell(b.oom ? "OOM" : format_seconds(bt))
+          .cell(b.oom ? "-" : (std::to_string(bt / at).substr(0, 4) + "x"))
+          .cell(b.oom ? "out of memory" : "");
+      table.row()
+          .cell(a.name)
+          .cell_int(static_cast<long long>(a.micro_batches))
+          .cell_int(static_cast<long long>(a.pipelines))
+          .cell(format_seconds(a.epoch_seconds))
+          .cell(format_seconds(at))
+          .cell("1.00x")
+          .cell("");
+      if (!b.oom) {
+        const double speedup = bt / at;
+        if (b.name == "PyTorch") {
+          dp_speedup_sum += speedup;
+          ++dp_count;
+        } else {
+          pipe_speedup_sum += speedup;
+          ++pipe_count;
+        }
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("Average AvgPipe speedup vs data parallelism: %.2fx (paper: 4.7x)\n",
+              dp_speedup_sum / dp_count);
+  std::printf("Average AvgPipe speedup vs pipeline baselines: %.2fx (paper: 1.7x)\n",
+              pipe_speedup_sum / pipe_count);
+  return 0;
+}

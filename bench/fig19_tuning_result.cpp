@@ -1,0 +1,59 @@
+/// \file fig19_tuning_result.cpp
+/// Reproduces Figure 19: training time under the settings chosen by each
+/// tuning strategy. Expected shape: traversal is optimal by construction;
+/// "max-num" (micro-batch size one) hurts peak utilization — 1.5x slower on
+/// GNMT/BERT and badly off on AWD; "max-size" (one micro-batch) leaves the
+/// bubble issue unaddressed — far slower on GNMT/BERT yet best-in-class on
+/// AWD; the profiling-based method lands near the traversal optimum
+/// everywhere.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace avgpipe;
+
+int main() {
+  std::printf("== Figure 19 — training time by tuning method ==\n");
+  for (const auto& w : workloads::paper_workloads()) {
+    auto cluster = workloads::v100_cluster(w.num_gpus);
+    auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+    sim::SystemConfig sys;
+    sys.kind = schedule::Kind::kAdvanceForward;
+    sys.micro_batches = 1;
+    auto job = sim::build_job(w, cluster, part, sys, w.batch_size, 4);
+    auto grid = tuning::default_grid(w.batch_size, 8);
+    const Bytes limit = cluster.gpu.memory;
+
+    const auto traversal =
+        tuning::traversal_tuner(job, w.batch_size, grid, limit);
+    const auto max_num =
+        tuning::max_num_guideline(job, w.batch_size, grid, limit);
+    const auto max_size =
+        tuning::max_size_guideline(job, w.batch_size, grid, limit);
+    const auto profiling =
+        tuning::profiling_tuner(job, w.batch_size, grid, limit);
+
+    std::printf("-- %s --\n", w.name.c_str());
+    Table table({"method", "M", "N", "epoch time", "vs traversal"});
+    for (const auto* r : {&traversal, &max_num, &max_size, &profiling}) {
+      const Seconds epoch =
+          r->time_per_sample * static_cast<double>(w.dataset_samples);
+      const Seconds best =
+          traversal.time_per_sample * static_cast<double>(w.dataset_samples);
+      table.row()
+          .cell(r->method)
+          .cell_int(static_cast<long long>(r->m))
+          .cell_int(static_cast<long long>(r->n))
+          .cell(format_seconds(epoch))
+          .cell(epoch / best, 2);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape: max-num 1.5x slower than traversal on GNMT/BERT and\n"
+      "15x on AWD; max-size ~23x slower on GNMT/BERT yet best for AWD;\n"
+      "profiling lands near the traversal optimum on every workload.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+/// \file micro_benchmarks.cpp
+/// google-benchmark microbenchmarks for the substrates: tensor kernels,
+/// autograd round trips, channels, the discrete-event engine and the
+/// processor-sharing compute resource. These quantify the cost of the
+/// building blocks the reproduction rests on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/queue.hpp"
+#include "nn/models.hpp"
+#include "sim/resources.hpp"
+#include "sim/simulator.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace avgpipe;
+using tensor::Tensor;
+using tensor::Variable;
+
+void BM_TensorMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Variable a(Tensor::randn({n, n}, rng), false);
+  Variable b(Tensor::randn({n, n}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b).value().data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulForwardBackward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Variable a(Tensor::randn({n, n}, rng), true);
+  Variable b(Tensor::randn({n, n}, rng), true);
+  for (auto _ : state) {
+    a.zero_grad();
+    b.zero_grad();
+    tensor::sum_all(tensor::matmul(a, b)).backward();
+    benchmark::DoNotOptimize(a.grad().data().data());
+  }
+}
+BENCHMARK(BM_MatmulForwardBackward)->Arg(32)->Arg(64);
+
+void BM_LstmForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::LSTM lstm(32, 32, rng);
+  lstm.set_training(false);
+  Variable x(Tensor::randn({8, 16, 32}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.forward(x).value().data().data());
+  }
+}
+BENCHMARK(BM_LstmForward);
+
+void BM_TransformerLayerForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::TransformerEncoderLayer layer(32, 4, 64, rng, 0.0);
+  layer.set_training(false);
+  Variable x(Tensor::randn({4, 16, 32}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.forward(x).value().data().data());
+  }
+}
+BENCHMARK(BM_TransformerLayerForward);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  Channel<int> ch(64);
+  for (auto _ : state) {
+    ch.send(1);
+    benchmark::DoNotOptimize(ch.recv());
+  }
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(static_cast<Seconds>(i), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_ProcessorSharingReconfig(benchmark::State& state) {
+  // Stress the rate-reconfiguration path: many overlapping ops.
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::ComputeResource gpu(engine, 1e9);
+    for (int i = 0; i < 100; ++i) {
+      engine.schedule_at(static_cast<Seconds>(i) * 0.001, [&gpu] {
+        gpu.submit(1e6, 0.3, [] {});
+      });
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+}
+BENCHMARK(BM_ProcessorSharingReconfig);
+
+void BM_SimulateGnmtBatch(benchmark::State& state) {
+  const auto w = workloads::gnmt_profile();
+  const auto cluster = workloads::v100_cluster(6);
+  const auto part = partition::pipedream_partition(w, cluster, 6);
+  sim::SystemConfig sys;
+  sys.kind = schedule::Kind::kAdvanceForward;
+  sys.micro_batches = 32;
+  sys.num_pipelines = 2;
+  sys.elastic_averaging = true;
+  for (auto _ : state) {
+    auto job = sim::build_job(w, cluster, part, sys, 128, 2);
+    benchmark::DoNotOptimize(sim::simulate(job).makespan);
+  }
+}
+BENCHMARK(BM_SimulateGnmtBatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

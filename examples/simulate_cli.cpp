@@ -1,0 +1,100 @@
+/// \file simulate_cli.cpp
+/// Command-line front end for the cluster simulator: run any (workload,
+/// system, M, N) combination and print the timing/memory/utilization
+/// breakdown. Useful for exploring configurations beyond the paper's grid.
+///
+/// Usage:
+///   simulate_cli [workload] [system] [M] [N]
+///     workload: gnmt | bert | awd | toy          (default gnmt)
+///     system:   avgpipe | gpipe | 1f1b | pipedream | 2bw | dp
+///                                                (default avgpipe)
+///     M: micro-batches per batch                 (default 8)
+///     N: parallel pipelines (avgpipe only)       (default 2)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.hpp"
+#include "sim/simulator.hpp"
+#include "tuning/tuner.hpp"
+
+using namespace avgpipe;
+
+namespace {
+
+workloads::WorkloadProfile pick_workload(const char* name) {
+  if (std::strcmp(name, "bert") == 0) return workloads::bert_profile();
+  if (std::strcmp(name, "awd") == 0) return workloads::awd_profile();
+  if (std::strcmp(name, "toy") == 0) return workloads::toy_two_stage_profile();
+  return workloads::gnmt_profile();
+}
+
+schedule::Kind pick_kind(const char* name) {
+  if (std::strcmp(name, "gpipe") == 0) return schedule::Kind::kAfab;
+  if (std::strcmp(name, "1f1b") == 0) return schedule::Kind::kOneFOneB;
+  if (std::strcmp(name, "pipedream") == 0) return schedule::Kind::kPipeDream;
+  if (std::strcmp(name, "2bw") == 0) return schedule::Kind::kPipeDream2BW;
+  if (std::strcmp(name, "dp") == 0) return schedule::Kind::kDataParallel;
+  return schedule::Kind::kAdvanceForward;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* wname = argc > 1 ? argv[1] : "gnmt";
+  const char* sname = argc > 2 ? argv[2] : "avgpipe";
+  const std::size_t m = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 8;
+  std::size_t n = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 2;
+
+  const auto w = pick_workload(wname);
+  const auto kind = pick_kind(sname);
+  if (kind != schedule::Kind::kAdvanceForward) n = 1;
+
+  const auto cluster = workloads::v100_cluster(w.num_gpus);
+  const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+
+  sim::SystemConfig sys;
+  sys.kind = kind;
+  sys.micro_batches = kind == schedule::Kind::kDataParallel ? 1 : m;
+  sys.num_pipelines = n;
+  sys.elastic_averaging = n > 1;
+  auto job = sim::build_job(w, cluster, part, sys, w.batch_size, 4);
+  if (kind == schedule::Kind::kAdvanceForward) {
+    job.advance_num = sim::adaptive_advance(job);
+  }
+  const auto r = sim::simulate(job);
+
+  std::printf("%s on %s: %s, M=%zu, N=%zu%s\n", sname, wname,
+              schedule::to_string(kind).c_str(), job.micro_batches, n,
+              kind == schedule::Kind::kAdvanceForward
+                  ? (" (advance_num=" + std::to_string(job.advance_num) + ")")
+                        .c_str()
+                  : "");
+  std::printf("time per iteration: %s  (%.3f ms/sample)\n",
+              format_seconds(r.time_per_batch).c_str(),
+              r.time_per_batch /
+                  (static_cast<double>(n) *
+                   static_cast<double>(job.batch_size)) *
+                  1e3);
+  std::printf("epoch time:         %s\n",
+              format_seconds(sim::epoch_time(r, job, w.dataset_samples))
+                  .c_str());
+  std::printf("mean utilization:   %s%s\n",
+              format_percent(r.mean_utilization).c_str(),
+              r.oom ? "   ** OUT OF MEMORY **" : "");
+
+  Table table({"GPU", "busy/batch", "comm wait", "bubble", "peak mem"});
+  const double batches = static_cast<double>(job.num_batches);
+  for (std::size_t k = 0; k < r.gpus.size(); ++k) {
+    const auto& g = r.gpus[k];
+    table.row()
+        .cell_int(static_cast<long long>(k + 1))
+        .cell(format_seconds(g.busy / batches))
+        .cell(format_seconds(g.comm_block / batches))
+        .cell(format_seconds(g.bubble / batches))
+        .cell(format_bytes(g.peak_memory));
+  }
+  table.print();
+  return 0;
+}

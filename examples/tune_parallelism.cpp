@@ -1,0 +1,80 @@
+/// \file tune_parallelism.cpp
+/// Domain example: the profiling-based tuner (paper §5) end to end on the
+/// GNMT workload profile. Profiles one setting of (M, N) on the simulated
+/// cluster, predicts every other setting with Equations (1)-(8), prints the
+/// predicted grid, and verifies the chosen setting against a full
+/// simulation.
+///
+/// Run:  ./build/examples/tune_parallelism
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sim/simulator.hpp"
+#include "tuning/tuner.hpp"
+#include "workloads/cluster.hpp"
+
+using namespace avgpipe;
+
+int main() {
+  const auto w = workloads::gnmt_profile();
+  const auto cluster = workloads::v100_cluster(w.num_gpus);
+  const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+
+  std::printf("Workload: %s — batch %zu on %zu GPUs\n", w.name.c_str(),
+              w.batch_size, w.num_gpus);
+  std::printf("PipeDream partition (first layer of each stage):");
+  for (auto b : part.stage_begin) std::printf(" %zu", b);
+  std::printf("\n\n");
+
+  sim::SystemConfig sys;
+  sys.kind = schedule::Kind::kAdvanceForward;
+  sys.micro_batches = 1;
+  auto job = sim::build_job(w, cluster, part, sys, w.batch_size, 4);
+
+  // Phase 1: profile one setting (large M, N=1 per §5.2.1).
+  const auto profile = tuning::run_profile(job, /*m=*/16, /*n=*/1);
+  std::printf("Profiled (M=16, N=1): %s per batch, cost %s\n",
+              format_seconds(profile.time_per_batch).c_str(),
+              format_seconds(profile.profiling_cost).c_str());
+  for (std::size_t k = 0; k < profile.gpus.size(); ++k) {
+    const auto& g = profile.gpus[k];
+    std::printf("  GPU %zu: T_gpu %s, T_comm %s, F_mod %s, F_dat %s\n", k + 1,
+                format_seconds(g.t_gpu).c_str(),
+                format_seconds(g.t_comm).c_str(),
+                format_bytes(g.f_mod).c_str(), format_bytes(g.f_dat).c_str());
+  }
+
+  // Phase 2: predict the whole grid.
+  std::printf("\nPredicted time per sample (ms) and memory per GPU:\n");
+  Table table({"M", "N=1", "N=2", "N=3", "N=4", "peak mem (N=2)"});
+  for (std::size_t m = 4; m <= w.batch_size; m *= 2) {
+    auto row = table.row();
+    row.cell_int(static_cast<long long>(m));
+    for (std::size_t n = 1; n <= 4; ++n) {
+      const auto p = tuning::predict(profile, m, n, w.batch_size,
+                                     cluster.gpu.memory);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f%s", p.t_per_sample * 1e3,
+                    p.feasible ? "" : "!");
+      row.cell(std::string(buf));
+    }
+    row.cell(format_bytes(
+        tuning::predict(profile, m, 2, w.batch_size, 0.0).peak_memory));
+  }
+  table.print();
+
+  // Phase 3: choose and verify.
+  auto grid = tuning::default_grid(w.batch_size, 4);
+  const auto choice = tuning::profiling_tuner(job, w.batch_size, grid,
+                                              cluster.gpu.memory);
+  std::printf("\nChosen degrees: M=%zu, N=%zu (tuning cost %s)\n", choice.m,
+              choice.n, format_seconds(choice.tuning_cost).c_str());
+
+  bool oom = false;
+  const Seconds measured = tuning::measure_setting(
+      job, w.batch_size, choice.m, choice.n, cluster.gpu.memory, &oom);
+  std::printf("Verified by simulation: %.3f ms/sample%s\n", measured * 1e3,
+              oom ? " (OOM!)" : "");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file check.hpp
+/// Error-handling primitives used across the AvgPipe codebase.
+///
+/// Following the C++ Core Guidelines (I.6/I.8) we express preconditions and
+/// postconditions explicitly. Violations throw `avgpipe::Error`, which carries
+/// the failing expression and source location so tests can assert on it.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace avgpipe {
+
+/// Exception thrown by AVGPIPE_CHECK / AVGPIPE_THROW on contract violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed";
+  if (expr != nullptr && expr[0] != '\0') os << ": (" << expr << ")";
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+/// Tiny lazy message builder so `AVGPIPE_CHECK(x, "a" << b)` works.
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace avgpipe
+
+/// Check `cond`; on failure throw avgpipe::Error with optional streamed
+/// message: AVGPIPE_CHECK(n > 0, "n was " << n).
+#define AVGPIPE_CHECK(cond, ...)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::avgpipe::detail::throw_error(                                        \
+          #cond, __FILE__, __LINE__,                                         \
+          (::avgpipe::detail::MessageStream{} __VA_OPT__(<< __VA_ARGS__))    \
+              .str());                                                       \
+    }                                                                        \
+  } while (false)
+
+/// Unconditional failure with streamed message.
+#define AVGPIPE_THROW(...)                                                   \
+  ::avgpipe::detail::throw_error(                                            \
+      "", __FILE__, __LINE__,                                                \
+      (::avgpipe::detail::MessageStream{} __VA_OPT__(<< __VA_ARGS__)).str())

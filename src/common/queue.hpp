@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file queue.hpp
+/// Bounded, closable multi-producer/multi-consumer channel.
+///
+/// This is the message-passing primitive AvgPipe's runtime is built on: stage
+/// workers exchange activations/gradients through channels, and parallel
+/// pipelines ship local updates to the reference-model process through them
+/// (paper §3.2, steps ❸–❹). The design mirrors MPI-style cooperative
+/// send/recv: a bounded buffer provides back-pressure, and `close()` gives a
+/// clean end-of-stream so pipelines can drain and join deterministically.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace avgpipe {
+
+/// Bounded MPMC channel. All methods are thread-safe.
+///
+/// Semantics:
+///  * `send` blocks while full; returns false if the channel is closed.
+///  * `recv` blocks while empty; returns nullopt once closed *and* drained.
+///  * `close` wakes all waiters; pending items remain receivable.
+template <typename T>
+class Channel {
+ public:
+  /// \param capacity maximum buffered items; must be >= 1.
+  explicit Channel(std::size_t capacity = 64) : capacity_(capacity) {
+    AVGPIPE_CHECK(capacity >= 1, "channel capacity must be positive");
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocking send. Returns false (and drops `value`) if closed.
+  bool send(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking send. Returns false if full or closed.
+  bool try_send(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking receive. Returns nullopt when the channel is closed and empty.
+  std::optional<T> recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Close the channel; wakes all blocked senders/receivers.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace avgpipe

@@ -1,0 +1,51 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace avgpipe {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  AVGPIPE_CHECK(hi > lo, "histogram range must be non-empty");
+  AVGPIPE_CHECK(bins >= 1, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  AVGPIPE_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) return 0.5 * (bin_lo(i) + bin_hi(i));
+  }
+  return hi_;
+}
+
+double relative_difference(double a, double b, double eps) {
+  const double denom = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace avgpipe

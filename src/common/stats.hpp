@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics and small numeric helpers shared by the profiler,
+/// trace analysis and benches.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace avgpipe {
+
+/// Welford-style streaming mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// boundary bins. Used for utilization distributions in traces.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Value below which `q` (in [0,1]) of the mass lies (bin midpoint interp).
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exponential moving average; used by Algorithm 1's is_faster() test to
+/// smooth per-iteration batch times.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  void add(double x) {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Relative difference |a-b| / max(|a|,|b|,eps).
+double relative_difference(double a, double b, double eps = 1e-12);
+
+}  // namespace avgpipe

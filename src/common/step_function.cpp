@@ -1,0 +1,74 @@
+#include "common/step_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace avgpipe {
+
+void StepFunction::append(Seconds t_begin, Seconds t_end, double value) {
+  if (t_end <= t_begin) return;
+  if (!segments_.empty()) {
+    AVGPIPE_CHECK(t_begin >= segments_.back().end - 1e-12,
+                  "segments must be appended in time order: "
+                      << t_begin << " < " << segments_.back().end);
+    auto& back = segments_.back();
+    if (std::fabs(back.end - t_begin) < 1e-12 && back.value == value) {
+      back.end = t_end;
+      return;
+    }
+  }
+  segments_.push_back({t_begin, t_end, value});
+}
+
+Seconds StepFunction::start() const {
+  AVGPIPE_CHECK(!segments_.empty(), "empty step function has no start");
+  return segments_.front().begin;
+}
+
+Seconds StepFunction::end() const {
+  AVGPIPE_CHECK(!segments_.empty(), "empty step function has no end");
+  return segments_.back().end;
+}
+
+Seconds StepFunction::duration() const {
+  Seconds total = 0.0;
+  for (const auto& s : segments_) total += s.end - s.begin;
+  return total;
+}
+
+double StepFunction::value_at(Seconds t) const {
+  for (const auto& s : segments_) {
+    if (t >= s.begin && t < s.end) return s.value;
+  }
+  return 0.0;
+}
+
+double StepFunction::integral() const {
+  double total = 0.0;
+  for (const auto& s : segments_) total += s.value * (s.end - s.begin);
+  return total;
+}
+
+double StepFunction::excess_integral(double scale, double cap) const {
+  double total = 0.0;
+  for (const auto& s : segments_) {
+    total += std::max(scale * s.value - cap, 0.0) * (s.end - s.begin);
+  }
+  return total;
+}
+
+double StepFunction::max_value() const {
+  double m = 0.0;
+  for (const auto& s : segments_) m = std::max(m, s.value);
+  return m;
+}
+
+double StepFunction::mean_over_span() const {
+  if (segments_.empty()) return 0.0;
+  const Seconds span = end() - start();
+  return span > 0.0 ? integral() / span : 0.0;
+}
+
+}  // namespace avgpipe

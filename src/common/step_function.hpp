@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file step_function.hpp
+/// Piecewise-constant function of time.
+///
+/// The profiling-based tuner (paper §5.2) reasons about the GPU-utilization
+/// curve φ^k(t): Equation (2) scales it by m·n*/(m*·n) and integrates the
+/// part that exceeds 100 %. `StepFunction` is that curve: a sorted list of
+/// breakpoints with constant values between them, plus the handful of
+/// operations the predictor needs (scale, clamp-excess integral).
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace avgpipe {
+
+/// Piecewise-constant f(t) on [start, end); value is `values[i]` on
+/// [times[i], times[i+1]).
+class StepFunction {
+ public:
+  StepFunction() = default;
+
+  /// Append a segment [t_begin, t_end) with constant `value`. Segments must
+  /// be appended in non-decreasing time order; zero-length segments are
+  /// dropped; adjacent equal values are merged.
+  void append(Seconds t_begin, Seconds t_end, double value);
+
+  bool empty() const { return segments_.empty(); }
+  std::size_t size() const { return segments_.size(); }
+
+  Seconds start() const;
+  Seconds end() const;
+  /// Total covered duration (gaps between appended segments count as value 0
+  /// only through `integral`-style queries; duration() excludes gaps).
+  Seconds duration() const;
+
+  /// f(t); 0 outside all segments.
+  double value_at(Seconds t) const;
+
+  /// ∫ f(t) dt over all segments.
+  double integral() const;
+
+  /// ∫ max(scale·f(t) − cap, 0) dt — the "overflow" term of Equation (2).
+  double excess_integral(double scale, double cap) const;
+
+  /// max over segments of f(t).
+  double max_value() const;
+
+  /// Time-weighted mean of f over [start, end] including gaps (gaps count
+  /// as 0): integral() / (end() − start()).
+  double mean_over_span() const;
+
+  struct Segment {
+    Seconds begin;
+    Seconds end;
+    double value;
+  };
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace avgpipe

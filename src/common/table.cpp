@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace avgpipe {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  AVGPIPE_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  AVGPIPE_CHECK(!rows_.empty(), "call row() before cell()");
+  AVGPIPE_CHECK(rows_.back().size() < header_.size(),
+                "row has more cells than header columns");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell_int(long long value) {
+  return cell(std::to_string(value));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      os << text << std::string(widths[c] - text.size(), ' ');
+      os << (c + 1 < header_.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+void Table::print() const { print(std::cout); }
+
+}  // namespace avgpipe

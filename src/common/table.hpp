@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned plain-text table printer used by the figure-reproduction benches
+/// to emit the paper's rows/series in a diff-friendly format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace avgpipe {
+
+/// Column-aligned table. Cells are strings; numeric helpers format in place.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent add_* calls fill it left to right.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(double value, int precision = 3);
+  Table& cell_int(long long value);
+
+  /// Render with a header rule; every row padded to the widest cell.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+  /// Print to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace avgpipe

@@ -1,0 +1,72 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace avgpipe {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  bool ok = tasks_.send(std::move(task));
+  AVGPIPE_CHECK(ok, "submit on a destroyed thread pool");
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.recv()) {
+    (*task)();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min<std::size_t>(workers_.size(), n);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = chunks;
+
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    submit([&, lo, hi] {
+      if (lo < hi) fn(lo, hi);
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace avgpipe

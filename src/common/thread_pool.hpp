@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool with a parallel_for helper.
+///
+/// The tensor kernels use `parallel_for` OpenMP-style: a half-open index
+/// range is split into contiguous chunks, one per worker. On a single-core
+/// host the pool degenerates to inline execution with zero overhead, which
+/// keeps unit tests fast and deterministic.
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+
+namespace avgpipe {
+
+/// Fixed set of worker threads consuming a shared task channel.
+class ThreadPool {
+ public:
+  /// \param num_threads 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; runs asynchronously on some worker.
+  void submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end), split into one contiguous chunk per
+  /// worker; blocks until all chunks finish. Exceptions inside `fn`
+  /// terminate (tensor kernels are noexcept in spirit); keep bodies simple.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily created, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  Channel<std::function<void()>> tasks_{1024};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace avgpipe

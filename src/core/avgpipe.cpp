@@ -1,0 +1,196 @@
+#include "core/avgpipe.hpp"
+
+namespace avgpipe::core {
+
+// -- AvgPipe (full threaded system) ----------------------------------------------
+
+AvgPipe::AvgPipe(const nn::ModelFactory& factory,
+                 const runtime::OptimizerFactory& make_optimizer,
+                 AvgPipeConfig config)
+    : config_(std::move(config)) {
+  AVGPIPE_CHECK(config_.num_pipelines >= 1, "need at least one pipeline");
+  alpha_ = config_.alpha > 0.0 ? config_.alpha
+                               : default_alpha(config_.num_pipelines);
+
+  // Build replicas with identical initial weights: replica 0's init is the
+  // source of truth, copied into every other replica and the eval model.
+  for (std::size_t i = 0; i < config_.num_pipelines; ++i) {
+    auto replica = std::make_unique<Replica>();
+    replica->model = factory(/*seed=*/1234);
+    replicas_.push_back(std::move(replica));
+  }
+  eval_model_ = factory(1234);
+  for (std::size_t i = 1; i < replicas_.size(); ++i) {
+    nn::copy_parameters(replicas_[0]->model, replicas_[i]->model);
+  }
+  nn::copy_parameters(replicas_[0]->model, eval_model_);
+
+  auto params0 = replicas_[0]->model.parameters();
+  reference_ = std::make_unique<ReferenceModel>(clone_values(params0));
+
+  // Each replica gets its own pipeline runtime over its own parameters.
+  for (auto& replica : replicas_) {
+    replica->runtime = std::make_unique<runtime::PipelineRuntime>(
+        replica->model, config_.boundaries, make_optimizer,
+        runtime::cross_entropy_loss(), config_.kind, config_.advance_num);
+  }
+
+  reference_thread_ = std::thread([this] { reference_loop(); });
+}
+
+AvgPipe::~AvgPipe() {
+  update_queue_.close();
+  applied_queue_.close();
+  if (reference_thread_.joinable()) reference_thread_.join();
+}
+
+void AvgPipe::reference_loop() {
+  // The reference process (paper §3.2): receive local updates through the
+  // message queue; after all N arrive, normalise and apply.
+  std::size_t received = 0;
+  while (auto update = update_queue_.recv()) {
+    {
+      std::lock_guard<std::mutex> lock(reference_mutex_);
+      reference_->accumulate(*update);
+      ++received;
+      if (received == replicas_.size()) {
+        reference_->apply_accumulated(replicas_.size());
+        received = 0;
+        applied_queue_.send(1);
+      }
+    }
+  }
+}
+
+double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
+  AVGPIPE_CHECK(batches.size() == replicas_.size(),
+                "need one batch per pipeline: got " << batches.size()
+                                                    << ", expected "
+                                                    << replicas_.size());
+  // Step ❶: each pipeline trains on its batch (its runtime is internally
+  // threaded; replicas run concurrently).
+  std::vector<double> losses(replicas_.size(), 0.0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(replicas_.size());
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      workers.emplace_back([this, i, &batches, &losses] {
+        losses[i] = replicas_[i]
+                        ->runtime->train_batch(batches[i],
+                                               config_.micro_batches)
+                        .loss;
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  // Steps ❷–❸: pull each replica toward the reference snapshot, ship the
+  // local updates to the reference process.
+  ParamSet ref_snapshot;
+  {
+    std::lock_guard<std::mutex> lock(reference_mutex_);
+    ref_snapshot = reference_->snapshot();
+  }
+  for (auto& replica : replicas_) {
+    auto params = replica->model.parameters();
+    elastic_pull(params, ref_snapshot, alpha_);
+    update_queue_.send(difference(params, ref_snapshot));
+  }
+  // Wait for the reference process to fold in this iteration (steps ❹–❺) so
+  // the next iteration pulls against fresh weights.
+  auto applied = applied_queue_.recv();
+  AVGPIPE_CHECK(applied.has_value(), "reference process stopped");
+
+  double total = 0;
+  for (double l : losses) total += l;
+  return total / static_cast<double>(losses.size());
+}
+
+nn::Sequential& AvgPipe::eval_model() {
+  const ParamSet ref = reference_snapshot();
+  auto params = eval_model_.parameters();
+  AVGPIPE_CHECK(params.size() == ref.size(), "eval model mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i].value().copy_from(ref[i]);
+  }
+  return eval_model_;
+}
+
+ParamSet AvgPipe::reference_snapshot() {
+  std::lock_guard<std::mutex> lock(reference_mutex_);
+  return reference_->snapshot();
+}
+
+// -- AvgPipeTrainer (update semantics only) -----------------------------------------
+
+AvgPipeTrainer::AvgPipeTrainer(const nn::ModelFactory& factory,
+                               const runtime::OptimizerFactory& make_optimizer,
+                               std::size_t num_pipelines, double alpha,
+                               std::string name)
+    : alpha_(alpha > 0.0 ? alpha : default_alpha(num_pipelines)),
+      name_(std::move(name)) {
+  AVGPIPE_CHECK(num_pipelines >= 1, "need at least one pipeline");
+  for (std::size_t i = 0; i < num_pipelines; ++i) {
+    auto replica = std::make_unique<Replica>();
+    replica->model = factory(1234);
+    replicas_.push_back(std::move(replica));
+  }
+  eval_model_ = factory(1234);
+  for (std::size_t i = 1; i < replicas_.size(); ++i) {
+    nn::copy_parameters(replicas_[0]->model, replicas_[i]->model);
+  }
+  nn::copy_parameters(replicas_[0]->model, eval_model_);
+  for (auto& replica : replicas_) {
+    replica->optimizer = make_optimizer(replica->model.parameters());
+  }
+  reference_ = std::make_unique<ReferenceModel>(
+      clone_values(replicas_[0]->model.parameters()));
+}
+
+double AvgPipeTrainer::train_iteration(const std::vector<data::Batch>& batches) {
+  AVGPIPE_CHECK(batches.size() == replicas_.size(),
+                "need one batch per pipeline");
+  double loss_sum = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    auto& replica = *replicas_[i];
+    replica.optimizer->zero_grad();
+    tensor::Variable in(batches[i].inputs);
+    tensor::Variable out = replica.model.forward(in);
+    tensor::Variable loss =
+        out.shape().size() == 3
+            ? tensor::softmax_cross_entropy(
+                  tensor::reshape(out, {out.shape()[0] * out.shape()[1],
+                                        out.shape()[2]}),
+                  batches[i].targets)
+            : tensor::softmax_cross_entropy(out, batches[i].targets);
+    loss.backward();
+    replica.optimizer->step();
+    loss_sum += loss.value()[0];
+  }
+
+  const ParamSet ref_snapshot = reference_->snapshot();
+  for (auto& replica : replicas_) {
+    auto params = replica->model.parameters();
+    elastic_pull(params, ref_snapshot, alpha_);
+    reference_->accumulate(difference(params, ref_snapshot));
+  }
+  reference_->apply_accumulated(replicas_.size());
+  return loss_sum / static_cast<double>(replicas_.size());
+}
+
+double AvgPipeTrainer::train_batch(const data::Batch& batch) {
+  AVGPIPE_CHECK(replicas_.size() == 1,
+                "train_batch on a multi-pipeline AvgPipeTrainer");
+  return train_iteration({batch});
+}
+
+nn::Sequential& AvgPipeTrainer::eval_model() {
+  auto params = eval_model_.parameters();
+  const auto& ref = reference_->params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i].value().copy_from(ref[i]);
+  }
+  return eval_model_;
+}
+
+}  // namespace avgpipe::core

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file avgpipe.hpp
+/// AvgPipe: elastic-averaging pipelined training (the paper's system).
+///
+/// Two entry points:
+///
+/// * `AvgPipe` — the full system: N parallel pipelines, each a threaded
+///   `runtime::PipelineRuntime` over its own model replica, plus an
+///   asynchronous reference-model process fed through a message queue
+///   (paper Figure 6). One `train_iteration` consumes N batches.
+///
+/// * `AvgPipeTrainer` — the same update semantics single-threaded (each
+///   replica trained synchronously on its batch), used by the
+///   statistical-efficiency experiments where only the update rule matters.
+///   Both produce identical parameter trajectories for equal inputs; a test
+///   asserts that equivalence.
+
+#include <memory>
+#include <thread>
+
+#include "common/queue.hpp"
+#include "core/elastic.hpp"
+#include "runtime/pipeline_runtime.hpp"
+#include "runtime/semantics.hpp"
+
+namespace avgpipe::core {
+
+struct AvgPipeConfig {
+  std::size_t num_pipelines = 2;  ///< N
+  std::size_t micro_batches = 4;  ///< M
+  double alpha = 0.0;             ///< 0 -> 1/N (paper default)
+  /// Stage boundaries for pipeline partitioning (empty = single stage).
+  std::vector<std::size_t> boundaries;
+  schedule::Kind kind = schedule::Kind::kAdvanceForward;
+  std::size_t advance_num = 0;  ///< 0 -> K-1
+};
+
+/// The full threaded system.
+class AvgPipe {
+ public:
+  /// \param factory builds one model replica; called N+1 times (replicas +
+  ///        evaluation copy) and synchronised to identical initial weights.
+  /// \param make_optimizer builds each stage's local optimizer — any
+  ///        optimizer works; the framework is decoupled from it (§3.1).
+  AvgPipe(const nn::ModelFactory& factory,
+          const runtime::OptimizerFactory& make_optimizer,
+          AvgPipeConfig config);
+  ~AvgPipe();
+
+  AvgPipe(const AvgPipe&) = delete;
+  AvgPipe& operator=(const AvgPipe&) = delete;
+
+  /// Train one iteration: batch i goes to pipeline i. Returns mean loss.
+  double train_iteration(const std::vector<data::Batch>& batches);
+
+  std::size_t num_pipelines() const { return replicas_.size(); }
+  double alpha() const { return alpha_; }
+
+  /// Copy the reference weights into the evaluation model and return it.
+  nn::Sequential& eval_model();
+
+  /// Current reference parameters (snapshot).
+  ParamSet reference_snapshot();
+
+ private:
+  struct Replica {
+    nn::Sequential model;
+    std::unique_ptr<runtime::PipelineRuntime> runtime;
+  };
+
+  void reference_loop();
+
+  AvgPipeConfig config_;
+  double alpha_ = 0.5;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  nn::Sequential eval_model_;
+
+  // Reference process: updates arrive over a queue, are accumulated, and
+  // applied once all N pipelines have reported (steps ❹–❺).
+  std::unique_ptr<ReferenceModel> reference_;
+  std::mutex reference_mutex_;  ///< guards reference_ between iterations
+  Channel<ParamSet> update_queue_{64};
+  Channel<int> applied_queue_{64};
+  std::thread reference_thread_;
+};
+
+/// Update-semantics-only trainer for Figure 14 (single-threaded replicas).
+class AvgPipeTrainer : public runtime::TrainerBase {
+ public:
+  AvgPipeTrainer(const nn::ModelFactory& factory,
+                 const runtime::OptimizerFactory& make_optimizer,
+                 std::size_t num_pipelines, double alpha = 0.0,
+                 std::string name = "AvgPipe");
+
+  std::size_t batches_per_iteration() const override { return replicas_.size(); }
+  double train_iteration(const std::vector<data::Batch>& batches) override;
+  double train_batch(const data::Batch& batch) override;
+  nn::Sequential& eval_model() override;
+  std::string name() const override { return name_; }
+
+  /// Direct access for invariant tests.
+  const ReferenceModel& reference() const { return *reference_; }
+  nn::Sequential& replica(std::size_t i) { return replicas_.at(i)->model; }
+
+ private:
+  struct Replica {
+    nn::Sequential model;
+    std::unique_ptr<optim::Optimizer> optimizer;
+  };
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<ReferenceModel> reference_;
+  nn::Sequential eval_model_;
+  double alpha_;
+  std::string name_;
+};
+
+}  // namespace avgpipe::core

@@ -1,0 +1,91 @@
+#include "core/elastic.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace avgpipe::core {
+
+ParamSet clone_values(const std::vector<tensor::Variable>& params) {
+  ParamSet out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.push_back(p.value().clone());
+  return out;
+}
+
+void add_scaled(ParamSet& dst, const ParamSet& src, double scale) {
+  AVGPIPE_CHECK(dst.size() == src.size(), "param set size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i].axpy_(scale, src[i]);
+}
+
+ParamSet difference(const std::vector<tensor::Variable>& params,
+                    const ParamSet& reference) {
+  AVGPIPE_CHECK(params.size() == reference.size(), "param set size mismatch");
+  ParamSet out;
+  out.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    tensor::Tensor d = params[i].value().clone();
+    d.axpy_(-1.0, reference[i]);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+double max_abs_diff(const ParamSet& a, const ParamSet& b) {
+  AVGPIPE_CHECK(a.size() == b.size(), "param set size mismatch");
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, a[i].max_abs_diff(b[i]));
+  }
+  return m;
+}
+
+double default_alpha(std::size_t num_pipelines) {
+  AVGPIPE_CHECK(num_pipelines >= 1, "need at least one pipeline");
+  // α = 1/N per the paper; a single pipeline needs no pull (α = 1 would
+  // reset the replica to the reference every iteration).
+  if (num_pipelines == 1) return 0.0;
+  return 1.0 / static_cast<double>(num_pipelines);
+}
+
+void elastic_pull(std::vector<tensor::Variable>& params,
+                  const ParamSet& reference, double alpha) {
+  AVGPIPE_CHECK(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
+  AVGPIPE_CHECK(params.size() == reference.size(), "param set size mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    // x <- (1-alpha) x + alpha ref
+    params[i].value().lerp_(reference[i], alpha);
+  }
+}
+
+ReferenceModel::ReferenceModel(ParamSet initial)
+    : params_(std::move(initial)) {
+  accum_.reserve(params_.size());
+  for (const auto& p : params_) accum_.emplace_back(p.shape());
+}
+
+void ReferenceModel::accumulate(const ParamSet& update) {
+  add_scaled(accum_, update, 1.0);
+  ++pending_;
+}
+
+std::size_t ReferenceModel::apply_accumulated(std::size_t n) {
+  AVGPIPE_CHECK(n >= 1, "normalisation count must be positive");
+  const std::size_t applied = pending_;
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i].axpy_(scale, accum_[i]);
+    accum_[i].zero_();
+  }
+  pending_ = 0;
+  return applied;
+}
+
+ParamSet ReferenceModel::snapshot() const {
+  ParamSet out;
+  out.reserve(params_.size());
+  for (const auto& p : params_) out.push_back(p.clone());
+  return out;
+}
+
+}  // namespace avgpipe::core

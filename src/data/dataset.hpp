@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file dataset.hpp
+/// Batching primitives and the dataset interface for the real-training path.
+///
+/// A `Batch` carries inputs as a tensor plus integer targets; pipeline
+/// parallelism slices each batch into micro-batches along dim 0
+/// (`slice_micro_batches`), exactly as the paper's Figure 1 depicts.
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace avgpipe::data {
+
+using tensor::Tensor;
+
+struct Batch {
+  Tensor inputs;              ///< [B, ...] — features or token ids
+  std::vector<int> targets;   ///< classification: size B; LM: size B*S
+
+  std::size_t batch_size() const {
+    return inputs.ndim() > 0 ? inputs.dim(0) : 0;
+  }
+};
+
+/// Split a batch into `m` micro-batches along dim 0. The first
+/// `B mod m` micro-batches get one extra sample, so sizes differ by at most
+/// one; `m` must not exceed the batch size.
+std::vector<Batch> slice_micro_batches(const Batch& batch, std::size_t m);
+
+/// Abstract dataset of indexable samples.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual std::size_t size() const = 0;
+  /// Materialise a batch for the given sample indices.
+  virtual Batch make_batch(const std::vector<std::size_t>& indices) const = 0;
+};
+
+/// Epoch iterator: shuffles sample indices each epoch (deterministic in the
+/// seed) and yields fixed-size batches, dropping the trailing remainder.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::size_t batch_size,
+             std::uint64_t seed);
+
+  std::size_t batches_per_epoch() const;
+  /// Batch `i` of epoch `epoch`; reshuffles when the epoch changes.
+  Batch batch(std::size_t epoch, std::size_t i);
+
+ private:
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  std::uint64_t seed_;
+  std::size_t shuffled_epoch_ = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace avgpipe::data

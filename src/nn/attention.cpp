@@ -1,0 +1,105 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+namespace avgpipe::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t d_model,
+                                               std::size_t num_heads, Rng& rng,
+                                               double dropout_p)
+    : d_model_(d_model),
+      heads_(num_heads),
+      d_head_(d_model / num_heads),
+      qkv_(d_model, 3 * d_model, rng),
+      proj_(d_model, d_model, rng),
+      attn_dropout_(dropout_p, rng) {
+  AVGPIPE_CHECK(d_model % num_heads == 0,
+                "d_model " << d_model << " not divisible by heads "
+                           << num_heads);
+}
+
+Variable MultiHeadSelfAttention::forward(const Variable& x) {
+  AVGPIPE_CHECK(x.shape().size() == 3, name() << " expects [B,S,D]");
+  const std::size_t b = x.shape()[0], s = x.shape()[1];
+  AVGPIPE_CHECK(x.shape()[2] == d_model_, name() << " d_model mismatch");
+
+  // Packed projection then split into q/k/v.
+  Variable qkv = qkv_.forward(x);  // [B,S,3D]
+  Variable flat = tensor::reshape(qkv, {b * s, 3 * d_model_});
+  auto split_heads = [&](std::size_t part) {
+    Variable v = tensor::slice_cols(flat, part * d_model_,
+                                    (part + 1) * d_model_);      // [B*S, D]
+    v = tensor::reshape(v, {b, s, heads_, d_head_});             // [B,S,H,Dh]
+    v = tensor::permute_0213(v);                                 // [B,H,S,Dh]
+    return tensor::reshape(v, {b * heads_, s, d_head_});         // [BH,S,Dh]
+  };
+  Variable q = split_heads(0), k = split_heads(1), v = split_heads(2);
+
+  Variable scores = tensor::bmm(q, tensor::transpose_last2(k));  // [BH,S,S]
+  scores = tensor::scale(scores, 1.0 / std::sqrt(static_cast<Scalar>(d_head_)));
+  Variable weights = tensor::softmax_rows(scores);
+  weights = attn_dropout_.forward(weights);
+  Variable ctx = tensor::bmm(weights, v);                        // [BH,S,Dh]
+
+  ctx = tensor::reshape(ctx, {b, heads_, s, d_head_});
+  ctx = tensor::permute_0213(ctx);                               // [B,S,H,Dh]
+  ctx = tensor::reshape(ctx, {b, s, d_model_});
+  return proj_.forward(ctx);
+}
+
+std::vector<Variable> MultiHeadSelfAttention::parameters() {
+  std::vector<Variable> params = qkv_.parameters();
+  auto p2 = proj_.parameters();
+  params.insert(params.end(), p2.begin(), p2.end());
+  return params;
+}
+
+std::string MultiHeadSelfAttention::name() const {
+  return "MHSA(d=" + std::to_string(d_model_) +
+         ", h=" + std::to_string(heads_) + ")";
+}
+
+void MultiHeadSelfAttention::set_training(bool training) {
+  Module::set_training(training);
+  attn_dropout_.set_training(training);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(std::size_t d_model,
+                                                 std::size_t num_heads,
+                                                 std::size_t d_ff, Rng& rng,
+                                                 double dropout_p)
+    : d_model_(d_model),
+      ln1_(d_model),
+      ln2_(d_model),
+      attn_(d_model, num_heads, rng, dropout_p),
+      ff1_(d_model, d_ff, rng),
+      ff2_(d_ff, d_model, rng),
+      dropout_(dropout_p, rng) {}
+
+Variable TransformerEncoderLayer::forward(const Variable& x) {
+  Variable h = tensor::add(x, dropout_.forward(attn_.forward(ln1_.forward(x))));
+  Variable ff = ff2_.forward(tensor::gelu(ff1_.forward(ln2_.forward(h))));
+  return tensor::add(h, dropout_.forward(ff));
+}
+
+std::vector<Variable> TransformerEncoderLayer::parameters() {
+  std::vector<Variable> params;
+  for (Module* m :
+       std::initializer_list<Module*>{&ln1_, &ln2_, &attn_, &ff1_, &ff2_}) {
+    auto p = m->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+std::string TransformerEncoderLayer::name() const {
+  return "TransformerEncoderLayer(d=" + std::to_string(d_model_) + ")";
+}
+
+void TransformerEncoderLayer::set_training(bool training) {
+  Module::set_training(training);
+  attn_.set_training(training);
+  dropout_.set_training(training);
+}
+
+}  // namespace avgpipe::nn

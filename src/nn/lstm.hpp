@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file lstm.hpp
+/// LSTM layer (unrolled over the sequence) used by the GNMT and AWD-LSTM
+/// stand-in workloads. Supports DropConnect on the hidden-to-hidden weights,
+/// the defining regulariser of AWD-LSTM (Merity et al. 2018).
+
+#include "nn/layers.hpp"
+
+namespace avgpipe::nn {
+
+/// Single-layer LSTM mapping [B,S,In] -> [B,S,H]. State is zero-initialised
+/// per forward call (stateless across batches, which matches how the
+/// pipeline runtime slices micro-batches independently).
+class LSTM : public Module {
+ public:
+  /// \param weight_drop DropConnect probability on W_hh (0 disables).
+  LSTM(std::size_t input, std::size_t hidden, Rng& rng,
+       double weight_drop = 0.0);
+
+  Variable forward(const Variable& x) override;
+  std::vector<Variable> parameters() override;
+  std::string name() const override;
+
+  std::size_t input_size() const { return input_; }
+  std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  /// One step: returns (h', c').
+  std::pair<Variable, Variable> cell(const Variable& x_t, const Variable& h,
+                                     const Variable& c,
+                                     const Variable& w_hh_eff);
+
+  std::size_t input_, hidden_;
+  double weight_drop_;
+  Rng rng_;
+  Variable w_ih_;  ///< [In, 4H] packed i|f|g|o
+  Variable w_hh_;  ///< [H, 4H]
+  Variable bias_;  ///< [4H]
+};
+
+}  // namespace avgpipe::nn

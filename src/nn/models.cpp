@@ -1,0 +1,70 @@
+#include "nn/models.hpp"
+
+namespace avgpipe::nn {
+
+Sequential make_mlp(std::size_t in, std::size_t hidden, std::size_t depth,
+                    std::size_t classes, std::uint64_t seed) {
+  Rng rng(seed);
+  Sequential model;
+  std::size_t prev = in;
+  for (std::size_t i = 0; i < depth; ++i) {
+    model.emplace<Linear>(prev, hidden, rng);
+    model.emplace<Tanh>();
+    prev = hidden;
+  }
+  model.emplace<Linear>(prev, classes, rng);
+  return model;
+}
+
+Sequential make_gnmt_like(std::size_t vocab, std::size_t embed,
+                          std::size_t hidden, std::size_t lstm_layers,
+                          std::size_t classes, std::uint64_t seed) {
+  Rng rng(seed);
+  Sequential model;
+  model.emplace<Embedding>(vocab, embed, rng);
+  std::size_t prev = embed;
+  for (std::size_t i = 0; i < lstm_layers; ++i) {
+    model.emplace<LSTM>(prev, hidden, rng);
+    prev = hidden;
+  }
+  model.emplace<LastStep>();
+  model.emplace<Linear>(hidden, classes, rng);
+  return model;
+}
+
+Sequential make_bert_like(std::size_t vocab, std::size_t d_model,
+                          std::size_t heads, std::size_t d_ff,
+                          std::size_t encoder_layers, std::size_t classes,
+                          std::uint64_t seed, double dropout_p) {
+  Rng rng(seed);
+  Sequential model;
+  model.emplace<Embedding>(vocab, d_model, rng);
+  for (std::size_t i = 0; i < encoder_layers; ++i) {
+    model.emplace<TransformerEncoderLayer>(d_model, heads, d_ff, rng,
+                                           dropout_p);
+  }
+  model.emplace<LayerNorm>(d_model);
+  model.emplace<MeanPoolSeq>();
+  model.emplace<Linear>(d_model, classes, rng);
+  return model;
+}
+
+Sequential make_awd_like(std::size_t vocab, std::size_t embed,
+                         std::size_t hidden, std::size_t lstm_layers,
+                         std::uint64_t seed, double weight_drop) {
+  Rng rng(seed);
+  Sequential model;
+  model.emplace<Embedding>(vocab, embed, rng);
+  std::size_t prev = embed;
+  for (std::size_t i = 0; i < lstm_layers; ++i) {
+    // Final layer projects back to the embedding size (AWD-LSTM ties
+    // dimensions this way before the decoder).
+    const std::size_t out = (i + 1 == lstm_layers) ? embed : hidden;
+    model.emplace<LSTM>(prev, out, rng, weight_drop);
+    prev = out;
+  }
+  model.emplace<Linear>(embed, vocab, rng);
+  return model;
+}
+
+}  // namespace avgpipe::nn

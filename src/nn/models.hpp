@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file models.hpp
+/// Model builders for the three paper workloads (laptop-scale stand-ins) and
+/// a plain MLP for quickstarts/tests. All models are `Sequential`, so the
+/// pipeline runtime can cut them at any layer boundary.
+
+#include "nn/attention.hpp"
+#include "nn/lstm.hpp"
+#include "nn/sequential.hpp"
+
+namespace avgpipe::nn {
+
+/// Plain MLP classifier: [B, in] -> [B, classes].
+Sequential make_mlp(std::size_t in, std::size_t hidden, std::size_t depth,
+                    std::size_t classes, std::uint64_t seed);
+
+/// GNMT stand-in: embedding + stacked LSTMs + classifier over the final
+/// state. Input [B,S] token ids, output [B, classes]. The paper's GNMT is a
+/// translation model; for statistical-efficiency purposes what matters is a
+/// deep recurrent model trained with Adam, which this preserves.
+Sequential make_gnmt_like(std::size_t vocab, std::size_t embed,
+                          std::size_t hidden, std::size_t lstm_layers,
+                          std::size_t classes, std::uint64_t seed);
+
+/// BERT stand-in: embedding + Transformer encoder stack + mean-pool +
+/// classifier. Input [B,S] token ids, output [B, classes]; matches the QQP
+/// sentence-pair classification task shape.
+Sequential make_bert_like(std::size_t vocab, std::size_t d_model,
+                          std::size_t heads, std::size_t d_ff,
+                          std::size_t encoder_layers, std::size_t classes,
+                          std::uint64_t seed, double dropout_p = 0.1);
+
+/// AWD-LSTM stand-in: embedding + weight-dropped LSTMs + per-position
+/// decoder. Input [B,S] token ids, output [B,S,vocab] logits for
+/// next-token prediction (language modelling).
+Sequential make_awd_like(std::size_t vocab, std::size_t embed,
+                         std::size_t hidden, std::size_t lstm_layers,
+                         std::uint64_t seed, double weight_drop = 0.3);
+
+}  // namespace avgpipe::nn

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file module.hpp
+/// Base class for neural-network layers.
+///
+/// All models in the reproduction are `Sequential` chains of `Module`s so
+/// that the pipeline runtime can cut them at arbitrary layer boundaries
+/// (paper §3.2: "Each GPU takes charge of one partition of successive
+/// layers"). Modules expose their parameters as `Variable`s, which is the
+/// unit the optimizers and the elastic-averaging framework operate on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace avgpipe::nn {
+
+using tensor::Scalar;
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::Variable;
+
+/// A layer: differentiable function of one Variable plus owned parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Forward pass; builds autograd graph when inputs/parameters need grad.
+  virtual Variable forward(const Variable& x) = 0;
+
+  /// All trainable parameters, in a stable order.
+  virtual std::vector<Variable> parameters() { return {}; }
+
+  /// Human-readable layer name for diagnostics and partition dumps.
+  virtual std::string name() const = 0;
+
+  /// Toggle training-time behaviour (dropout etc.).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Zero all parameter gradients.
+  void zero_grad() {
+    for (auto& p : parameters()) p.zero_grad();
+  }
+
+  /// Total trainable scalar count.
+  std::size_t num_params() {
+    std::size_t n = 0;
+    for (auto& p : parameters()) n += p.numel();
+    return n;
+  }
+
+ protected:
+  bool training_ = true;
+};
+
+using ModulePtr = std::shared_ptr<Module>;
+
+}  // namespace avgpipe::nn

@@ -1,0 +1,42 @@
+#include "nn/sequential.hpp"
+
+#include <sstream>
+
+namespace avgpipe::nn {
+
+std::vector<Sequential> Sequential::partition(
+    const std::vector<std::size_t>& boundaries) const {
+  std::vector<Sequential> stages;
+  std::size_t lo = 0;
+  for (std::size_t b : boundaries) {
+    AVGPIPE_CHECK(b >= lo && b <= layers_.size(),
+                  "partition boundary " << b << " out of order");
+    stages.push_back(slice(lo, b));
+    lo = b;
+  }
+  stages.push_back(slice(lo, layers_.size()));
+  return stages;
+}
+
+std::string Sequential::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    os << i << ": " << layers_[i]->name() << '\n';
+  }
+  return os.str();
+}
+
+void copy_parameters(Sequential& src, Sequential& dst) {
+  auto sp = src.parameters();
+  auto dp = dst.parameters();
+  AVGPIPE_CHECK(sp.size() == dp.size(),
+                "copy_parameters: model architectures differ ("
+                    << sp.size() << " vs " << dp.size() << " tensors)");
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    AVGPIPE_CHECK(sp[i].numel() == dp[i].numel(),
+                  "copy_parameters: tensor " << i << " shape mismatch");
+    dp[i].value().copy_from(sp[i].value());
+  }
+}
+
+}  // namespace avgpipe::nn

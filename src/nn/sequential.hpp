@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file sequential.hpp
+/// Ordered chain of modules with partitioning support.
+///
+/// Pipeline parallelism (paper §1, Figure 1) requires cutting a model into
+/// contiguous runs of layers. `Sequential::slice(lo, hi)` returns a stage
+/// view sharing the underlying modules/parameters, so N parallel pipelines
+/// can be built by deep-copying parameters while reusing the architecture.
+
+#include <functional>
+
+#include "nn/module.hpp"
+
+namespace avgpipe::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> layers)
+      : layers_(std::move(layers)) {}
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(ModulePtr layer) {
+    AVGPIPE_CHECK(layer != nullptr, "null layer");
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  /// Convenience: construct in place.
+  template <typename T, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_shared<T>(std::forward<Args>(args)...));
+  }
+
+  Variable forward(const Variable& x) override {
+    Variable h = x;
+    for (auto& layer : layers_) h = layer->forward(h);
+    return h;
+  }
+
+  std::vector<Variable> parameters() override {
+    std::vector<Variable> params;
+    for (auto& layer : layers_) {
+      auto p = layer->parameters();
+      params.insert(params.end(), p.begin(), p.end());
+    }
+    return params;
+  }
+
+  std::string name() const override {
+    return "Sequential(" + std::to_string(layers_.size()) + " layers)";
+  }
+
+  void set_training(bool training) override {
+    Module::set_training(training);
+    for (auto& layer : layers_) layer->set_training(training);
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  const ModulePtr& layer(std::size_t i) const { return layers_.at(i); }
+
+  /// Stage view over layers [lo, hi); shares modules and parameters.
+  Sequential slice(std::size_t lo, std::size_t hi) const {
+    AVGPIPE_CHECK(lo <= hi && hi <= layers_.size(),
+                  "slice [" << lo << "," << hi << ") out of "
+                            << layers_.size());
+    return Sequential(
+        std::vector<ModulePtr>(layers_.begin() + static_cast<std::ptrdiff_t>(lo),
+                               layers_.begin() + static_cast<std::ptrdiff_t>(hi)));
+  }
+
+  /// Split into `stages` contiguous slices at the given boundaries.
+  /// `boundaries` holds the first layer index of stages 1..K-1.
+  std::vector<Sequential> partition(const std::vector<std::size_t>& boundaries) const;
+
+  /// Layer names joined for diagnostics.
+  std::string describe() const;
+
+ private:
+  std::vector<ModulePtr> layers_;
+};
+
+/// Deep-copy all parameter values from `src` into `dst` (architectures must
+/// match layer-for-layer). Used to spawn parallel-pipeline replicas and the
+/// reference model with identical initial weights (paper §3.2).
+void copy_parameters(Sequential& src, Sequential& dst);
+
+/// Builder callback type: constructs a fresh model with its own parameters
+/// from a seed. Parallel pipelines each call this and then copy weights from
+/// the reference so all replicas start at the same point.
+using ModelFactory = std::function<Sequential(std::uint64_t seed)>;
+
+}  // namespace avgpipe::nn

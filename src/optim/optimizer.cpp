@@ -1,0 +1,170 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace avgpipe::optim {
+
+// -- SGD ------------------------------------------------------------------------
+
+Sgd::Sgd(std::vector<Variable> params, Scalar lr, Scalar momentum,
+         Scalar weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) velocity_.emplace_back(p.value().shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    Tensor g = p.grad().clone();
+    if (weight_decay_ != 0.0) g.axpy_(weight_decay_, p.value());
+    if (momentum_ != 0.0) {
+      velocity_[i].scale_(momentum_);
+      velocity_[i].axpy_(1.0, g);
+      p.value().axpy_(-lr_, velocity_[i]);
+    } else {
+      p.value().axpy_(-lr_, g);
+    }
+  }
+  ++steps_;
+}
+
+// -- Adam -----------------------------------------------------------------------
+
+Adam::Adam(std::vector<Variable> params, Scalar lr, Scalar beta1, Scalar beta2,
+           Scalar eps)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::step() {
+  ++steps_;
+  const Scalar bc1 = 1.0 - std::pow(beta1_, static_cast<Scalar>(steps_));
+  const Scalar bc2 = 1.0 - std::pow(beta2_, static_cast<Scalar>(steps_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    const auto g = p.grad().data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    auto w = p.value().data();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const Scalar mhat = m[j] / bc1;
+      const Scalar vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+// -- Adagrad ----------------------------------------------------------------------
+
+Adagrad::Adagrad(std::vector<Variable> params, Scalar lr, Scalar eps)
+    : Optimizer(std::move(params), lr), eps_(eps) {
+  accum_.reserve(params_.size());
+  for (auto& p : params_) accum_.emplace_back(p.value().shape());
+}
+
+void Adagrad::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    const auto g = p.grad().data();
+    auto a = accum_[i].data();
+    auto w = p.value().data();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      a[j] += g[j] * g[j];
+      w[j] -= lr_ * g[j] / (std::sqrt(a[j]) + eps_);
+    }
+  }
+  ++steps_;
+}
+
+// -- ASGD -------------------------------------------------------------------------
+
+Asgd::Asgd(std::vector<Variable> params, Scalar lr, std::size_t trigger,
+           Scalar weight_decay)
+    : Optimizer(std::move(params), lr),
+      trigger_(trigger),
+      weight_decay_(weight_decay) {
+  average_.reserve(params_.size());
+  for (auto& p : params_) average_.emplace_back(p.value().shape());
+}
+
+void Asgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    Tensor g = p.grad().clone();
+    if (weight_decay_ != 0.0) g.axpy_(weight_decay_, p.value());
+    p.value().axpy_(-lr_, g);
+  }
+  ++steps_;
+  if (steps_ > trigger_) {
+    ++averaged_steps_;
+    const Scalar t = 1.0 / static_cast<Scalar>(averaged_steps_);
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      // running mean: avg += (w - avg) / n
+      average_[i].lerp_(params_[i].value(), t);
+    }
+  }
+}
+
+std::vector<Tensor> Asgd::averaged_params() const {
+  std::vector<Tensor> result;
+  result.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    result.push_back(averaged_steps_ > 0 ? average_[i].clone()
+                                         : params_[i].value().clone());
+  }
+  return result;
+}
+
+void Asgd::swap_to_average() {
+  if (averaged_steps_ == 0) return;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i].value().copy_from(average_[i]);
+  }
+}
+
+// -- factory ----------------------------------------------------------------------
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          std::vector<Variable> params,
+                                          Scalar lr) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<Sgd>(std::move(params), lr);
+    case OptimizerKind::kMomentum:
+      return std::make_unique<Sgd>(std::move(params), lr, 0.9);
+    case OptimizerKind::kAdam:
+      return std::make_unique<Adam>(std::move(params), lr);
+    case OptimizerKind::kAdagrad:
+      return std::make_unique<Adagrad>(std::move(params), lr);
+    case OptimizerKind::kAsgd:
+      return std::make_unique<Asgd>(std::move(params), lr);
+  }
+  AVGPIPE_THROW("unknown optimizer kind");
+}
+
+std::string to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return "sgd";
+    case OptimizerKind::kMomentum: return "momentum";
+    case OptimizerKind::kAdam: return "adam";
+    case OptimizerKind::kAdagrad: return "adagrad";
+    case OptimizerKind::kAsgd: return "asgd";
+  }
+  return "?";
+}
+
+}  // namespace avgpipe::optim

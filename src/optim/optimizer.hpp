@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// Optimizer interface plus the concrete optimizers the paper's experiments
+/// use: SGD (with momentum / weight decay), Adam, Adagrad, and ASGD
+/// (Polyak–Juditsky averaging, used by the AWD workload).
+///
+/// A core claim of the paper (§3.1–3.2) is that the elastic-averaging
+/// framework is *decoupled* from the optimizer — unlike EASGD/Crossbow which
+/// bake averaging into an extended SGD. Our `core::ElasticAveraging`
+/// therefore operates on raw parameter tensors after `Optimizer::step()`,
+/// and everything here is averaging-agnostic.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.hpp"
+
+namespace avgpipe::optim {
+
+using tensor::Scalar;
+using tensor::Tensor;
+using tensor::Variable;
+
+/// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params, Scalar lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the parameters' current gradients.
+  virtual void step() = 0;
+
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  Scalar lr() const { return lr_; }
+  void set_lr(Scalar lr) { lr_ = lr; }
+  const std::vector<Variable>& params() const { return params_; }
+  std::size_t step_count() const { return steps_; }
+
+ protected:
+  std::vector<Variable> params_;
+  Scalar lr_;
+  std::size_t steps_ = 0;
+};
+
+/// SGD with optional momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, Scalar lr, Scalar momentum = 0.0,
+      Scalar weight_decay = 0.0);
+  void step() override;
+  std::string name() const override { return "SGD"; }
+
+ private:
+  Scalar momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015), the optimizer the paper trains GNMT/BERT with.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, Scalar lr, Scalar beta1 = 0.9,
+       Scalar beta2 = 0.999, Scalar eps = 1e-8);
+  void step() override;
+  std::string name() const override { return "Adam"; }
+
+ private:
+  Scalar beta1_, beta2_, eps_;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Adagrad (Duchi et al. 2011).
+class Adagrad : public Optimizer {
+ public:
+  Adagrad(std::vector<Variable> params, Scalar lr, Scalar eps = 1e-10);
+  void step() override;
+  std::string name() const override { return "Adagrad"; }
+
+ private:
+  Scalar eps_;
+  std::vector<Tensor> accum_;
+};
+
+/// ASGD: SGD plus a running Polyak average of the iterates, started after
+/// `trigger` steps. `averaged_params()` exposes the averaged weights the
+/// AWD recipe evaluates with.
+class Asgd : public Optimizer {
+ public:
+  Asgd(std::vector<Variable> params, Scalar lr, std::size_t trigger = 0,
+       Scalar weight_decay = 0.0);
+  void step() override;
+  std::string name() const override { return "ASGD"; }
+
+  /// Polyak-averaged weights (equals current weights before the trigger).
+  std::vector<Tensor> averaged_params() const;
+  /// Overwrite live weights with the averages (for final evaluation).
+  void swap_to_average();
+
+ private:
+  std::size_t trigger_;
+  Scalar weight_decay_;
+  std::vector<Tensor> average_;
+  std::size_t averaged_steps_ = 0;
+};
+
+/// Optimizer kinds for factory construction (used by configs and benches).
+enum class OptimizerKind { kSgd, kMomentum, kAdam, kAdagrad, kAsgd };
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          std::vector<Variable> params,
+                                          Scalar lr);
+std::string to_string(OptimizerKind kind);
+
+}  // namespace avgpipe::optim

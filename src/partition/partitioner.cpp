@@ -1,0 +1,133 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace avgpipe::partition {
+
+namespace {
+
+/// Compute time of layers [lo, hi) per sample: forward + 2x backward.
+double compute_seconds(const workloads::WorkloadProfile& w,
+                       const workloads::ClusterSpec& cluster, std::size_t lo,
+                       std::size_t hi) {
+  Flops f = 0;
+  for (std::size_t i = lo; i < hi; ++i) f += w.layers[i].fwd_flops_per_sample;
+  return 3.0 * f / cluster.gpu.peak_flops;
+}
+
+/// Inbound comm time per sample for a stage whose first layer is `lo`,
+/// placed as stage `k` (link from GPU k-1 to GPU k).
+double comm_seconds(const workloads::WorkloadProfile& w,
+                    const workloads::ClusterSpec& cluster, std::size_t lo,
+                    std::size_t k) {
+  if (k == 0 || lo == 0) return 0.0;
+  const Bytes bytes = w.layers[lo - 1].activation_bytes_per_sample;
+  // Activation forward + gradient backward cross the same link.
+  return 2.0 * bytes / cluster.link_between(k - 1, k).bandwidth_bytes_per_s;
+}
+
+}  // namespace
+
+double bottleneck_cost(const workloads::WorkloadProfile& w,
+                       const workloads::ClusterSpec& cluster,
+                       const Partition& p) {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < p.num_stages(); ++k) {
+    // Communication overlaps the compute of other micro-batches in a
+    // pipeline, so a stage is bound by the slower of the two, not their sum
+    // (this is what makes PipeDream-style partitions balanced even over
+    // slow Ethernet links).
+    const double cost =
+        std::max(compute_seconds(w, cluster, p.begin_of(k), p.end_of(k)),
+                 comm_seconds(w, cluster, p.begin_of(k), k));
+    worst = std::max(worst, cost);
+  }
+  return worst;
+}
+
+Partition pipedream_partition(const workloads::WorkloadProfile& w,
+                              const workloads::ClusterSpec& cluster,
+                              std::size_t num_stages) {
+  const std::size_t L = w.layers.size();
+  AVGPIPE_CHECK(num_stages >= 1 && num_stages <= L,
+                "cannot split " << L << " layers into " << num_stages
+                                << " stages");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  using Cost = std::pair<double, double>;  // (bottleneck, compute bottleneck)
+
+  // best[k][i]: minimal cost when layers [0, i) form stages [0, k].
+  // choice[k][i]: start layer of stage k in the optimum.
+  std::vector<std::vector<Cost>> best(
+      num_stages, std::vector<Cost>(L + 1, {kInf, kInf}));
+  std::vector<std::vector<std::size_t>> choice(
+      num_stages, std::vector<std::size_t>(L + 1, 0));
+
+  for (std::size_t i = 1; i <= L; ++i) {
+    const double c = compute_seconds(w, cluster, 0, i);
+    best[0][i] = {c, c};
+  }
+  for (std::size_t k = 1; k < num_stages; ++k) {
+    for (std::size_t i = k + 1; i <= L; ++i) {
+      for (std::size_t j = k; j < i; ++j) {  // stage k covers [j, i)
+        if (best[k - 1][j].first == kInf) continue;
+        const double comp = compute_seconds(w, cluster, j, i);
+        const double stage = std::max(comp, comm_seconds(w, cluster, j, k));
+        const Cost cand{std::max(best[k - 1][j].first, stage),
+                        std::max(best[k - 1][j].second, comp)};
+        if (cand < best[k][i]) {
+          best[k][i] = cand;
+          choice[k][i] = j;
+        }
+      }
+    }
+  }
+
+  Partition p;
+  p.num_layers = L;
+  p.stage_begin.assign(num_stages, 0);
+  std::size_t end = L;
+  for (std::size_t k = num_stages; k-- > 1;) {
+    p.stage_begin[k] = choice[k][end];
+    end = p.stage_begin[k];
+  }
+  p.stage_begin[0] = 0;
+  return p;
+}
+
+Partition uniform_partition(std::size_t num_layers, std::size_t num_stages) {
+  AVGPIPE_CHECK(num_stages >= 1 && num_stages <= num_layers,
+                "cannot split " << num_layers << " layers into " << num_stages
+                                << " stages");
+  Partition p;
+  p.num_layers = num_layers;
+  p.stage_begin.reserve(num_stages);
+  for (std::size_t k = 0; k < num_stages; ++k) {
+    p.stage_begin.push_back(k * num_layers / num_stages);
+  }
+  return p;
+}
+
+std::vector<StageCost> stage_costs(const workloads::WorkloadProfile& w,
+                                   const Partition& p) {
+  AVGPIPE_CHECK(p.num_layers == w.layers.size(),
+                "partition/profile layer count mismatch");
+  std::vector<StageCost> costs(p.num_stages());
+  for (std::size_t k = 0; k < p.num_stages(); ++k) {
+    StageCost& c = costs[k];
+    for (std::size_t i = p.begin_of(k); i < p.end_of(k); ++i) {
+      const auto& l = w.layers[i];
+      c.fwd_flops_per_sample += l.fwd_flops_per_sample;
+      c.stash_bytes_per_sample += l.stash_bytes_per_sample;
+      c.param_bytes += l.param_bytes;
+      c.dense_state_bytes += l.param_bytes * l.dense_state_fraction;
+    }
+    const std::size_t last = p.end_of(k);
+    AVGPIPE_CHECK(last > p.begin_of(k), "empty stage " << k);
+    c.boundary_act_bytes_per_sample =
+        w.layers[last - 1].activation_bytes_per_sample;
+  }
+  return costs;
+}
+
+}  // namespace avgpipe::partition

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file partitioner.hpp
+/// Model partitioning across pipeline stages.
+///
+/// The paper reuses PipeDream's partitioner (§6: "we employ the existing
+/// method used in PipeDream") rather than inventing a new one, and so do we:
+/// a dynamic program over contiguous layer ranges that minimises the
+/// bottleneck stage cost, where a stage's cost is its compute time plus the
+/// time to receive its input activation over the link feeding it. A uniform
+/// (equal-layer-count) partitioner is provided as a baseline for tests.
+
+#include <vector>
+
+#include "workloads/cluster.hpp"
+#include "workloads/profile.hpp"
+
+namespace avgpipe::partition {
+
+/// A partition of L layers into K contiguous stages.
+struct Partition {
+  /// stage_begin[k] is the first layer of stage k; stage k covers
+  /// [stage_begin[k], stage_begin[k+1]) with stage_begin[K] == L implied.
+  std::vector<std::size_t> stage_begin;
+  std::size_t num_layers = 0;
+
+  std::size_t num_stages() const { return stage_begin.size(); }
+  std::size_t begin_of(std::size_t stage) const { return stage_begin.at(stage); }
+  std::size_t end_of(std::size_t stage) const {
+    return stage + 1 < stage_begin.size() ? stage_begin[stage + 1] : num_layers;
+  }
+};
+
+/// Cost of the bottleneck stage (seconds per sample) under the PipeDream
+/// objective; used by tests to compare DP against brute force.
+double bottleneck_cost(const workloads::WorkloadProfile& w,
+                       const workloads::ClusterSpec& cluster,
+                       const Partition& p);
+
+/// PipeDream DP partitioner: contiguous layers, K stages, minimise the
+/// bottleneck of (stage compute + inbound activation comm) per sample.
+Partition pipedream_partition(const workloads::WorkloadProfile& w,
+                              const workloads::ClusterSpec& cluster,
+                              std::size_t num_stages);
+
+/// Baseline: equal layer counts per stage.
+Partition uniform_partition(std::size_t num_layers, std::size_t num_stages);
+
+/// Per-stage cost summary for diagnostics and the simulator.
+struct StageCost {
+  Flops fwd_flops_per_sample = 0;
+  Bytes boundary_act_bytes_per_sample = 0;  ///< output activation of stage
+  Bytes stash_bytes_per_sample = 0;
+  Bytes param_bytes = 0;
+  /// Parameter bytes whose gradients/optimizer state are dense (see
+  /// LayerProfile::dense_state_fraction).
+  Bytes dense_state_bytes = 0;
+};
+
+/// Aggregate layer profiles into per-stage costs under a partition.
+std::vector<StageCost> stage_costs(const workloads::WorkloadProfile& w,
+                                   const Partition& p);
+
+}  // namespace avgpipe::partition

@@ -1,0 +1,204 @@
+#include "runtime/pipeline_runtime.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace avgpipe::runtime {
+
+namespace {
+/// Generous capacity so bounded back-pressure can never deadlock the
+/// act/grad cycle between adjacent stages.
+constexpr std::size_t kChannelCapacity = 4096;
+}  // namespace
+
+LossFn cross_entropy_loss() {
+  return [](const tensor::Variable& logits, const std::vector<int>& targets) {
+    // Language-model heads emit [B,S,V]; flatten to rows for the loss.
+    if (logits.shape().size() == 3) {
+      const auto& s = logits.shape();
+      return tensor::softmax_cross_entropy(
+          tensor::reshape(logits, {s[0] * s[1], s[2]}), targets);
+    }
+    return tensor::softmax_cross_entropy(logits, targets);
+  };
+}
+
+PipelineRuntime::PipelineRuntime(nn::Sequential model,
+                                 std::vector<std::size_t> boundaries,
+                                 const OptimizerFactory& make_optimizer,
+                                 LossFn loss, schedule::Kind kind,
+                                 std::size_t advance_num)
+    : model_(std::move(model)),
+      loss_(std::move(loss)),
+      kind_(kind),
+      advance_num_(advance_num) {
+  AVGPIPE_CHECK(kind_ == schedule::Kind::kAfab ||
+                    kind_ == schedule::Kind::kOneFOneB ||
+                    kind_ == schedule::Kind::kAdvanceForward,
+                "runtime supports the flushed schedules; got "
+                    << schedule::to_string(kind_));
+  auto views = model_.partition(boundaries);
+  const std::size_t k = views.size();
+  if (advance_num_ == 0) advance_num_ = k - 1;
+  // Validate here rather than in the worker threads: a bad advance count
+  // must surface as an exception to the caller, not terminate a worker.
+  AVGPIPE_CHECK(kind_ != schedule::Kind::kAdvanceForward ||
+                    advance_num_ + 1 >= k,
+                "advance_num " << advance_num_ << " below the 1F1B minimum "
+                               << k - 1);
+
+  input_ = std::make_unique<Channel<ActMessage>>(kChannelCapacity);
+  done_ = std::make_unique<Channel<int>>(kChannelCapacity);
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    acts_.push_back(std::make_unique<Channel<ActMessage>>(kChannelCapacity));
+    grads_.push_back(std::make_unique<Channel<GradMessage>>(kChannelCapacity));
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    auto stage = std::make_unique<Stage>();
+    stage->index = i;
+    stage->module = std::move(views[i]);
+    stage->optimizer = make_optimizer(stage->module.parameters());
+    stage_start_.push_back(std::make_unique<Channel<std::size_t>>(4));
+    stages_.push_back(std::move(stage));
+  }
+  for (auto& stage : stages_) {
+    Stage* s = stage.get();
+    s->thread = std::thread([this, s] { worker_loop(*s); });
+  }
+}
+
+PipelineRuntime::~PipelineRuntime() {
+  for (auto& ch : stage_start_) ch->close();
+  input_->close();
+  for (auto& ch : acts_) ch->close();
+  for (auto& ch : grads_) ch->close();
+  done_->close();
+  for (auto& stage : stages_) {
+    if (stage->thread.joinable()) stage->thread.join();
+  }
+}
+
+void PipelineRuntime::worker_loop(Stage& stage) {
+  while (auto m = stage_start_[stage.index]->recv()) {
+    schedule::ScheduleParams params;
+    params.kind = kind_;
+    params.num_stages = stages_.size();
+    params.micro_batches = *m;
+    params.num_batches = 1;
+    params.advance_num = advance_num_;
+    stage.program =
+        schedule::make_schedule(params).stages[stage.index].instrs;
+    stage.loss_sum = 0;
+    stage.micro_batches = *m;
+
+    for (const auto& instr : stage.program) {
+      switch (instr.kind) {
+        case schedule::OpKind::kForward: run_forward(stage, instr); break;
+        case schedule::OpKind::kBackward: run_backward(stage, instr); break;
+        case schedule::OpKind::kUpdate: run_update(stage); break;
+        case schedule::OpKind::kAllReduce:
+          AVGPIPE_THROW("all-reduce in a pipeline stream");
+      }
+    }
+    done_->send(static_cast<int>(stage.index));
+  }
+}
+
+void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr) {
+  const bool first = stage.index == 0;
+  const bool last = stage.index + 1 == stages_.size();
+
+  auto msg = first ? input_->recv() : acts_[stage.index - 1]->recv();
+  AVGPIPE_CHECK(msg.has_value(), "activation channel closed mid-batch");
+  AVGPIPE_CHECK(msg->micro_batch == instr.micro_batch,
+                "stage " << stage.index << " expected micro-batch "
+                         << instr.micro_batch << ", got " << msg->micro_batch);
+
+  // The boundary input needs a gradient on every stage but the first.
+  tensor::Variable in(std::move(msg->payload), /*requires_grad=*/!first);
+  tensor::Variable out = stage.module.forward(in);
+  Stash stash;
+  stash.input = in;
+  if (last) {
+    tensor::Variable loss_var = loss_(out, msg->targets);
+    stage.loss_sum += loss_var.value()[0];
+    stash.output = loss_var;
+  } else {
+    acts_[stage.index]->send(
+        ActMessage{instr.micro_batch, out.value(), std::move(msg->targets)});
+    stash.output = out;
+  }
+  stage.stash.emplace(instr.micro_batch, std::move(stash));
+  stage.peak_stash = std::max(stage.peak_stash, stage.stash.size());
+}
+
+void PipelineRuntime::run_backward(Stage& stage,
+                                   const schedule::Instr& instr) {
+  const bool first = stage.index == 0;
+  const bool last = stage.index + 1 == stages_.size();
+
+  auto it = stage.stash.find(instr.micro_batch);
+  AVGPIPE_CHECK(it != stage.stash.end(),
+                "backward without stashed forward for micro-batch "
+                    << instr.micro_batch);
+  Stash stash = std::move(it->second);
+  stage.stash.erase(it);
+
+  if (last) {
+    stash.output.backward();  // loss scalar, seed = 1
+  } else {
+    auto grad = grads_[stage.index]->recv();
+    AVGPIPE_CHECK(grad.has_value(), "gradient channel closed mid-batch");
+    AVGPIPE_CHECK(grad->micro_batch == instr.micro_batch,
+                  "stage " << stage.index << " expected gradient "
+                           << instr.micro_batch << ", got "
+                           << grad->micro_batch);
+    stash.output.backward(grad->payload);
+  }
+  if (!first) {
+    grads_[stage.index - 1]->send(
+        GradMessage{instr.micro_batch, stash.input.grad().clone()});
+  }
+}
+
+void PipelineRuntime::run_update(Stage& stage) {
+  // Accumulated micro-batch gradients -> batch-mean gradient.
+  const double inv_m = 1.0 / static_cast<double>(stage.micro_batches);
+  for (auto& p : stage.optimizer->params()) {
+    const_cast<tensor::Variable&>(p).mutable_grad().scale_(inv_m);
+  }
+  stage.optimizer->step();
+  stage.optimizer->zero_grad();
+}
+
+BatchStats PipelineRuntime::train_batch(const data::Batch& batch,
+                                        std::size_t micro_batches) {
+  AVGPIPE_CHECK(!stopping_, "runtime already stopped");
+  auto micro = data::slice_micro_batches(batch, micro_batches);
+
+  for (auto& ch : stage_start_) {
+    const bool ok = ch->send(micro_batches);
+    AVGPIPE_CHECK(ok, "stage start channel closed");
+  }
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    input_->send(ActMessage{static_cast<int>(i), std::move(micro[i].inputs),
+                            std::move(micro[i].targets)});
+  }
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    auto d = done_->recv();
+    AVGPIPE_CHECK(d.has_value(), "done channel closed mid-batch");
+  }
+
+  BatchStats stats;
+  stats.micro_batches = micro_batches;
+  stats.loss = stages_.back()->loss_sum /
+               static_cast<double>(micro_batches);
+  return stats;
+}
+
+std::size_t PipelineRuntime::peak_stash(std::size_t stage) const {
+  AVGPIPE_CHECK(stage < stages_.size(), "stage out of range");
+  return stages_[stage]->peak_stash;
+}
+
+}  // namespace avgpipe::runtime

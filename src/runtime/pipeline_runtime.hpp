@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file pipeline_runtime.hpp
+/// Threaded pipeline-parallel training over real tensors.
+///
+/// One worker thread per stage (the simulated "GPU process"), connected by
+/// bounded channels carrying boundary activations forward and boundary
+/// gradients backward — the message-passing structure of Figure 1. Each
+/// worker executes its stage's instruction stream from schedule/ verbatim,
+/// so AFAB, 1F1B and advance-forward orderings are all runnable on real
+/// models and must produce identical numerics (a property the tests check:
+/// the schedule only changes *when* work happens, never *what* is computed).
+///
+/// Gradients are accumulated over the micro-batches of a batch and applied
+/// once per batch by per-stage optimizers, which reproduces exactly the
+/// update of non-pipelined training on the full batch.
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "common/queue.hpp"
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+#include "optim/optimizer.hpp"
+#include "schedule/schedule.hpp"
+
+namespace avgpipe::runtime {
+
+using OptimizerFactory = std::function<std::unique_ptr<optim::Optimizer>(
+    std::vector<tensor::Variable> params)>;
+
+/// Loss head applied at the last stage: (logits, targets) -> scalar loss.
+using LossFn = std::function<tensor::Variable(const tensor::Variable& logits,
+                                              const std::vector<int>& targets)>;
+
+struct BatchStats {
+  double loss = 0;          ///< mean loss over the batch
+  std::size_t micro_batches = 0;
+};
+
+/// Pipeline over a partitioned Sequential model.
+class PipelineRuntime {
+ public:
+  /// \param model the full model; stage views share its parameters.
+  /// \param boundaries first layer index of stages 1..K-1 (see
+  ///        Sequential::partition).
+  /// \param make_optimizer constructs each stage's local optimizer.
+  /// \param kind one of kAfab / kOneFOneB / kAdvanceForward.
+  /// \param advance_num AFP advance count (0 = derive K-1).
+  PipelineRuntime(nn::Sequential model, std::vector<std::size_t> boundaries,
+                  const OptimizerFactory& make_optimizer, LossFn loss,
+                  schedule::Kind kind = schedule::Kind::kOneFOneB,
+                  std::size_t advance_num = 0);
+  ~PipelineRuntime();
+
+  PipelineRuntime(const PipelineRuntime&) = delete;
+  PipelineRuntime& operator=(const PipelineRuntime&) = delete;
+
+  /// Train on one batch sliced into `micro_batches`; blocks until the
+  /// optimizer step of every stage has been applied.
+  BatchStats train_batch(const data::Batch& batch, std::size_t micro_batches);
+
+  /// The underlying full model (parameters shared with the stages). Only
+  /// safe to use between train_batch calls.
+  nn::Sequential& model() { return model_; }
+
+  std::size_t num_stages() const { return stages_.size(); }
+
+  /// Peak number of stashed activations observed on stage k (for memory
+  /// assertions mirroring the paper's stash bounds).
+  std::size_t peak_stash(std::size_t stage) const;
+
+ private:
+  struct ActMessage {
+    int micro_batch;
+    tensor::Tensor payload;
+    std::vector<int> targets;  ///< forwarded to the loss head
+  };
+  struct GradMessage {
+    int micro_batch;
+    tensor::Tensor payload;
+  };
+  struct Stash {
+    tensor::Variable input;   ///< boundary input (grad receiver)
+    tensor::Variable output;  ///< boundary output or loss
+  };
+
+  struct Stage;
+  void worker_loop(Stage& stage);
+  void run_forward(Stage& stage, const schedule::Instr& instr);
+  void run_backward(Stage& stage, const schedule::Instr& instr);
+  void run_update(Stage& stage);
+
+  nn::Sequential model_;
+  LossFn loss_;
+  schedule::Kind kind_;
+  std::size_t advance_num_;
+
+  struct Stage {
+    std::size_t index = 0;
+    nn::Sequential module;  // view sharing parameters with model_
+    std::unique_ptr<optim::Optimizer> optimizer;
+    std::vector<schedule::Instr> program;  // one batch worth of instrs
+    std::unordered_map<int, Stash> stash;
+    std::size_t peak_stash = 0;
+    double loss_sum = 0;  // last stage only
+    std::size_t micro_batches = 0;
+    std::thread thread;
+  };
+  std::vector<std::unique_ptr<Stage>> stages_;
+
+  // Channels: acts_[k] carries stage k -> k+1, grads_[k] carries k+1 -> k.
+  std::vector<std::unique_ptr<Channel<ActMessage>>> acts_;
+  std::vector<std::unique_ptr<Channel<GradMessage>>> grads_;
+  // Per-batch coordination.
+  std::unique_ptr<Channel<ActMessage>> input_;   // feeds stage 0
+  std::unique_ptr<Channel<int>> done_;           // stages report batch done
+  std::unique_ptr<Channel<std::size_t>> start_;  // broadcast micro count
+  std::vector<std::unique_ptr<Channel<std::size_t>>> stage_start_;
+  bool stopping_ = false;
+};
+
+/// Convenience: mean softmax cross-entropy loss head.
+LossFn cross_entropy_loss();
+
+}  // namespace avgpipe::runtime

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file semantics.hpp
+/// Update-rule semantics of the compared systems, for the statistical-
+/// efficiency experiments (paper §7.1.3, Figure 14).
+///
+/// Epochs-to-target depends on *what update each system applies*, not on how
+/// fast it runs. Synchronous systems (PyTorch-DDP, GPipe, Dapple and each
+/// individual AvgPipe pipeline) apply the exact full-batch gradient.
+/// PipeDream's multi-version pipeline applies per-micro-batch updates whose
+/// gradients were computed on weights several updates old; PipeDream-2BW
+/// applies per-batch updates one version stale. These trainers implement
+/// those semantics faithfully on real models, single-threaded (timing is the
+/// simulator's job).
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+#include "optim/optimizer.hpp"
+
+namespace avgpipe::runtime {
+
+/// Interface the Figure-14 harness trains against.
+class TrainerBase {
+ public:
+  virtual ~TrainerBase() = default;
+  /// Consume one batch; returns its training loss.
+  virtual double train_batch(const data::Batch& batch) = 0;
+  /// Model to evaluate with (after any averaging the system implies).
+  virtual nn::Sequential& eval_model() = 0;
+  virtual std::string name() const = 0;
+
+  /// Batches consumed per iteration (AvgPipe trains N in parallel).
+  virtual std::size_t batches_per_iteration() const { return 1; }
+  /// Consume one iteration's worth of batches; default delegates to
+  /// train_batch.
+  virtual double train_iteration(const std::vector<data::Batch>& batches) {
+    AVGPIPE_CHECK(batches.size() == 1, "expected exactly one batch");
+    return train_batch(batches.front());
+  }
+};
+
+/// Synchronous full-batch training: PyTorch data parallelism, GPipe and
+/// Dapple all reduce to this update rule.
+class SyncTrainer : public TrainerBase {
+ public:
+  SyncTrainer(nn::Sequential model, std::unique_ptr<optim::Optimizer> opt,
+              std::string name = "sync");
+
+  double train_batch(const data::Batch& batch) override;
+  nn::Sequential& eval_model() override { return model_; }
+  std::string name() const override { return name_; }
+
+  optim::Optimizer& optimizer() { return *opt_; }
+
+ private:
+  nn::Sequential model_;
+  std::unique_ptr<optim::Optimizer> opt_;
+  std::string name_;
+};
+
+/// Stale-gradient training: gradients are computed on the weights from
+/// `delay` updates ago and applied to the current weights.
+///
+/// * PipeDream: delay = K-1 (stage 0 sees the oldest version), one update
+///   per micro-batch.
+/// * PipeDream-2BW: delay = 1, gradients of a batch's micro-batches are
+///   accumulated and applied once per batch.
+class StalenessTrainer : public TrainerBase {
+ public:
+  StalenessTrainer(nn::Sequential model,
+                   std::unique_ptr<optim::Optimizer> opt, std::size_t delay,
+                   std::size_t micro_batches, bool update_per_micro_batch,
+                   std::string name);
+
+  double train_batch(const data::Batch& batch) override;
+  nn::Sequential& eval_model() override { return model_; }
+  std::string name() const override { return name_; }
+
+ private:
+  /// Gradient of `batch` evaluated at the `delay`-old weights, accumulated
+  /// into the current parameters' grad buffers.
+  double stale_gradient(const data::Batch& batch);
+  void push_version();
+
+  nn::Sequential model_;
+  std::unique_ptr<optim::Optimizer> opt_;
+  std::size_t delay_;
+  std::size_t micro_batches_;
+  bool update_per_micro_batch_;
+  std::string name_;
+  /// Ring of past parameter values, newest at the back.
+  std::deque<std::vector<tensor::Tensor>> versions_;
+};
+
+/// Evaluate classification accuracy over `batches` loader batches.
+double evaluate_accuracy(nn::Sequential& model, data::DataLoader& loader,
+                         std::size_t epoch, std::size_t batches);
+
+/// Evaluate mean cross-entropy loss; flattens [B,S,V] LM logits.
+double evaluate_loss(nn::Sequential& model, data::DataLoader& loader,
+                     std::size_t epoch, std::size_t batches);
+
+}  // namespace avgpipe::runtime

@@ -1,0 +1,244 @@
+#include "schedule/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace avgpipe::schedule {
+
+std::string to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kAfab: return "AFAB";
+    case Kind::kOneFOneB: return "1F1B";
+    case Kind::kAdvanceForward: return "AFP";
+    case Kind::kPipeDream: return "PipeDream";
+    case Kind::kPipeDream2BW: return "PipeDream-2BW";
+    case Kind::kDataParallel: return "DataParallel";
+  }
+  return "?";
+}
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kForward: return "F";
+    case OpKind::kBackward: return "B";
+    case OpKind::kUpdate: return "U";
+    case OpKind::kAllReduce: return "AR";
+  }
+  return "?";
+}
+
+std::size_t warmup_for_stage(std::size_t advance_num, std::size_t stage,
+                             std::size_t micro_batches) {
+  const std::size_t raw = advance_num > stage ? advance_num - stage : 0;
+  return std::min(raw, micro_batches);
+}
+
+std::size_t weight_versions(Kind kind, std::size_t stage,
+                            std::size_t num_stages) {
+  switch (kind) {
+    case Kind::kPipeDream:
+      // PipeDream stashes one version per in-flight micro-batch: K on the
+      // first stage down to 1 on the last (paper §2: "four (equal to the
+      // number of GPUs) versions" on GPU 1).
+      return num_stages - stage;
+    case Kind::kPipeDream2BW:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+namespace {
+
+/// Streams for the flushed schedules (AFAB / 1F1B / AFP): every batch fills
+/// and drains the pipeline.
+StageStream flushed_stream(std::size_t stage, std::size_t advance,
+                           const ScheduleParams& p) {
+  StageStream s;
+  s.stage = stage;
+  const int m = static_cast<int>(p.micro_batches);
+  const int w = static_cast<int>(warmup_for_stage(advance, stage,
+                                                  p.micro_batches));
+  for (int b = 0; b < static_cast<int>(p.num_batches); ++b) {
+    for (int i = 0; i < w; ++i) {
+      s.instrs.push_back({OpKind::kForward, b, i});
+    }
+    for (int j = 0; j + w < m; ++j) {
+      s.instrs.push_back({OpKind::kForward, b, w + j});
+      s.instrs.push_back({OpKind::kBackward, b, j});
+    }
+    for (int j = std::max(0, m - w); j < m; ++j) {
+      s.instrs.push_back({OpKind::kBackward, b, j});
+    }
+    s.instrs.push_back({OpKind::kUpdate, b, m - 1});
+  }
+  return s;
+}
+
+/// Streams for the flush-free multi-version schedules (PipeDream / 2BW):
+/// micro-batches flow continuously across batch boundaries.
+StageStream flushfree_stream(std::size_t stage, const ScheduleParams& p,
+                             bool update_per_micro_batch) {
+  StageStream s;
+  s.stage = stage;
+  const int m = static_cast<int>(p.micro_batches);
+  const int total = m * static_cast<int>(p.num_batches);
+  const int w = static_cast<int>(warmup_for_stage(p.num_stages - 1, stage,
+                                                  static_cast<std::size_t>(total)));
+  auto fwd = [&](int g) {
+    s.instrs.push_back({OpKind::kForward, g / m, g % m});
+  };
+  auto bwd = [&](int g) {
+    s.instrs.push_back({OpKind::kBackward, g / m, g % m});
+    if (update_per_micro_batch || g % m == m - 1) {
+      s.instrs.push_back({OpKind::kUpdate, g / m, g % m});
+    }
+  };
+  for (int i = 0; i < std::min(w, total); ++i) fwd(i);
+  for (int j = 0; j + w < total; ++j) {
+    fwd(w + j);
+    bwd(j);
+  }
+  for (int j = std::max(0, total - w); j < total; ++j) bwd(j);
+  return s;
+}
+
+/// Data parallelism: each "stage" stream is actually a full-model replica.
+StageStream data_parallel_stream(std::size_t stage, const ScheduleParams& p) {
+  StageStream s;
+  s.stage = stage;
+  for (int b = 0; b < static_cast<int>(p.num_batches); ++b) {
+    s.instrs.push_back({OpKind::kForward, b, 0});
+    s.instrs.push_back({OpKind::kBackward, b, 0});
+    s.instrs.push_back({OpKind::kAllReduce, b, 0});
+    s.instrs.push_back({OpKind::kUpdate, b, 0});
+  }
+  return s;
+}
+
+}  // namespace
+
+PipelineSchedule make_schedule(const ScheduleParams& p) {
+  AVGPIPE_CHECK(p.num_stages >= 1, "need at least one stage");
+  AVGPIPE_CHECK(p.micro_batches >= 1, "need at least one micro-batch");
+  AVGPIPE_CHECK(p.num_batches >= 1, "need at least one batch");
+
+  PipelineSchedule sched;
+  sched.stages.reserve(p.num_stages);
+  for (std::size_t k = 0; k < p.num_stages; ++k) {
+    switch (p.kind) {
+      case Kind::kAfab:
+        // All forwards in advance on every stage.
+        sched.stages.push_back(
+            flushed_stream(k, p.micro_batches + p.num_stages, p));
+        break;
+      case Kind::kOneFOneB:
+        sched.stages.push_back(flushed_stream(k, p.num_stages - 1, p));
+        break;
+      case Kind::kAdvanceForward:
+        AVGPIPE_CHECK(p.advance_num + 1 >= p.num_stages,
+                      "advance_num " << p.advance_num
+                                     << " below the 1F1B minimum K-1");
+        sched.stages.push_back(flushed_stream(k, p.advance_num, p));
+        break;
+      case Kind::kPipeDream:
+        sched.stages.push_back(
+            flushfree_stream(k, p, /*update_per_micro_batch=*/true));
+        break;
+      case Kind::kPipeDream2BW:
+        sched.stages.push_back(
+            flushfree_stream(k, p, /*update_per_micro_batch=*/false));
+        break;
+      case Kind::kDataParallel:
+        sched.stages.push_back(data_parallel_stream(k, p));
+        break;
+    }
+  }
+  return sched;
+}
+
+ValidationResult check_schedule(const PipelineSchedule& schedule,
+                                std::size_t micro_batches,
+                                std::size_t num_batches) {
+  ValidationResult result;
+  const int m = static_cast<int>(micro_batches);
+  result.max_in_flight.assign(schedule.num_stages(), 0);
+
+  for (std::size_t k = 0; k < schedule.num_stages(); ++k) {
+    const auto& stream = schedule.stages[k];
+    auto fail = [&](const std::string& why) {
+      result.ok = false;
+      result.error = "stage " + std::to_string(k) + ": " + why;
+    };
+
+    long next_fwd = 0, next_bwd = 0;
+    std::size_t in_flight = 0;
+    for (const auto& instr : stream.instrs) {
+      const long g = static_cast<long>(instr.batch) * m + instr.micro_batch;
+      switch (instr.kind) {
+        case OpKind::kForward:
+          if (g != next_fwd) {
+            fail("forward out of order: got global index " +
+                 std::to_string(g) + ", expected " + std::to_string(next_fwd));
+            return result;
+          }
+          ++next_fwd;
+          ++in_flight;
+          result.max_in_flight[k] =
+              std::max(result.max_in_flight[k], in_flight);
+          break;
+        case OpKind::kBackward:
+          if (g != next_bwd) {
+            fail("backward out of order at global index " + std::to_string(g));
+            return result;
+          }
+          if (g >= next_fwd) {
+            fail("backward before forward for micro-batch " +
+                 std::to_string(g));
+            return result;
+          }
+          ++next_bwd;
+          --in_flight;
+          break;
+        case OpKind::kUpdate:
+          if (g >= next_bwd) {
+            fail("update before its backward at global index " +
+                 std::to_string(g));
+            return result;
+          }
+          break;
+        case OpKind::kAllReduce:
+          break;
+      }
+    }
+    const long total = static_cast<long>(micro_batches) *
+                       static_cast<long>(num_batches);
+    const bool data_parallel =
+        !stream.instrs.empty() &&
+        std::any_of(stream.instrs.begin(), stream.instrs.end(),
+                    [](const Instr& i) { return i.kind == OpKind::kAllReduce; });
+    if (!data_parallel && (next_fwd != total || next_bwd != total)) {
+      fail("incomplete schedule: " + std::to_string(next_fwd) + " forwards, " +
+           std::to_string(next_bwd) + " backwards, expected " +
+           std::to_string(total));
+      return result;
+    }
+  }
+  return result;
+}
+
+std::string format_stream(const StageStream& stream) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < stream.instrs.size(); ++i) {
+    if (i) os << ' ';
+    const auto& instr = stream.instrs[i];
+    os << to_string(instr.kind);
+    if (instr.kind == OpKind::kForward || instr.kind == OpKind::kBackward) {
+      if (instr.batch > 0) os << instr.batch << '.';
+      os << instr.micro_batch;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace avgpipe::schedule

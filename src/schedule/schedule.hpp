@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Pipeline-schedule intermediate representation and generators.
+///
+/// A schedule is, per pipeline stage, a strictly ordered instruction stream
+/// over (batch, micro-batch) forward/backward/update operations. The
+/// executors (the discrete-event simulator in sim/ and the threaded runtime
+/// in runtime/) honour each stream's order exactly — which is what makes
+/// 1F1B's communication stalls *emerge* rather than being modelled: the
+/// stream insists on a backward whose gradient is still in flight even when
+/// a forward is eligible, precisely the defect advance forward propagation
+/// (paper §4.2, Algorithm 1) removes by reordering.
+///
+/// Generators cover every system in the paper's evaluation:
+///   kAfab            — GPipe's all-forward-all-backward
+///   kOneFOneB        — PipeDream-2BW / Dapple's one-forward-one-backward
+///   kAdvanceForward  — AvgPipe's AFP with an explicit advance_num
+///   kPipeDream       — PipeDream's flush-free multi-version pipeline
+///   kPipeDream2BW    — flush-free with two weight versions
+///   kDataParallel    — whole-model per GPU + gradient all-reduce
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace avgpipe::schedule {
+
+enum class OpKind {
+  kForward,    ///< forward propagation of one micro-batch
+  kBackward,   ///< backward propagation of one micro-batch
+  kUpdate,     ///< optimizer step (per batch, or per micro-batch for PipeDream)
+  kAllReduce,  ///< data-parallel gradient synchronisation barrier
+};
+
+struct Instr {
+  OpKind kind;
+  int batch = 0;        ///< batch index
+  int micro_batch = 0;  ///< micro-batch index within the batch
+};
+
+/// One stage's ordered instruction stream.
+struct StageStream {
+  std::size_t stage = 0;
+  std::vector<Instr> instrs;
+};
+
+/// A complete schedule for one pipeline (one stream per stage).
+struct PipelineSchedule {
+  std::vector<StageStream> stages;
+
+  std::size_t num_stages() const { return stages.size(); }
+};
+
+enum class Kind {
+  kAfab,
+  kOneFOneB,
+  kAdvanceForward,
+  kPipeDream,
+  kPipeDream2BW,
+  kDataParallel,
+};
+
+std::string to_string(Kind kind);
+std::string to_string(OpKind kind);
+
+/// Parameters for schedule generation.
+struct ScheduleParams {
+  Kind kind = Kind::kOneFOneB;
+  std::size_t num_stages = 1;     ///< K
+  std::size_t micro_batches = 1;  ///< M per batch
+  std::size_t num_batches = 1;
+  /// Advance forward propagation count for stage 0 (Algorithm 1). K-1
+  /// reproduces 1F1B; >= micro_batches reproduces AFAB. Ignored by other
+  /// kinds.
+  std::size_t advance_num = 0;
+};
+
+/// Build the per-stage instruction streams for one pipeline.
+PipelineSchedule make_schedule(const ScheduleParams& params);
+
+/// Warmup length (#forwards issued before the first backward) of stage k
+/// under advance-forward with the given stage-0 advance count.
+std::size_t warmup_for_stage(std::size_t advance_num, std::size_t stage,
+                             std::size_t micro_batches);
+
+/// The number of weight versions a system keeps on stage k of K (drives the
+/// memory model): PipeDream keeps K-k, 2BW keeps 2, everything else 1.
+std::size_t weight_versions(Kind kind, std::size_t stage,
+                            std::size_t num_stages);
+
+// -- validity -------------------------------------------------------------------
+
+/// Result of schedule validation (see check_schedule).
+struct ValidationResult {
+  bool ok = true;
+  std::string error;
+  /// Per stage: max number of micro-batches whose forward ran but whose
+  /// backward has not yet, within any batch — the activation-stash bound.
+  std::vector<std::size_t> max_in_flight;
+};
+
+/// Check stream invariants: per batch each micro-batch is forwarded exactly
+/// once and backwarded exactly once, forwards/backwards are each in
+/// micro-batch order, every backward follows its forward, and updates follow
+/// the work they commit. Also reports activation-stash bounds.
+ValidationResult check_schedule(const PipelineSchedule& schedule,
+                                std::size_t micro_batches,
+                                std::size_t num_batches);
+
+/// Render a compact single-line form of a stream, e.g. "F0 F1 B0 F2 B1 ...",
+/// for golden tests and the schedule_explorer example.
+std::string format_stream(const StageStream& stream);
+
+}  // namespace avgpipe::schedule

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file engine.hpp
+/// Deterministic discrete-event engine (virtual clock).
+///
+/// Events at equal timestamps fire in scheduling order (a monotone sequence
+/// number breaks ties), so a given job always produces bit-identical traces.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace avgpipe::sim {
+
+class Engine {
+ public:
+  Seconds now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t >= now()`.
+  void schedule_at(Seconds t, std::function<void()> fn) {
+    AVGPIPE_CHECK(t >= now_ - 1e-12, "scheduling into the past: " << t
+                                                                  << " < "
+                                                                  << now_);
+    queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` after a non-negative delay.
+  void schedule_after(Seconds delay, std::function<void()> fn) {
+    schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+  }
+
+  /// Run to quiescence. Returns the final virtual time.
+  Seconds run() {
+    while (!queue_.empty()) {
+      // Moving out of a priority_queue requires a const_cast; the element is
+      // popped immediately after.
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.time;
+      ++events_processed_;
+#ifdef AVGPIPE_SIM_DEBUG
+      if (events_processed_ % 1000000 == 0) {
+        std::fprintf(stderr, "[engine] %zu events, t=%g, queue=%zu\n",
+                     events_processed_, now_, queue_.size());
+      }
+#endif
+      ev.fn();
+    }
+    return now_;
+  }
+
+  std::size_t events_processed() const { return events_processed_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_processed_ = 0;
+};
+
+}  // namespace avgpipe::sim

@@ -1,0 +1,184 @@
+#include "sim/resources.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace avgpipe::sim {
+
+namespace {
+/// Ops whose remaining time at current rate is below this are complete.
+/// One nanosecond is far below the physics being modelled (microsecond link
+/// latencies, millisecond kernels) but far above the double-precision ULP of
+/// any plausible virtual timestamp, which guarantees the clock always moves.
+constexpr Seconds kTimeEpsilon = 1e-9;
+}
+
+// -- ComputeResource --------------------------------------------------------------
+
+ComputeResource::ComputeResource(Engine& engine, double peak_rate,
+                                 double concurrency_gain)
+    : engine_(engine), peak_(peak_rate), concurrency_gain_(concurrency_gain) {
+  AVGPIPE_CHECK(peak_rate > 0.0, "peak rate must be positive");
+  AVGPIPE_CHECK(concurrency_gain > 0.0, "concurrency gain must be positive");
+}
+
+double ComputeResource::capacity() const {
+  // Achievable utilization: concurrent kernels overlap, but the gain over
+  // the single largest kernel is bounded.
+  double max_demand = 0.0;
+  for (const auto& op : ops_) max_demand = std::max(max_demand, op.demand);
+  return std::min(1.0, concurrency_gain_ * max_demand);
+}
+
+void ComputeResource::advance_to_now() {
+  const Seconds now = engine_.now();
+  const Seconds dt = now - last_;
+  if (dt > 0.0) {
+    if (!ops_.empty()) {
+      const double cap = capacity();
+      const double scale = total_demand_ > cap ? cap / total_demand_ : 1.0;
+      for (auto& op : ops_) {
+        op.remaining -= dt * peak_ * op.demand * scale;
+      }
+      util_.append(last_, now, std::min(cap, total_demand_));
+      busy_ += dt;
+    }
+    last_ = now;
+  }
+}
+
+void ComputeResource::reschedule() {
+  ++epoch_;
+  if (ops_.empty()) return;
+  const double cap = capacity();
+  const double scale = total_demand_ > cap ? cap / total_demand_ : 1.0;
+  double min_dt = std::numeric_limits<double>::infinity();
+  for (const auto& op : ops_) {
+    const double rate = peak_ * op.demand * scale;
+    min_dt = std::min(min_dt, std::max(op.remaining, 0.0) / rate);
+  }
+  const std::uint64_t epoch = epoch_;
+  engine_.schedule_after(min_dt, [this, epoch] { on_timer(epoch); });
+}
+
+void ComputeResource::on_timer(std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // superseded by a newer configuration
+  advance_to_now();
+
+  // Complete every op whose remaining time (at its current rate) is within
+  // the clock tolerance.
+  const double cap = capacity();
+  const double scale = total_demand_ > cap ? cap / total_demand_ : 1.0;
+  std::vector<std::function<void()>> done;
+  for (auto it = ops_.begin(); it != ops_.end();) {
+    const double rate = peak_ * it->demand * scale;
+    if (it->remaining / rate <= kTimeEpsilon) {
+      done.push_back(std::move(it->on_done));
+      total_demand_ -= it->demand;
+      it = ops_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (total_demand_ < 1e-12) total_demand_ = 0.0;
+  reschedule();
+  for (auto& fn : done) fn();
+}
+
+void ComputeResource::submit(double work, double demand,
+                             std::function<void()> on_done) {
+  AVGPIPE_CHECK(demand > 0.0 && demand <= 1.0,
+                "demand must be in (0,1], got " << demand);
+  AVGPIPE_CHECK(work >= 0.0, "negative work");
+  advance_to_now();
+  ops_.push_back(Op{std::max(work, 1.0), demand, std::move(on_done)});
+  total_demand_ += demand;
+  reschedule();
+}
+
+Seconds ComputeResource::busy_time() const {
+  const_cast<ComputeResource*>(this)->advance_to_now();
+  return busy_;
+}
+
+const StepFunction& ComputeResource::utilization() const {
+  const_cast<ComputeResource*>(this)->advance_to_now();
+  return util_;
+}
+
+// -- LinkResource -------------------------------------------------------------------
+
+LinkResource::LinkResource(Engine& engine, double bandwidth_bytes_per_s,
+                           Seconds latency)
+    : engine_(engine), bandwidth_(bandwidth_bytes_per_s), latency_(latency) {
+  AVGPIPE_CHECK(bandwidth_ > 0.0, "bandwidth must be positive");
+}
+
+Seconds LinkResource::transfer(Bytes bytes,
+                               std::function<void()> on_delivered) {
+  AVGPIPE_CHECK(bytes >= 0.0, "negative transfer size");
+  queue_.push_back(Pending{bytes, std::move(on_delivered)});
+  if (!sending_) start_next();
+  return bytes / bandwidth_ + latency_;
+}
+
+void LinkResource::start_next() {
+  if (queue_.empty()) {
+    sending_ = false;
+    return;
+  }
+  sending_ = true;
+  Pending item = std::move(queue_.front());
+  queue_.pop_front();
+  const Seconds wire = item.bytes / bandwidth_;
+  busy_ += wire;
+  // Link frees after the wire time; delivery lands one latency later.
+  engine_.schedule_after(wire, [this] { start_next(); });
+  engine_.schedule_after(wire + latency_,
+                         [fn = std::move(item.on_delivered)] { fn(); });
+}
+
+// -- MemoryTracker ---------------------------------------------------------------------
+
+MemoryTracker::MemoryTracker(Bytes capacity) : capacity_(capacity) {}
+
+void MemoryTracker::alloc(Bytes bytes, MemCategory cat) {
+  AVGPIPE_CHECK(bytes >= 0.0, "negative allocation");
+  current_ += bytes;
+  auto& c = by_cat_[static_cast<std::size_t>(cat)];
+  c += bytes;
+  peak_by_cat_[static_cast<std::size_t>(cat)] =
+      std::max(peak_by_cat_[static_cast<std::size_t>(cat)], c);
+  peak_ = std::max(peak_, current_);
+  if (capacity_ > 0.0 && current_ > capacity_) oom_ = true;
+}
+
+void MemoryTracker::free(Bytes bytes, MemCategory cat) {
+  auto& c = by_cat_[static_cast<std::size_t>(cat)];
+  AVGPIPE_CHECK(bytes <= c + 1e-6,
+                "freeing more than allocated in category "
+                    << static_cast<int>(cat));
+  c -= bytes;
+  current_ -= bytes;
+}
+
+Bytes MemoryTracker::current_by(MemCategory cat) const {
+  return by_cat_[static_cast<std::size_t>(cat)];
+}
+
+Bytes MemoryTracker::peak_by(MemCategory cat) const {
+  return peak_by_cat_[static_cast<std::size_t>(cat)];
+}
+
+Bytes MemoryTracker::model_bytes() const {
+  return current_by(MemCategory::kWeights) +
+         current_by(MemCategory::kOptimizer) +
+         current_by(MemCategory::kGradients) +
+         current_by(MemCategory::kReference);
+}
+
+Bytes MemoryTracker::data_bytes_peak() const {
+  return peak_by(MemCategory::kActivations) + peak_by(MemCategory::kBuffers);
+}
+
+}  // namespace avgpipe::sim

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file resources.hpp
+/// Simulated cluster resources.
+///
+/// `ComputeResource` models a GPU as a processor-sharing server: every
+/// active kernel demands a utilization fraction (its arithmetic intensity,
+/// a function of micro-batch size); while total demand <= 1 each kernel runs
+/// at its demanded rate, beyond that rates scale down proportionally. This
+/// is exactly the φ(t)-curve abstraction the paper's predictor builds on
+/// (Eq. 2 scales the curve and integrates the part above 100 %), and it is
+/// what lets N parallel pipelines raise utilization "for free" until the
+/// GPU saturates.
+///
+/// `LinkResource` is a full-duplex-capable point-to-point link direction:
+/// FIFO, store-and-forward, bandwidth plus fixed latency. Transfers occupy
+/// the link for bytes/bandwidth; delivery lands one latency later.
+///
+/// `MemoryTracker` does categorised alloc/free accounting with a capacity;
+/// exceeding it sets a sticky OOM flag (the simulator keeps running so
+/// benches can report "OOM" rows like the paper does for PipeDream+BERT).
+
+#include <deque>
+#include <functional>
+
+#include "common/step_function.hpp"
+#include "sim/engine.hpp"
+
+namespace avgpipe::sim {
+
+/// Processor-sharing compute server with a utilization trace.
+class ComputeResource {
+ public:
+  /// \param peak_rate work units per second at 100 % utilization (FLOP/s).
+  /// \param concurrency_gain co-scheduling small kernels raises utilization,
+  ///        but only so far: the achievable utilization is capped at
+  ///        concurrency_gain x the largest single-kernel demand (MPS-style
+  ///        overlap is not perfectly additive). Pass a large value to
+  ///        disable the cap.
+  ComputeResource(Engine& engine, double peak_rate,
+                  double concurrency_gain = 1e9);
+
+  /// Start an op needing `work` units with utilization demand in (0, 1].
+  /// `on_done` fires when the op completes.
+  void submit(double work, double demand, std::function<void()> on_done);
+
+  std::size_t active_ops() const { return ops_.size(); }
+  bool idle() const { return ops_.empty(); }
+
+  /// Wall time with at least one active op.
+  Seconds busy_time() const;
+  /// The utilization curve φ(t) = min(1, total demand). Finalised lazily —
+  /// call after the engine has quiesced.
+  const StepFunction& utilization() const;
+
+ private:
+  void advance_to_now();
+  void reschedule();
+  void on_timer(std::uint64_t epoch);
+
+  double capacity() const;
+
+  Engine& engine_;
+  double peak_;
+  double concurrency_gain_;
+
+  struct Op {
+    double remaining;
+    double demand;
+    std::function<void()> on_done;
+  };
+  std::vector<Op> ops_;
+  double total_demand_ = 0.0;
+  Seconds last_ = 0.0;
+  std::uint64_t epoch_ = 0;
+
+  mutable StepFunction util_;
+  mutable Seconds busy_ = 0.0;
+};
+
+/// One direction of a point-to-point link.
+class LinkResource {
+ public:
+  LinkResource(Engine& engine, double bandwidth_bytes_per_s, Seconds latency);
+
+  /// Queue a transfer; `on_delivered` fires at arrival. Returns the
+  /// wire time (bytes/bandwidth + latency), excluding queueing.
+  Seconds transfer(Bytes bytes, std::function<void()> on_delivered);
+
+  Seconds busy_time() const { return busy_; }
+  double bandwidth() const { return bandwidth_; }
+  Seconds latency() const { return latency_; }
+
+ private:
+  void start_next();
+
+  Engine& engine_;
+  double bandwidth_;
+  Seconds latency_;
+
+  struct Pending {
+    Bytes bytes;
+    std::function<void()> on_delivered;
+  };
+  std::deque<Pending> queue_;
+  bool sending_ = false;
+  Seconds busy_ = 0.0;
+};
+
+/// Memory accounting categories (paper §5.2.3 splits F into F_mod & F_dat).
+enum class MemCategory : std::size_t {
+  kWeights = 0,    ///< model parameter copies (all versions / replicas)
+  kOptimizer = 1,  ///< optimizer state (Adam moments etc.)
+  kGradients = 2,  ///< gradient buffers
+  kReference = 3,  ///< elastic-averaging reference model + accumulators
+  kActivations = 4,  ///< stashed activations awaiting backward
+  kBuffers = 5,    ///< in-flight boundary tensors
+  kCount = 6,
+};
+
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(Bytes capacity);
+
+  void alloc(Bytes bytes, MemCategory cat);
+  void free(Bytes bytes, MemCategory cat);
+
+  Bytes current() const { return current_; }
+  Bytes peak() const { return peak_; }
+  Bytes capacity() const { return capacity_; }
+  Bytes current_by(MemCategory cat) const;
+  Bytes peak_by(MemCategory cat) const;
+  bool oom() const { return oom_; }
+
+  /// F_mod in the paper's terms: weights + optimizer + gradients + reference.
+  Bytes model_bytes() const;
+  /// F_dat: activations + buffers, at peak.
+  Bytes data_bytes_peak() const;
+
+ private:
+  Bytes capacity_;
+  Bytes current_ = 0;
+  Bytes peak_ = 0;
+  bool oom_ = false;
+  Bytes by_cat_[static_cast<std::size_t>(MemCategory::kCount)] = {};
+  Bytes peak_by_cat_[static_cast<std::size_t>(MemCategory::kCount)] = {};
+};
+
+}  // namespace avgpipe::sim

@@ -1,0 +1,477 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/resources.hpp"
+
+namespace avgpipe::sim {
+
+namespace {
+
+using schedule::Instr;
+using schedule::Kind;
+using schedule::OpKind;
+
+constexpr double kBytesPerParam = 4.0;
+
+/// Hierarchical all-reduce estimate: gradients are reduced inside each node
+/// over the fast intra-node link (negligible next to Ethernet), then a ring
+/// all-reduce runs between node leaders over the slow link, on fp16-
+/// compressed gradients (standard DDP practice on commodity Ethernet).
+Seconds allreduce_seconds(Bytes bytes, const workloads::ClusterSpec& cluster,
+                          std::size_t gpus) {
+  const std::size_t nodes =
+      std::max<std::size_t>(1, (gpus + cluster.gpus_per_node - 1) /
+                                   cluster.gpus_per_node);
+  if (nodes <= 1 && gpus <= 1) return 0.0;
+  const Bytes wire_bytes = bytes / 2.0;  // fp16 gradient compression
+  Seconds total = 0;
+  if (gpus > 1) {  // intra-node reduce+broadcast
+    const auto& fast = cluster.intra_node;
+    total += 2.0 * wire_bytes / fast.bandwidth_bytes_per_s + 2.0 * fast.latency;
+  }
+  if (nodes > 1) {  // inter-node ring over node leaders
+    const auto& slow = cluster.inter_node;
+    const double steps = 2.0 * static_cast<double>(nodes - 1);
+    total += steps * (wire_bytes / static_cast<double>(nodes)) /
+                 slow.bandwidth_bytes_per_s +
+             steps * slow.latency;
+  }
+  return total;
+}
+
+class Execution {
+ public:
+  explicit Execution(const SimJob& job) : job_(job) {
+    K_ = job.stages.size();
+    AVGPIPE_CHECK(K_ >= 1, "job has no stages");
+    AVGPIPE_CHECK(K_ <= job.cluster.num_gpus(),
+                  "more stages (" << K_ << ") than GPUs ("
+                                  << job.cluster.num_gpus() << ")");
+    is_dp_ = job.kind == Kind::kDataParallel;
+    AVGPIPE_CHECK(!is_dp_ || job.num_pipelines == 1,
+                  "data parallelism does not use parallel pipelines");
+    mb_samples_ = static_cast<double>(job.batch_size) /
+                  static_cast<double>(job.micro_batches);
+    AVGPIPE_CHECK(mb_samples_ > 0.0, "empty micro-batches");
+
+    const Bytes capacity =
+        job.memory_limit > 0.0 ? job.memory_limit : job.cluster.gpu.memory;
+
+    for (std::size_t k = 0; k < K_; ++k) {
+      gpus_.push_back(std::make_unique<ComputeResource>(
+          engine_, job.cluster.gpu.peak_flops, job.concurrency_gain));
+      memory_.push_back(std::make_unique<MemoryTracker>(capacity));
+    }
+    // One shared link per adjacent GPU pair. Forward activations and
+    // backward gradients contend for the same wire: over TCP on 1 GbE with
+    // pipeline-sized messages the medium behaves far closer to half duplex
+    // than to two independent directions, and this is what lets AFAB (which
+    // phases the two directions) beat 1F1B (which interleaves them), as the
+    // paper observes in Figure 7/17.
+    for (std::size_t k = 0; k + 1 < K_; ++k) {
+      const auto& spec = job.cluster.link_between(k, k + 1);
+      links_.push_back(std::make_unique<LinkResource>(
+          engine_, spec.bandwidth_bytes_per_s, spec.latency));
+    }
+
+    allocate_static_memory();
+    build_streams();
+  }
+
+  SimResult run() {
+    pump();
+    const Seconds makespan = engine_.run();
+    for (const auto& s : streams_) {
+      AVGPIPE_CHECK(s.idx == s.instrs.size(),
+                    "deadlock: stream (pipeline " << s.pipeline << ", stage "
+                                                  << s.stage << ") stuck at "
+                                                  << s.idx << "/"
+                                                  << s.instrs.size());
+    }
+    return collect(makespan);
+  }
+
+ private:
+  struct Stream {
+    std::size_t pipeline = 0;
+    std::size_t stage = 0;
+    std::vector<Instr> instrs;
+    std::size_t idx = 0;
+    bool running = false;
+    bool blocked = false;
+    Seconds blocked_since = 0;
+    Seconds comm_wait = 0;
+    Seconds bubble_wait = 0;
+  };
+
+  std::uint64_t key(std::size_t p, int batch, int mb, std::size_t stage) const {
+    return ((p * static_cast<std::uint64_t>(job_.num_batches + 1) +
+             static_cast<std::uint64_t>(batch)) *
+                job_.micro_batches +
+            static_cast<std::uint64_t>(mb)) *
+               K_ +
+           stage;
+  }
+
+  void allocate_static_memory() {
+    const std::size_t n = job_.num_pipelines;
+    for (std::size_t k = 0; k < K_; ++k) {
+      const Bytes params = job_.stages[k].param_bytes;
+      const Bytes state = job_.stages[k].dense_state_bytes;
+      const std::size_t versions = schedule::weight_versions(job_.kind, k, K_);
+      auto& mem = *memory_[k];
+      mem.alloc(params * static_cast<double>(versions * n),
+                MemCategory::kWeights);
+      mem.alloc(state * job_.optimizer_state_factor * static_cast<double>(n),
+                MemCategory::kOptimizer);
+      mem.alloc(state * static_cast<double>(n), MemCategory::kGradients);
+      if (job_.elastic_averaging) {
+        // Reference weights live on-GPU (needed for the elastic pull); the
+        // update accumulators (steps ❸-❹) belong to the host-side message
+        // queue process and are not charged to GPU memory.
+        mem.alloc(params, MemCategory::kReference);
+      }
+    }
+  }
+
+  void build_streams() {
+    schedule::ScheduleParams params;
+    params.kind = job_.kind;
+    params.num_stages = K_;
+    params.micro_batches = job_.micro_batches;
+    params.num_batches = job_.num_batches;
+    params.advance_num =
+        job_.advance_num > 0 ? job_.advance_num : (K_ > 0 ? K_ - 1 : 0);
+    const auto sched = schedule::make_schedule(params);
+    for (std::size_t p = 0; p < job_.num_pipelines; ++p) {
+      for (std::size_t k = 0; k < K_; ++k) {
+        Stream s;
+        s.pipeline = p;
+        s.stage = k;
+        s.instrs = sched.stages[k].instrs;
+        streams_.push_back(std::move(s));
+      }
+    }
+  }
+
+  double demand() const { return job_.eff_half_batch <= 0.0
+                                     ? 1.0
+                                     : mb_samples_ /
+                                           (mb_samples_ + job_.eff_half_batch); }
+
+  bool is_ready(const Stream& s, const Instr& in) const {
+    switch (in.kind) {
+      case OpKind::kForward:
+        if (s.stage == 0 || is_dp_) return true;
+        return act_ready_.count(key(s.pipeline, in.batch, in.micro_batch,
+                                    s.stage)) > 0;
+      case OpKind::kBackward:
+        return grad_ready_.count(key(s.pipeline, in.batch, in.micro_batch,
+                                     s.stage)) > 0;
+      case OpKind::kUpdate:
+      case OpKind::kAllReduce:
+        return true;
+    }
+    return false;
+  }
+
+  /// Attribute the just-finished wait of `s` to comm vs bubble using the
+  /// dependency's transfer-enqueue timestamp.
+  void settle_wait(Stream& s, const Instr& in) {
+    if (!s.blocked) return;
+    const Seconds wait = engine_.now() - s.blocked_since;
+    s.blocked = false;
+    if (wait <= 0.0) return;
+    const auto& enq =
+        in.kind == OpKind::kForward ? act_enqueued_ : grad_enqueued_;
+    const auto it =
+        enq.find(key(s.pipeline, in.batch, in.micro_batch, s.stage));
+    if (it == enq.end()) {
+      s.bubble_wait += wait;
+      return;
+    }
+    const Seconds transfer_begin = std::max(it->second, s.blocked_since);
+    s.comm_wait += engine_.now() - transfer_begin;
+    s.bubble_wait += transfer_begin - s.blocked_since;
+  }
+
+  void pump() {
+    for (auto& s : streams_) {
+      if (s.running || s.idx >= s.instrs.size()) continue;
+      const Instr& in = s.instrs[s.idx];
+      if (!is_ready(s, in)) {
+        if (!s.blocked) {
+          s.blocked = true;
+          s.blocked_since = engine_.now();
+        }
+        continue;
+      }
+      settle_wait(s, in);
+      issue(s, in);
+    }
+  }
+
+  void issue(Stream& s, const Instr& in) {
+    s.running = true;
+    switch (in.kind) {
+      case OpKind::kForward: issue_forward(s, in); break;
+      case OpKind::kBackward: issue_backward(s, in); break;
+      case OpKind::kUpdate: issue_update(s); break;
+      case OpKind::kAllReduce: issue_allreduce(s, in); break;
+    }
+  }
+
+  void complete(Stream& s) {
+    s.running = false;
+    ++s.idx;
+    pump();
+  }
+
+  Bytes stash_bytes(std::size_t stage) const {
+    const auto& st = job_.stages[stage];
+    // With recomputation only the boundary input survives until backward.
+    const Bytes per_sample = job_.activation_recompute
+                                 ? st.boundary_act_bytes_per_sample
+                                 : st.stash_bytes_per_sample;
+    return per_sample * mb_samples_;
+  }
+
+  void issue_forward(Stream& s, Instr in) {
+    const auto& st = job_.stages[s.stage];
+    memory_[s.stage]->alloc(stash_bytes(s.stage), MemCategory::kActivations);
+    gpus_[s.stage]->submit(
+        st.fwd_flops_per_sample * mb_samples_, demand(),
+        [this, &s, in] { on_forward_done(s, in); });
+  }
+
+  void on_forward_done(Stream& s, Instr in) {
+    if (is_dp_ || s.stage == K_ - 1) {
+      // Loss gradient is local: own backward may start.
+      grad_ready_.insert(key(s.pipeline, in.batch, in.micro_batch, s.stage));
+    } else {
+      const Bytes bytes =
+          job_.stages[s.stage].boundary_act_bytes_per_sample * mb_samples_;
+      const std::uint64_t dst =
+          key(s.pipeline, in.batch, in.micro_batch, s.stage + 1);
+      act_enqueued_[dst] = engine_.now();
+      const std::size_t to = s.stage + 1;
+      const Seconds wire = links_[s.stage]->transfer(bytes, [this, dst, to,
+                                                                 bytes] {
+        memory_[to]->alloc(bytes, MemCategory::kBuffers);
+        act_ready_.insert(dst);
+        pump();
+      });
+      stats_comm_[s.stage] += wire;
+      stats_comm_[to] += wire;
+    }
+    complete(s);
+  }
+
+  void issue_backward(Stream& s, Instr in) {
+    const auto& st = job_.stages[s.stage];
+    // Recomputation replays the forward before the backward (+1x fwd work).
+    const double factor = job_.activation_recompute ? 3.0 : 2.0;
+    gpus_[s.stage]->submit(
+        factor * st.fwd_flops_per_sample * mb_samples_, demand(),
+        [this, &s, in] { on_backward_done(s, in); });
+  }
+
+  void on_backward_done(Stream& s, Instr in) {
+    memory_[s.stage]->free(stash_bytes(s.stage), MemCategory::kActivations);
+    if (!is_dp_ && s.stage > 0) {
+      const Bytes inbound =
+          job_.stages[s.stage - 1].boundary_act_bytes_per_sample * mb_samples_;
+      memory_[s.stage]->free(inbound, MemCategory::kBuffers);
+      const std::uint64_t dst =
+          key(s.pipeline, in.batch, in.micro_batch, s.stage - 1);
+      grad_enqueued_[dst] = engine_.now();
+      const Seconds wire =
+          links_[s.stage - 1]->transfer(inbound, [this, dst] {
+            grad_ready_.insert(dst);
+            pump();
+          });
+      stats_comm_[s.stage] += wire;
+      stats_comm_[s.stage - 1] += wire;
+    }
+    complete(s);
+  }
+
+  void issue_update(Stream& s) {
+    const double param_count =
+        job_.stages[s.stage].param_bytes / kBytesPerParam;
+    // Optimizer apply (~2 reads + write per weight) plus the elastic pull
+    // and reference send (paper §3.2 ❷-❸) when averaging is on.
+    double work = 8.0 * param_count;
+    if (job_.elastic_averaging) work += 8.0 * param_count;
+    gpus_[s.stage]->submit(work, 1.0, [this, &s] { complete(s); });
+  }
+
+  void issue_allreduce(Stream& s, Instr in) {
+    auto& barrier = allreduce_barrier_[in.batch];
+    barrier.push_back(&s);
+    if (barrier.size() < K_) return;  // wait for the others
+
+    // Only densely-trained parameters ship full gradients; sparse embedding
+    // gradients sync a negligible slice per iteration.
+    const Bytes grad_bytes = job_.stages[0].dense_state_bytes;
+    const Seconds dur = allreduce_seconds(grad_bytes, job_.cluster, K_);
+    for (Stream* member : barrier) {
+      member->comm_wait += dur;
+      stats_comm_[member->stage] += dur;
+      engine_.schedule_after(dur, [this, member] { complete(*member); });
+    }
+    barrier.clear();
+  }
+
+  SimResult collect(Seconds makespan) {
+    SimResult r;
+    r.makespan = makespan;
+    r.time_per_batch = makespan / static_cast<double>(job_.num_batches);
+    r.gpus.resize(K_);
+    double util_sum = 0.0;
+    for (std::size_t k = 0; k < K_; ++k) {
+      GpuStats& g = r.gpus[k];
+      g.busy = gpus_[k]->busy_time();
+      g.utilization = gpus_[k]->utilization();
+      g.total_comm = stats_comm_[k];
+      g.static_memory = memory_[k]->model_bytes();
+      g.peak_memory = memory_[k]->peak();
+      g.peak_activations = memory_[k]->peak_by(MemCategory::kActivations) +
+                           memory_[k]->peak_by(MemCategory::kBuffers);
+      g.oom = memory_[k]->oom();
+      r.oom = r.oom || g.oom;
+      for (const auto& s : streams_) {
+        if (s.stage == k) {
+          g.comm_block += s.comm_wait;
+          g.bubble += s.bubble_wait;
+        }
+      }
+      const double integral = g.utilization.integral();
+      util_sum += makespan > 0 ? integral / makespan : 0.0;
+      r.peak_utilization = std::max(r.peak_utilization,
+                                    g.utilization.max_value());
+    }
+    r.mean_utilization = util_sum / static_cast<double>(K_);
+    return r;
+  }
+
+  const SimJob& job_;
+  std::size_t K_ = 0;
+  bool is_dp_ = false;
+  double mb_samples_ = 1.0;
+
+  Engine engine_;
+  std::vector<std::unique_ptr<ComputeResource>> gpus_;
+  std::vector<std::unique_ptr<MemoryTracker>> memory_;
+  std::vector<std::unique_ptr<LinkResource>> links_;
+
+  std::vector<Stream> streams_;
+  std::unordered_set<std::uint64_t> act_ready_;
+  std::unordered_set<std::uint64_t> grad_ready_;
+  std::unordered_map<std::uint64_t, Seconds> act_enqueued_;
+  std::unordered_map<std::uint64_t, Seconds> grad_enqueued_;
+  std::unordered_map<int, std::vector<Stream*>> allreduce_barrier_;
+  std::unordered_map<std::size_t, Seconds> stats_comm_;
+};
+
+}  // namespace
+
+SimResult simulate(const SimJob& job) {
+  Execution exec(job);
+  return exec.run();
+}
+
+SimJob build_job(const workloads::WorkloadProfile& w,
+                 const workloads::ClusterSpec& cluster,
+                 const partition::Partition& partition,
+                 const SystemConfig& system, std::size_t batch_size,
+                 std::size_t num_batches) {
+  SimJob job;
+  job.cluster = cluster;
+  job.eff_half_batch = w.eff_half_batch;
+  job.optimizer_state_factor = w.optimizer_state_factor;
+  job.kind = system.kind;
+  job.num_pipelines = system.num_pipelines;
+  job.elastic_averaging = system.elastic_averaging;
+  job.advance_num = system.advance_num;
+  job.num_batches = num_batches;
+
+  if (system.kind == schedule::Kind::kDataParallel) {
+    // Every GPU hosts the full model and computes its share of the batch.
+    SimStage full;
+    full.fwd_flops_per_sample = w.total_fwd_flops_per_sample();
+    full.stash_bytes_per_sample = w.total_stash_bytes_per_sample();
+    full.param_bytes = w.total_param_bytes();
+    full.dense_state_bytes = 0;
+    for (const auto& l : w.layers) {
+      full.dense_state_bytes += l.param_bytes * l.dense_state_fraction;
+    }
+    full.boundary_act_bytes_per_sample = 0;
+    const std::size_t gpus = cluster.num_gpus();
+    job.stages.assign(gpus, full);
+    job.micro_batches = 1;
+    job.batch_size = std::max<std::size_t>(1, batch_size / gpus);
+  } else {
+    const auto costs = partition::stage_costs(w, partition);
+    for (const auto& c : costs) {
+      job.stages.push_back(SimStage{c.fwd_flops_per_sample,
+                                    c.boundary_act_bytes_per_sample,
+                                    c.stash_bytes_per_sample, c.param_bytes,
+                                    c.dense_state_bytes});
+    }
+    job.micro_batches = std::max<std::size_t>(1, system.micro_batches);
+    job.batch_size = batch_size;
+    AVGPIPE_CHECK(job.micro_batches <= job.batch_size,
+                  "more micro-batches (" << job.micro_batches
+                                         << ") than samples (" << batch_size
+                                         << ")");
+  }
+  return job;
+}
+
+std::size_t adaptive_advance(SimJob job, double min_speedup) {
+  const std::size_t k = job.stages.size();
+  job.kind = schedule::Kind::kAdvanceForward;
+  std::size_t best = k - 1;  // Algorithm 1 line 1: start at 1F1B
+  job.advance_num = best;
+  SimResult prev = simulate(job);
+  if (prev.oom) return best;
+  Seconds best_time = prev.time_per_batch;
+  // Algorithm 1 raises advance_num one micro-batch per training iteration;
+  // over a long run it walks the whole range, which a geometric sweep with
+  // patience condenses here.
+  std::size_t stale = 0;
+  std::size_t step = 1;
+  for (std::size_t a = k; a <= job.micro_batches + k; a += step) {
+    job.advance_num = a;
+    const SimResult r = simulate(job);
+    if (r.oom) break;  // is_mem_available() failed
+    if (best_time / r.time_per_batch >= min_speedup) {
+      best = a;  // is_faster() held
+      best_time = r.time_per_batch;
+      stale = 0;
+      step = std::min<std::size_t>(step * 2, job.micro_batches / 4 + 1);
+    } else if (++stale >= 3) {
+      break;
+    }
+  }
+  return best;
+}
+
+Seconds epoch_time(const SimResult& result, const SimJob& job,
+                   std::size_t dataset_samples) {
+  const double samples_per_iter =
+      static_cast<double>(job.batch_size) *
+      static_cast<double>(job.kind == schedule::Kind::kDataParallel
+                              ? job.stages.size()
+                              : job.num_pipelines);
+  const double iters =
+      static_cast<double>(dataset_samples) / samples_per_iter;
+  return result.time_per_batch * iters;
+}
+
+}  // namespace avgpipe::sim

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Executes pipeline schedules against the simulated cluster.
+///
+/// The simulator places pipeline stage k on GPU k (node-major), spawns one
+/// instruction stream per (pipeline, stage) — parallel pipelines are
+/// separate processes sharing the GPU, exactly as AvgPipe launches them
+/// (paper §3.2) — and honours every stream's instruction order strictly.
+/// Forward/backward dependencies travel over simulated links, so overlap
+/// of communication with computation (or the lack of it, for 1F1B) is an
+/// emergent property of the schedule, not a modelling flag.
+///
+/// Substitution note (see DESIGN.md): this module is the stand-in for the
+/// paper's 6x V100 / 1 GbE testbed. All timing/memory figures (Figs 11-13,
+/// 15-19) are produced here; statistical-efficiency figures use the real
+/// threaded runtime instead.
+
+#include <vector>
+
+#include "common/step_function.hpp"
+#include "schedule/schedule.hpp"
+#include "workloads/cluster.hpp"
+#include "workloads/profile.hpp"
+#include "partition/partitioner.hpp"
+
+namespace avgpipe::sim {
+
+/// Per-stage costs fed to the simulator (one entry per GPU).
+struct SimStage {
+  Flops fwd_flops_per_sample = 0;
+  Bytes boundary_act_bytes_per_sample = 0;  ///< output boundary tensor
+  Bytes stash_bytes_per_sample = 0;
+  Bytes param_bytes = 0;
+  Bytes dense_state_bytes = 0;  ///< basis for gradient/optimizer memory
+};
+
+/// A complete simulation job: cluster + per-stage costs + system config.
+struct SimJob {
+  workloads::ClusterSpec cluster;
+  std::vector<SimStage> stages;  ///< K entries; stage k runs on GPU k
+
+  double eff_half_batch = 2.0;         ///< kernel efficiency half-saturation
+  /// Achievable GPU utilization <= concurrency_gain x single-kernel
+  /// efficiency: co-scheduled pipelines raise utilization, but the overlap
+  /// is not perfectly additive (paper §5.1: "diminishing marginal utility of
+  /// GPU utilization when increasing the parallel pipeline number").
+  double concurrency_gain = 2.5;
+  double optimizer_state_factor = 2.0; ///< bytes of state per weight byte
+
+  schedule::Kind kind = schedule::Kind::kOneFOneB;
+  std::size_t num_pipelines = 1;  ///< N parallel pipelines
+  bool elastic_averaging = false; ///< reference model + averaging costs
+  std::size_t micro_batches = 1;  ///< M per batch (per pipeline)
+  std::size_t batch_size = 1;     ///< samples per batch (per pipeline)
+  std::size_t num_batches = 4;    ///< batches to simulate
+  std::size_t advance_num = 0;    ///< AFP advance count; 0 -> K-1 (=1F1B)
+
+  /// Activation recomputation (gradient checkpointing): stash only the
+  /// stage's boundary input and replay the forward during backward. Trades
+  /// ~fwd_flops of extra backward work for an M-independent stash. The
+  /// paper's evaluation disables it for all systems (§7.1); it is provided
+  /// as an option for exploring the memory/compute trade.
+  bool activation_recompute = false;
+
+  Bytes memory_limit = 0;  ///< per-GPU cap; 0 = cluster GPU memory
+};
+
+/// Per-GPU outcome.
+struct GpuStats {
+  Seconds busy = 0;        ///< time with >= 1 active kernel
+  Seconds comm_block = 0;  ///< stream waits attributable to in-flight comm
+  Seconds bubble = 0;      ///< stream waits on upstream/downstream compute
+  Seconds total_comm = 0;  ///< total communication time touching this GPU (𝕋^k x batches)
+  StepFunction utilization;  ///< φ^k(t)
+  Bytes static_memory = 0;   ///< weights + optimizer + grads + reference
+  Bytes peak_memory = 0;
+  Bytes peak_activations = 0;
+  bool oom = false;
+};
+
+struct SimResult {
+  Seconds makespan = 0;
+  Seconds time_per_batch = 0;  ///< makespan / num_batches
+  std::vector<GpuStats> gpus;
+  bool oom = false;
+  double mean_utilization = 0;  ///< mean over GPUs of ∫φ / makespan
+  double peak_utilization = 0;  ///< max over GPUs of max φ
+};
+
+/// Run one job to completion.
+SimResult simulate(const SimJob& job);
+
+/// System identities used by the figure benches.
+struct SystemConfig {
+  schedule::Kind kind = schedule::Kind::kOneFOneB;
+  std::size_t num_pipelines = 1;
+  bool elastic_averaging = false;
+  std::size_t micro_batches = 1;
+  std::size_t advance_num = 0;  ///< AFP only; 0 -> derived
+};
+
+/// Assemble a SimJob from a workload profile, a cluster, a partition and a
+/// system config. For kDataParallel the partition is ignored: every GPU
+/// hosts the full model and the per-GPU batch is batch_size / num_gpus.
+SimJob build_job(const workloads::WorkloadProfile& w,
+                 const workloads::ClusterSpec& cluster,
+                 const partition::Partition& partition,
+                 const SystemConfig& system, std::size_t batch_size,
+                 std::size_t num_batches);
+
+/// Algorithm 1 (paper §4.2): start from 1F1B (advance = K-1) and raise the
+/// advance count while the simulated batch time keeps improving and peak
+/// memory stays under the limit. Returns the chosen advance_num.
+std::size_t adaptive_advance(SimJob job, double min_speedup = 1.005);
+
+/// Epoch time implied by a simulated per-batch time: samples-per-iteration
+/// is batch_size per pipeline times N pipelines.
+Seconds epoch_time(const SimResult& result, const SimJob& job,
+                   std::size_t dataset_samples);
+
+}  // namespace avgpipe::sim

@@ -1,0 +1,719 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avgpipe::tensor {
+
+namespace {
+
+/// Rows = product of leading dims, cols = last dim.
+void rows_cols(const Tensor& t, std::size_t& rows, std::size_t& cols) {
+  AVGPIPE_CHECK(t.ndim() >= 1, "rows_cols needs >= 1-D tensor");
+  cols = t.shape().back();
+  rows = cols == 0 ? 0 : t.numel() / cols;
+}
+
+using detail::VarData;
+
+}  // namespace
+
+// -- raw GEMM -----------------------------------------------------------------
+
+void gemm(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
+          std::size_t n, std::size_t k, bool trans_a, bool trans_b,
+          bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0);
+  // Index helpers: a is m x k after op, b is k x n after op.
+  auto ai = [&](std::size_t i, std::size_t p) {
+    return trans_a ? a[p * m + i] : a[i * k + p];
+  };
+  auto bi = [&](std::size_t p, std::size_t j) {
+    return trans_b ? b[j * k + p] : b[p * n + j];
+  };
+  for (std::size_t i = 0; i < m; ++i) {
+    Scalar* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const Scalar av = ai(i, p);
+      if (av == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * bi(p, j);
+    }
+  }
+}
+
+// -- elementwise --------------------------------------------------------------
+
+Variable add(const Variable& a, const Variable& b) {
+  AVGPIPE_CHECK(a.value().numel() == b.value().numel(),
+                "add: numel mismatch " << shape_to_string(a.shape()) << " vs "
+                                       << shape_to_string(b.shape()));
+  Tensor out = a.value().clone();
+  out.axpy_(1.0, b.value());
+  auto pa = a.data();
+  auto pb = b.data();
+  return Variable::make_op(std::move(out), {a, b}, [pa, pb](VarData& o) {
+    if (pa->requires_grad) pa->accumulate_grad(o.grad);
+    if (pb->requires_grad) pb->accumulate_grad(o.grad);
+  });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  AVGPIPE_CHECK(a.value().numel() == b.value().numel(), "sub: numel mismatch");
+  Tensor out = a.value().clone();
+  out.axpy_(-1.0, b.value());
+  auto pa = a.data();
+  auto pb = b.data();
+  return Variable::make_op(std::move(out), {a, b}, [pa, pb](VarData& o) {
+    if (pa->requires_grad) pa->accumulate_grad(o.grad);
+    if (pb->requires_grad) {
+      Tensor g = o.grad.clone();
+      g.scale_(-1.0);
+      pb->accumulate_grad(g);
+    }
+  });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  AVGPIPE_CHECK(a.value().numel() == b.value().numel(), "mul: numel mismatch");
+  Tensor out(a.shape());
+  const auto av = a.value().data();
+  const auto bv = b.value().data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] * bv[i];
+  auto pa = a.data();
+  auto pb = b.data();
+  return Variable::make_op(std::move(out), {a, b}, [pa, pb](VarData& o) {
+    const auto g = o.grad.data();
+    if (pa->requires_grad) {
+      Tensor ga(pa->value.shape());
+      auto gav = ga.data();
+      const auto bv2 = pb->value.data();
+      for (std::size_t i = 0; i < gav.size(); ++i) gav[i] = g[i] * bv2[i];
+      pa->accumulate_grad(ga);
+    }
+    if (pb->requires_grad) {
+      Tensor gb(pb->value.shape());
+      auto gbv = gb.data();
+      const auto av2 = pa->value.data();
+      for (std::size_t i = 0; i < gbv.size(); ++i) gbv[i] = g[i] * av2[i];
+      pb->accumulate_grad(gb);
+    }
+  });
+}
+
+Variable neg(const Variable& a) { return scale(a, -1.0); }
+
+Variable scale(const Variable& a, Scalar s) {
+  Tensor out = a.value().clone();
+  out.scale_(s);
+  auto pa = a.data();
+  return Variable::make_op(std::move(out), {a}, [pa, s](VarData& o) {
+    Tensor g = o.grad.clone();
+    g.scale_(s);
+    pa->accumulate_grad(g);
+  });
+}
+
+Variable add_bias(const Variable& x, const Variable& bias) {
+  std::size_t rows = 0, cols = 0;
+  rows_cols(x.value(), rows, cols);
+  AVGPIPE_CHECK(bias.value().numel() == cols,
+                "add_bias: bias numel " << bias.value().numel()
+                                        << " != last dim " << cols);
+  Tensor out = x.value().clone();
+  auto ov = out.data();
+  const auto bv = bias.value().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) ov[r * cols + c] += bv[c];
+  }
+  auto px = x.data();
+  auto pb = bias.data();
+  return Variable::make_op(
+      std::move(out), {x, bias}, [px, pb, rows, cols](VarData& o) {
+        if (px->requires_grad) px->accumulate_grad(o.grad);
+        if (pb->requires_grad) {
+          Tensor gb(pb->value.shape());
+          auto gbv = gb.data();
+          const auto g = o.grad.data();
+          for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) gbv[c] += g[r * cols + c];
+          }
+          pb->accumulate_grad(gb);
+        }
+      });
+}
+
+// -- activations --------------------------------------------------------------
+
+namespace {
+/// Shared scaffold for unary elementwise ops with derivative expressed in
+/// terms of (input value, output value).
+Variable unary_op(const Variable& x, Scalar (*fwd)(Scalar),
+                  Scalar (*dydx)(Scalar /*x*/, Scalar /*y*/)) {
+  Tensor out(x.shape());
+  const auto xv = x.value().data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < ov.size(); ++i) ov[i] = fwd(xv[i]);
+  auto px = x.data();
+  Tensor saved = out;  // alias; safe because ops never mutate values
+  return Variable::make_op(std::move(out), {x}, [px, saved, dydx](VarData& o) {
+    Tensor g(px->value.shape());
+    auto gv = g.data();
+    const auto og = o.grad.data();
+    const auto xv2 = px->value.data();
+    const auto yv = saved.data();
+    for (std::size_t i = 0; i < gv.size(); ++i) {
+      gv[i] = og[i] * dydx(xv2[i], yv[i]);
+    }
+    px->accumulate_grad(g);
+  });
+}
+}  // namespace
+
+Variable relu(const Variable& x) {
+  return unary_op(
+      x, [](Scalar v) { return v > 0.0 ? v : 0.0; },
+      [](Scalar v, Scalar) { return v > 0.0 ? 1.0 : 0.0; });
+}
+
+Variable tanh_op(const Variable& x) {
+  return unary_op(
+      x, [](Scalar v) { return std::tanh(v); },
+      [](Scalar, Scalar y) { return 1.0 - y * y; });
+}
+
+Variable sigmoid(const Variable& x) {
+  return unary_op(
+      x, [](Scalar v) { return 1.0 / (1.0 + std::exp(-v)); },
+      [](Scalar, Scalar y) { return y * (1.0 - y); });
+}
+
+Variable gelu(const Variable& x) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
+  return unary_op(
+      x,
+      [](Scalar v) {
+        const Scalar c = 0.7978845608028654;  // sqrt(2/pi)
+        return 0.5 * v * (1.0 + std::tanh(c * (v + 0.044715 * v * v * v)));
+      },
+      [](Scalar v, Scalar) {
+        const Scalar c = 0.7978845608028654;
+        const Scalar u = c * (v + 0.044715 * v * v * v);
+        const Scalar t = std::tanh(u);
+        const Scalar du = c * (1.0 + 3.0 * 0.044715 * v * v);
+        return 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
+      });
+}
+
+// -- linear algebra -----------------------------------------------------------
+
+Variable matmul(const Variable& a, const Variable& b) {
+  AVGPIPE_CHECK(a.value().ndim() == 2 && b.value().ndim() == 2,
+                "matmul expects 2-D inputs, got "
+                    << shape_to_string(a.shape()) << " x "
+                    << shape_to_string(b.shape()));
+  const std::size_t m = a.value().dim(0), k = a.value().dim(1);
+  const std::size_t k2 = b.value().dim(0), n = b.value().dim(1);
+  AVGPIPE_CHECK(k == k2, "matmul inner dims mismatch: " << k << " vs " << k2);
+  Tensor out({m, n});
+  gemm(a.value().data().data(), b.value().data().data(), out.data().data(), m,
+       n, k, false, false, false);
+  auto pa = a.data();
+  auto pb = b.data();
+  return Variable::make_op(
+      std::move(out), {a, b}, [pa, pb, m, n, k](VarData& o) {
+        const Scalar* g = o.grad.data().data();
+        if (pa->requires_grad) {
+          Tensor ga({m, k});  // dA = dC * B^T
+          gemm(g, pb->value.data().data(), ga.data().data(), m, k, n, false,
+               true, false);
+          pa->accumulate_grad(ga);
+        }
+        if (pb->requires_grad) {
+          Tensor gb({k, n});  // dB = A^T * dC
+          gemm(pa->value.data().data(), g, gb.data().data(), k, n, m, true,
+               false, false);
+          pb->accumulate_grad(gb);
+        }
+      });
+}
+
+Variable bmm(const Variable& a, const Variable& b) {
+  AVGPIPE_CHECK(a.value().ndim() == 3 && b.value().ndim() == 3,
+                "bmm expects 3-D inputs");
+  const std::size_t bs = a.value().dim(0);
+  const std::size_t m = a.value().dim(1), k = a.value().dim(2);
+  const std::size_t n = b.value().dim(2);
+  AVGPIPE_CHECK(b.value().dim(0) == bs && b.value().dim(1) == k,
+                "bmm shape mismatch: " << shape_to_string(a.shape()) << " x "
+                                       << shape_to_string(b.shape()));
+  Tensor out({bs, m, n});
+  for (std::size_t i = 0; i < bs; ++i) {
+    gemm(a.value().data().data() + i * m * k,
+         b.value().data().data() + i * k * n, out.data().data() + i * m * n, m,
+         n, k, false, false, false);
+  }
+  auto pa = a.data();
+  auto pb = b.data();
+  return Variable::make_op(
+      std::move(out), {a, b}, [pa, pb, bs, m, n, k](VarData& o) {
+        const Scalar* g = o.grad.data().data();
+        if (pa->requires_grad) {
+          Tensor ga({bs, m, k});
+          for (std::size_t i = 0; i < bs; ++i) {
+            gemm(g + i * m * n, pb->value.data().data() + i * k * n,
+                 ga.data().data() + i * m * k, m, k, n, false, true, false);
+          }
+          pa->accumulate_grad(ga);
+        }
+        if (pb->requires_grad) {
+          Tensor gb({bs, k, n});
+          for (std::size_t i = 0; i < bs; ++i) {
+            gemm(pa->value.data().data() + i * m * k, g + i * m * n,
+                 gb.data().data() + i * k * n, k, n, m, true, false, false);
+          }
+          pb->accumulate_grad(gb);
+        }
+      });
+}
+
+namespace {
+Tensor transpose_last2_tensor(const Tensor& x) {
+  const std::size_t nd = x.ndim();
+  AVGPIPE_CHECK(nd >= 2, "transpose_last2 needs >= 2-D");
+  const std::size_t r = x.shape()[nd - 2];
+  const std::size_t c = x.shape()[nd - 1];
+  const std::size_t batches = x.numel() / (r * c);
+  Shape out_shape = x.shape();
+  std::swap(out_shape[nd - 2], out_shape[nd - 1]);
+  Tensor out(out_shape);
+  const auto xv = x.data();
+  auto ov = out.data();
+  for (std::size_t bidx = 0; bidx < batches; ++bidx) {
+    const std::size_t base = bidx * r * c;
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        ov[base + j * r + i] = xv[base + i * c + j];
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Variable transpose_last2(const Variable& x) {
+  Tensor out = transpose_last2_tensor(x.value());
+  auto px = x.data();
+  return Variable::make_op(std::move(out), {x}, [px](VarData& o) {
+    px->accumulate_grad(transpose_last2_tensor(o.grad));
+  });
+}
+
+namespace {
+Tensor permute_0213_tensor(const Tensor& x) {
+  AVGPIPE_CHECK(x.ndim() == 4, "permute_0213 needs a 4-D tensor");
+  const std::size_t A = x.dim(0), B = x.dim(1), C = x.dim(2), D = x.dim(3);
+  Tensor out({A, C, B, D});
+  const auto xv = x.data();
+  auto ov = out.data();
+  for (std::size_t a = 0; a < A; ++a) {
+    for (std::size_t b = 0; b < B; ++b) {
+      for (std::size_t c = 0; c < C; ++c) {
+        const std::size_t src = ((a * B + b) * C + c) * D;
+        const std::size_t dst = ((a * C + c) * B + b) * D;
+        for (std::size_t d = 0; d < D; ++d) ov[dst + d] = xv[src + d];
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Variable permute_0213(const Variable& x) {
+  Tensor out = permute_0213_tensor(x.value());
+  auto px = x.data();
+  return Variable::make_op(std::move(out), {x}, [px](VarData& o) {
+    px->accumulate_grad(permute_0213_tensor(o.grad));
+  });
+}
+
+// -- shape --------------------------------------------------------------------
+
+Variable reshape(const Variable& x, Shape shape) {
+  Tensor out = x.value().reshape(shape);
+  auto px = x.data();
+  return Variable::make_op(std::move(out), {x}, [px](VarData& o) {
+    px->accumulate_grad(o.grad.reshape(px->value.shape()));
+  });
+}
+
+Variable slice_cols(const Variable& x, std::size_t lo, std::size_t hi) {
+  AVGPIPE_CHECK(x.value().ndim() == 2, "slice_cols expects a 2-D tensor");
+  const std::size_t rows = x.value().dim(0), cols = x.value().dim(1);
+  AVGPIPE_CHECK(lo < hi && hi <= cols,
+                "slice_cols range [" << lo << "," << hi << ") out of " << cols);
+  const std::size_t w = hi - lo;
+  Tensor out({rows, w});
+  const auto xv = x.value().data();
+  auto ov = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::copy(&xv[r * cols + lo], &xv[r * cols + hi], &ov[r * w]);
+  }
+  auto px = x.data();
+  return Variable::make_op(
+      std::move(out), {x}, [px, lo, rows, cols, w](VarData& o) {
+        Tensor g({rows, cols});
+        auto gv = g.data();
+        const auto og = o.grad.data();
+        for (std::size_t r = 0; r < rows; ++r) {
+          std::copy(&og[r * w], &og[(r + 1) * w], &gv[r * cols + lo]);
+        }
+        px->accumulate_grad(g);
+      });
+}
+
+Variable slice_rows(const Variable& x, std::size_t lo, std::size_t hi) {
+  std::size_t rows = 0, cols = 0;
+  rows_cols(x.value(), rows, cols);
+  AVGPIPE_CHECK(lo < hi && hi <= rows,
+                "slice_rows range [" << lo << "," << hi << ") out of " << rows);
+  const std::size_t n = hi - lo;
+  Tensor out({n, cols});
+  const auto xv = x.value().data();
+  std::copy(&xv[lo * cols], &xv[hi * cols], out.data().data());
+  auto px = x.data();
+  return Variable::make_op(
+      std::move(out), {x}, [px, lo, rows, cols, n](VarData& o) {
+        Tensor g({rows, cols});
+        const auto og = o.grad.data();
+        std::copy(og.data(), og.data() + n * cols,
+                  g.data().data() + lo * cols);
+        px->accumulate_grad(g);
+      });
+}
+
+Variable concat_rows(const std::vector<Variable>& xs) {
+  AVGPIPE_CHECK(!xs.empty(), "concat_rows of nothing");
+  std::size_t cols = xs.front().value().shape().back();
+  std::size_t total_rows = 0;
+  for (const auto& x : xs) {
+    AVGPIPE_CHECK(x.value().shape().back() == cols,
+                  "concat_rows column mismatch");
+    total_rows += x.value().numel() / cols;
+  }
+  Tensor out({total_rows, cols});
+  auto ov = out.data();
+  std::size_t offset = 0;
+  std::vector<std::size_t> offsets;
+  for (const auto& x : xs) {
+    offsets.push_back(offset);
+    const auto xv = x.value().data();
+    std::copy(xv.begin(), xv.end(), ov.begin() + offset);
+    offset += xv.size();
+  }
+  std::vector<std::shared_ptr<VarData>> parents;
+  for (const auto& x : xs) parents.push_back(x.data());
+  return Variable::make_op(
+      std::move(out), xs, [parents, offsets](VarData& o) {
+        const auto og = o.grad.data();
+        for (std::size_t i = 0; i < parents.size(); ++i) {
+          if (!parents[i]->requires_grad) continue;
+          Tensor g(parents[i]->value.shape());
+          auto gv = g.data();
+          std::copy(og.begin() + offsets[i], og.begin() + offsets[i] + gv.size(),
+                    gv.begin());
+          parents[i]->accumulate_grad(g);
+        }
+      });
+}
+
+// -- normalisation ------------------------------------------------------------
+
+Variable softmax_rows(const Variable& x) {
+  std::size_t rows = 0, cols = 0;
+  rows_cols(x.value(), rows, cols);
+  Tensor out(x.shape());
+  const auto xv = x.value().data();
+  auto ov = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const Scalar* row = &xv[r * cols];
+    Scalar mx = row[0];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    Scalar z = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Scalar e = std::exp(row[c] - mx);
+      ov[r * cols + c] = e;
+      z += e;
+    }
+    for (std::size_t c = 0; c < cols; ++c) ov[r * cols + c] /= z;
+  }
+  auto px = x.data();
+  Tensor saved = out;  // alias
+  return Variable::make_op(
+      std::move(out), {x}, [px, saved, rows, cols](VarData& o) {
+        Tensor g(px->value.shape());
+        auto gv = g.data();
+        const auto og = o.grad.data();
+        const auto yv = saved.data();
+        for (std::size_t r = 0; r < rows; ++r) {
+          Scalar dotp = 0.0;
+          for (std::size_t c = 0; c < cols; ++c) {
+            dotp += og[r * cols + c] * yv[r * cols + c];
+          }
+          for (std::size_t c = 0; c < cols; ++c) {
+            gv[r * cols + c] =
+                yv[r * cols + c] * (og[r * cols + c] - dotp);
+          }
+        }
+        px->accumulate_grad(g);
+      });
+}
+
+Variable layer_norm(const Variable& x, const Variable& gamma,
+                    const Variable& beta, Scalar eps) {
+  std::size_t rows = 0, cols = 0;
+  rows_cols(x.value(), rows, cols);
+  AVGPIPE_CHECK(gamma.value().numel() == cols && beta.value().numel() == cols,
+                "layer_norm affine params must match last dim " << cols);
+  Tensor out(x.shape());
+  Tensor xhat({rows, cols});
+  Tensor inv_std({rows});
+  const auto xv = x.value().data();
+  auto ov = out.data();
+  auto hv = xhat.data();
+  auto sv = inv_std.data();
+  const auto gv = gamma.value().data();
+  const auto bv = beta.value().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    Scalar mu = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) mu += xv[r * cols + c];
+    mu /= static_cast<Scalar>(cols);
+    Scalar var = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Scalar d = xv[r * cols + c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<Scalar>(cols);
+    const Scalar is = 1.0 / std::sqrt(var + eps);
+    sv[r] = is;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Scalar h = (xv[r * cols + c] - mu) * is;
+      hv[r * cols + c] = h;
+      ov[r * cols + c] = gv[c] * h + bv[c];
+    }
+  }
+  auto px = x.data();
+  auto pg = gamma.data();
+  auto pb = beta.data();
+  return Variable::make_op(
+      std::move(out), {x, gamma, beta},
+      [px, pg, pb, xhat, inv_std, rows, cols](VarData& o) {
+        const auto og = o.grad.data();
+        const auto hv2 = xhat.data();
+        const auto sv2 = inv_std.data();
+        const auto gv2 = pg->value.data();
+        if (pg->requires_grad) {
+          Tensor ggamma(pg->value.shape());
+          auto gg = ggamma.data();
+          for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+              gg[c] += og[r * cols + c] * hv2[r * cols + c];
+            }
+          }
+          pg->accumulate_grad(ggamma);
+        }
+        if (pb->requires_grad) {
+          Tensor gbeta(pb->value.shape());
+          auto gb = gbeta.data();
+          for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) gb[c] += og[r * cols + c];
+          }
+          pb->accumulate_grad(gbeta);
+        }
+        if (px->requires_grad) {
+          Tensor gx(px->value.shape());
+          auto gxv = gx.data();
+          const Scalar inv_n = 1.0 / static_cast<Scalar>(cols);
+          for (std::size_t r = 0; r < rows; ++r) {
+            Scalar sum_dy = 0.0, sum_dyh = 0.0;
+            for (std::size_t c = 0; c < cols; ++c) {
+              const Scalar dy = og[r * cols + c] * gv2[c];
+              sum_dy += dy;
+              sum_dyh += dy * hv2[r * cols + c];
+            }
+            for (std::size_t c = 0; c < cols; ++c) {
+              const Scalar dy = og[r * cols + c] * gv2[c];
+              gxv[r * cols + c] =
+                  sv2[r] * (dy - inv_n * sum_dy -
+                            hv2[r * cols + c] * inv_n * sum_dyh);
+            }
+          }
+          px->accumulate_grad(gx);
+        }
+      });
+}
+
+Variable dropout(const Variable& x, double p, Rng& rng, bool training) {
+  AVGPIPE_CHECK(p >= 0.0 && p < 1.0, "dropout p must be in [0,1), got " << p);
+  if (!training || p == 0.0) return x;
+  const Scalar keep = 1.0 - p;
+  Tensor mask(x.shape());
+  auto mv = mask.data();
+  for (auto& m : mv) m = rng.bernoulli(keep) ? 1.0 / keep : 0.0;
+  Tensor out(x.shape());
+  const auto xv = x.value().data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < ov.size(); ++i) ov[i] = xv[i] * mv[i];
+  auto px = x.data();
+  return Variable::make_op(std::move(out), {x}, [px, mask](VarData& o) {
+    Tensor g(px->value.shape());
+    auto gv = g.data();
+    const auto og = o.grad.data();
+    const auto mv2 = mask.data();
+    for (std::size_t i = 0; i < gv.size(); ++i) gv[i] = og[i] * mv2[i];
+    px->accumulate_grad(g);
+  });
+}
+
+// -- lookups ------------------------------------------------------------------
+
+Variable embedding(const Variable& weight, const std::vector<int>& indices) {
+  AVGPIPE_CHECK(weight.value().ndim() == 2, "embedding weight must be 2-D");
+  const std::size_t v = weight.value().dim(0), d = weight.value().dim(1);
+  Tensor out({indices.size(), d});
+  const auto wv = weight.value().data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(indices[i]);
+    AVGPIPE_CHECK(indices[i] >= 0 && idx < v,
+                  "embedding index " << indices[i] << " out of vocab " << v);
+    std::copy(&wv[idx * d], &wv[(idx + 1) * d], &ov[i * d]);
+  }
+  auto pw = weight.data();
+  return Variable::make_op(std::move(out), {weight}, [pw, indices, d](VarData& o) {
+    Tensor g(pw->value.shape());
+    auto gv = g.data();
+    const auto og = o.grad.data();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const auto idx = static_cast<std::size_t>(indices[i]);
+      for (std::size_t c = 0; c < d; ++c) gv[idx * d + c] += og[i * d + c];
+    }
+    pw->accumulate_grad(g);
+  });
+}
+
+// -- reductions / losses -------------------------------------------------------
+
+Variable sum_all(const Variable& x) {
+  Tensor out({1});
+  out[0] = x.value().sum();
+  auto px = x.data();
+  return Variable::make_op(std::move(out), {x}, [px](VarData& o) {
+    Tensor g = Tensor::full(px->value.shape(), o.grad[0]);
+    px->accumulate_grad(g);
+  });
+}
+
+Variable mean_all(const Variable& x) {
+  return scale(sum_all(x), 1.0 / static_cast<Scalar>(x.value().numel()));
+}
+
+Variable softmax_cross_entropy(const Variable& logits,
+                               const std::vector<int>& targets) {
+  AVGPIPE_CHECK(logits.value().ndim() == 2, "logits must be [N,C]");
+  const std::size_t n = logits.value().dim(0), c = logits.value().dim(1);
+  AVGPIPE_CHECK(targets.size() == n,
+                "targets size " << targets.size() << " != rows " << n);
+  Tensor probs({n, c});
+  const auto lv = logits.value().data();
+  auto pv = probs.data();
+  Scalar loss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const Scalar* row = &lv[r * c];
+    Scalar mx = row[0];
+    for (std::size_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    Scalar z = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      const Scalar e = std::exp(row[j] - mx);
+      pv[r * c + j] = e;
+      z += e;
+    }
+    for (std::size_t j = 0; j < c; ++j) pv[r * c + j] /= z;
+    const auto t = static_cast<std::size_t>(targets[r]);
+    AVGPIPE_CHECK(targets[r] >= 0 && t < c,
+                  "target " << targets[r] << " out of range " << c);
+    loss -= std::log(std::max(pv[r * c + t], Scalar(1e-12)));
+  }
+  Tensor out({1});
+  out[0] = loss / static_cast<Scalar>(n);
+  auto pl = logits.data();
+  return Variable::make_op(
+      std::move(out), {logits}, [pl, probs, targets, n, c](VarData& o) {
+        Tensor g({n, c});
+        auto gv = g.data();
+        const auto pv2 = probs.data();
+        const Scalar s = o.grad[0] / static_cast<Scalar>(n);
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t j = 0; j < c; ++j) {
+            gv[r * c + j] = s * pv2[r * c + j];
+          }
+          gv[r * c + static_cast<std::size_t>(targets[r])] -= s;
+        }
+        pl->accumulate_grad(g);
+      });
+}
+
+Variable mse_loss(const Variable& pred, const Tensor& target) {
+  AVGPIPE_CHECK(pred.value().numel() == target.numel(),
+                "mse_loss numel mismatch");
+  const std::size_t n = pred.value().numel();
+  Tensor out({1});
+  const auto pv = pred.value().data();
+  const auto tv = target.data();
+  Scalar loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Scalar d = pv[i] - tv[i];
+    loss += d * d;
+  }
+  out[0] = loss / static_cast<Scalar>(n);
+  auto pp = pred.data();
+  return Variable::make_op(std::move(out), {pred}, [pp, target, n](VarData& o) {
+    Tensor g(pp->value.shape());
+    auto gv = g.data();
+    const auto pv2 = pp->value.data();
+    const auto tv2 = target.data();
+    const Scalar s = 2.0 * o.grad[0] / static_cast<Scalar>(n);
+    for (std::size_t i = 0; i < n; ++i) gv[i] = s * (pv2[i] - tv2[i]);
+    pp->accumulate_grad(g);
+  });
+}
+
+// -- detached helpers ----------------------------------------------------------
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  AVGPIPE_CHECK(logits.ndim() == 2, "argmax_rows expects [N,C]");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<int> result(n, 0);
+  const auto lv = logits.data();
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < c; ++j) {
+      if (lv[r * c + j] > lv[r * c + best]) best = j;
+    }
+    result[r] = static_cast<int>(best);
+  }
+  return result;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& targets) {
+  const auto pred = argmax_rows(logits);
+  AVGPIPE_CHECK(pred.size() == targets.size(), "accuracy size mismatch");
+  if (pred.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == targets[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+}  // namespace avgpipe::tensor

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file tensor.hpp
+/// Dense row-major N-dimensional tensor with shared storage.
+///
+/// This is the numeric substrate for the real-training path of the
+/// reproduction (statistical-efficiency experiments, threaded pipeline
+/// runtime). It deliberately supports only what the models need: contiguous
+/// row-major layout, views via reshape, and a small set of kernels. Scalars
+/// are double so numeric gradient checks and averaging-equivalence tests are
+/// robust.
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace avgpipe::tensor {
+
+using Scalar = double;
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements implied by a shape (empty shape = scalar = 1 element).
+std::size_t shape_numel(const Shape& shape);
+/// "[2, 3, 4]"
+std::string shape_to_string(const Shape& shape);
+
+/// Reference-counted dense tensor. Copying a Tensor aliases storage
+/// (shallow); use clone() for a deep copy. All views are contiguous.
+class Tensor {
+ public:
+  /// Empty 0-element tensor.
+  Tensor() : storage_(std::make_shared<std::vector<Scalar>>()), shape_{0} {}
+
+  /// Uninitialised (zeroed) tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : storage_(std::make_shared<std::vector<Scalar>>(shape_numel(shape), 0.0)),
+        shape_(std::move(shape)) {}
+
+  Tensor(Shape shape, std::vector<Scalar> values)
+      : storage_(std::make_shared<std::vector<Scalar>>(std::move(values))),
+        shape_(std::move(shape)) {
+    AVGPIPE_CHECK(storage_->size() == shape_numel(shape_),
+                  "value count " << storage_->size() << " != shape "
+                                 << shape_to_string(shape_));
+  }
+
+  // -- factories --------------------------------------------------------------
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, Scalar value);
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0); }
+  /// Gaussian init with given stddev.
+  static Tensor randn(Shape shape, Rng& rng, Scalar stddev = 1.0);
+  /// Uniform init in [lo, hi).
+  static Tensor rand_uniform(Shape shape, Rng& rng, Scalar lo, Scalar hi);
+  /// 1-D tensor from a list.
+  static Tensor from(std::initializer_list<Scalar> values);
+  /// 2-D tensor from nested lists.
+  static Tensor from2d(std::initializer_list<std::initializer_list<Scalar>> rows);
+
+  // -- shape ------------------------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  std::size_t ndim() const { return shape_.size(); }
+  std::size_t numel() const { return storage_->size(); }
+  std::size_t dim(std::size_t i) const {
+    AVGPIPE_CHECK(i < shape_.size(), "dim " << i << " out of range");
+    return shape_[i];
+  }
+
+  /// View with a new shape over the same storage (numel must match).
+  Tensor reshape(Shape new_shape) const;
+
+  // -- element access ----------------------------------------------------------
+
+  std::span<Scalar> data() { return {storage_->data(), storage_->size()}; }
+  std::span<const Scalar> data() const {
+    return {storage_->data(), storage_->size()};
+  }
+
+  Scalar& operator[](std::size_t i) { return (*storage_)[i]; }
+  Scalar operator[](std::size_t i) const { return (*storage_)[i]; }
+
+  Scalar& at(std::size_t i, std::size_t j) {
+    return (*storage_)[i * shape_.at(1) + j];
+  }
+  Scalar at(std::size_t i, std::size_t j) const {
+    return (*storage_)[i * shape_.at(1) + j];
+  }
+
+  /// True if both tensors alias the same storage.
+  bool aliases(const Tensor& other) const { return storage_ == other.storage_; }
+
+  // -- whole-tensor operations (detached; no autograd) -------------------------
+
+  Tensor clone() const;
+  void fill_(Scalar value);
+  void zero_() { fill_(0.0); }
+  /// this += alpha * other (shape must match). The optimizer workhorse.
+  void axpy_(Scalar alpha, const Tensor& other);
+  /// this *= alpha.
+  void scale_(Scalar alpha);
+  /// this = (1-t)*this + t*other — the elastic-averaging pull (paper §3.2 ❷).
+  void lerp_(const Tensor& other, Scalar t);
+  /// this = other (deep copy into existing storage; shapes must match).
+  void copy_from(const Tensor& other);
+
+  Scalar sum() const;
+  Scalar mean() const;
+  Scalar abs_max() const;
+  /// L2 norm over all elements.
+  Scalar norm() const;
+  /// Sum of elementwise products (flattened dot).
+  Scalar dot(const Tensor& other) const;
+
+  /// Max elementwise |a-b|; shapes must match.
+  Scalar max_abs_diff(const Tensor& other) const;
+
+  std::string to_string(std::size_t max_elems = 32) const;
+
+ private:
+  std::shared_ptr<std::vector<Scalar>> storage_;
+  Shape shape_;
+};
+
+/// Shapes equal?
+bool same_shape(const Tensor& a, const Tensor& b);
+
+}  // namespace avgpipe::tensor

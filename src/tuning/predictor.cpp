@@ -1,0 +1,117 @@
+#include "tuning/predictor.hpp"
+
+#include <algorithm>
+
+namespace avgpipe::tuning {
+
+Profile run_profile(sim::SimJob job, std::size_t m, std::size_t n,
+                    std::size_t profile_batches) {
+  AVGPIPE_CHECK(m >= 1 && m <= job.batch_size,
+                "profiled micro-batch number " << m << " invalid");
+  AVGPIPE_CHECK(n >= 1, "profiled pipeline number must be positive");
+  job.micro_batches = m;
+  job.num_pipelines = n;
+  job.num_batches = profile_batches;
+  // Profile the system as it actually executes — 1F1B with advance forward
+  // propagation — so the measured F_dat reflects the bounded activation
+  // stash. Performance is *predicted* with the AFAB equations (§5.2.2:
+  // "it is reasonable to assume the performance of AFAB and 1F1B with
+  // advance forward propagation is close enough").
+  job.kind = schedule::Kind::kAdvanceForward;
+  job.advance_num = job.stages.empty() ? 0 : job.stages.size() - 1;
+  // Lift the memory cap during profiling so an infeasible profile setting
+  // still yields curves (feasibility of candidates is judged by Eq. 8).
+  job.memory_limit = 1e18;
+
+  const sim::SimResult r = sim::simulate(job);
+
+  Profile p;
+  p.m = m;
+  p.n = n;
+  p.time_per_batch = r.time_per_batch;
+  p.profiling_cost = r.makespan;
+  p.gpus.reserve(r.gpus.size());
+  const double batches = static_cast<double>(profile_batches);
+  for (const auto& g : r.gpus) {
+    GpuProfile gp;
+    gp.t_gpu = g.busy / batches;
+    gp.t_comm = g.total_comm / batches;
+    gp.phi = g.utilization;
+    gp.phi_batches = batches;
+    gp.f_mod = g.static_memory;
+    gp.f_dat = g.peak_activations;
+    p.gpus.push_back(std::move(gp));
+  }
+  return p;
+}
+
+Prediction predict(const Profile& profile, std::size_t m_star,
+                   std::size_t n_star, std::size_t batch_size,
+                   Bytes memory_limit) {
+  const auto k_count = profile.gpus.size();
+  AVGPIPE_CHECK(k_count >= 1, "profile has no GPUs");
+  const double m = static_cast<double>(profile.m);
+  const double n = static_cast<double>(profile.n);
+  const double ms = static_cast<double>(m_star);
+  const double ns = static_cast<double>(n_star);
+
+  Prediction out;
+  out.m = m_star;
+  out.n = n_star;
+  out.t_gpu.resize(k_count);
+  out.t_com.resize(k_count);
+  out.t_bub.resize(k_count);
+
+  // Equation (2): computation time. φ scales by (m n*)/(m* n); the part of
+  // the scaled curve above 100 % turns into extra time.
+  std::vector<Seconds> t_comm_star(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    const auto& g = profile.gpus[k];
+    const double phi_scale = (m * ns) / (ms * n);
+    const double overflow =
+        g.phi.excess_integral(phi_scale, 1.0) / g.phi_batches;
+    out.t_gpu[k] = (ms * n) / (m * ns) * (g.t_gpu + overflow);
+
+    // Total communication scales with the pipeline count: (𝕋^k)* = n*/n 𝕋^k.
+    t_comm_star[k] = ns / n * g.t_comm;
+
+    // Equation (4): the first micro-batch's communication is exposed; each
+    // of the remaining m*-1 overlaps with computation and blocks only by
+    // the excess.
+    out.t_com[k] =
+        t_comm_star[k] / ms +
+        (ms - 1.0) / ms * std::max(t_comm_star[k] - out.t_gpu[k], 0.0);
+  }
+
+  // Equations (5)-(7): bubbles from waiting on upstream/downstream GPUs.
+  std::vector<Seconds> t_up(k_count, 0.0), t_down(k_count, 0.0);
+  for (std::size_t k = 1; k < k_count; ++k) {
+    t_up[k] = t_up[k - 1] +
+              (t_comm_star[k - 1] + out.t_gpu[k - 1]) / ms;
+  }
+  for (std::size_t k = k_count - 1; k-- > 0;) {
+    t_down[k] = t_down[k + 1] +
+                (t_comm_star[k + 1] + out.t_gpu[k + 1]) / ms;
+  }
+
+  Seconds worst = 0;
+  for (std::size_t k = 0; k < k_count; ++k) {
+    out.t_bub[k] = t_up[k] + t_down[k];
+    worst = std::max(worst, out.t_gpu[k] + out.t_com[k] + out.t_bub[k]);
+  }
+  out.t_batch = worst;
+  out.t_per_sample =
+      worst / (ns * static_cast<double>(batch_size));
+
+  // Equation (8): memory.
+  Bytes peak = 0;
+  for (const auto& g : profile.gpus) {
+    const Bytes f = ns / n * g.f_mod + (m * ns) / (ms * n) * g.f_dat;
+    peak = std::max(peak, f);
+  }
+  out.peak_memory = peak;
+  out.feasible = memory_limit <= 0.0 || peak <= memory_limit;
+  return out;
+}
+
+}  // namespace avgpipe::tuning

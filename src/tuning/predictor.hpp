@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file predictor.hpp
+/// Profiling-based tuning of parallelism degrees (paper §5).
+///
+/// The method has two phases. *Profiling* runs one setting (m, n) of
+/// (micro-batch number M, parallel pipeline number N) for a few batches and
+/// collects, per GPU k: computation time T_gpu^k, total communication time
+/// 𝕋^k, the utilization curve φ^k(t), and the model/data memory split
+/// F_mod^k / F_dat^k. *Predicting* evaluates Equations (1)-(8) to estimate
+/// the per-batch time and peak memory of every other setting (m*, n*)
+/// without running it.
+
+#include <vector>
+
+#include "common/step_function.hpp"
+#include "sim/simulator.hpp"
+
+namespace avgpipe::tuning {
+
+/// Per-GPU measurements from the profiling run (per-batch quantities).
+struct GpuProfile {
+  Seconds t_gpu = 0;   ///< computation time per batch (T_gpu^k)
+  Seconds t_comm = 0;  ///< total communication time per batch (𝕋^k)
+  StepFunction phi;    ///< utilization curve over the whole profiled window
+  double phi_batches = 1;  ///< batches the curve spans (for integrals)
+  Bytes f_mod = 0;     ///< model memory (weights+optimizer+grads+reference)
+  Bytes f_dat = 0;     ///< data/activation memory at peak
+};
+
+struct Profile {
+  std::size_t m = 1;  ///< profiled micro-batch number
+  std::size_t n = 1;  ///< profiled pipeline number
+  std::vector<GpuProfile> gpus;
+  Seconds time_per_batch = 0;
+  Seconds profiling_cost = 0;  ///< virtual time the profiling run took
+};
+
+/// Run the profiling phase on the simulator. The paper recommends a rather
+/// large M and a small N so no GPU saturates (otherwise φ cannot be scaled
+/// up faithfully — §5.2.1); callers should follow that advice.
+Profile run_profile(sim::SimJob job, std::size_t m, std::size_t n,
+                    std::size_t profile_batches = 20);
+
+/// Prediction for one candidate setting.
+struct Prediction {
+  std::size_t m = 1, n = 1;
+  Seconds t_batch = 0;           ///< predicted max_k T^k (Eq. 1)
+  Seconds t_per_sample = 0;      ///< t_batch / (n * batch_size)
+  Bytes peak_memory = 0;         ///< max_k F^k (Eq. 8)
+  bool feasible = true;          ///< peak_memory under the limit
+  std::vector<Seconds> t_gpu;    ///< per-GPU computation (Eq. 2)
+  std::vector<Seconds> t_com;    ///< per-GPU blocking comm (Eq. 4)
+  std::vector<Seconds> t_bub;    ///< per-GPU bubble (Eqs. 5-7)
+};
+
+/// Evaluate Equations (1)-(8) for setting (m_star, n_star).
+Prediction predict(const Profile& profile, std::size_t m_star,
+                   std::size_t n_star, std::size_t batch_size,
+                   Bytes memory_limit);
+
+}  // namespace avgpipe::tuning

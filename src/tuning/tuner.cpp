@@ -1,0 +1,174 @@
+#include "tuning/tuner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace avgpipe::tuning {
+
+CandidateGrid default_grid(std::size_t batch_size,
+                           std::size_t max_pipelines) {
+  CandidateGrid grid;
+  for (std::size_t m = 1; m <= batch_size; m *= 2) {
+    if (batch_size % m == 0) grid.micro_batches.push_back(m);
+  }
+  for (std::size_t n = 1; n <= max_pipelines; ++n) grid.pipelines.push_back(n);
+  return grid;
+}
+
+Seconds measure_setting(const sim::SimJob& base, std::size_t batch_size,
+                        std::size_t m, std::size_t n, Bytes memory_limit,
+                        bool* oom, std::size_t num_batches) {
+  sim::SimJob job = base;
+  job.batch_size = batch_size;
+  job.micro_batches = m;
+  job.num_pipelines = n;
+  job.elastic_averaging = n > 1;
+  job.kind = schedule::Kind::kAdvanceForward;
+  job.advance_num = sim::adaptive_advance(job);
+  job.num_batches = num_batches;
+  job.memory_limit = memory_limit;
+  const sim::SimResult r = sim::simulate(job);
+  if (oom != nullptr) *oom = r.oom;
+  return r.time_per_batch /
+         (static_cast<double>(n) * static_cast<double>(batch_size));
+}
+
+namespace {
+Profile make_profile(const sim::SimJob& base, std::size_t batch_size,
+                     const CandidateGrid& grid, std::size_t profile_m,
+                     std::size_t profile_n) {
+  AVGPIPE_CHECK(!grid.micro_batches.empty() && !grid.pipelines.empty(),
+                "empty candidate grid");
+  // §5.2.1: profile a rather large M and small N so φ stays below 100 %.
+  if (profile_m == 0) {
+    profile_m = grid.micro_batches[grid.micro_batches.size() / 2];
+    profile_m = std::max<std::size_t>(profile_m, 2);
+    profile_m = std::min(profile_m, batch_size);
+  }
+  sim::SimJob job = base;
+  job.batch_size = batch_size;
+  return run_profile(job, profile_m, profile_n);
+}
+}  // namespace
+
+std::vector<Prediction> ranked_predictions(const sim::SimJob& base,
+                                           std::size_t batch_size,
+                                           const CandidateGrid& grid,
+                                           Bytes memory_limit,
+                                           std::size_t profile_m,
+                                           std::size_t profile_n) {
+  const Profile profile =
+      make_profile(base, batch_size, grid, profile_m, profile_n);
+  std::vector<Prediction> all;
+  for (std::size_t m : grid.micro_batches) {
+    for (std::size_t n : grid.pipelines) {
+      all.push_back(predict(profile, m, n, batch_size, memory_limit));
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Prediction& a,
+                                       const Prediction& b) {
+    if (a.feasible != b.feasible) return a.feasible;
+    return a.t_per_sample < b.t_per_sample;
+  });
+  return all;
+}
+
+TuneResult profiling_tuner(const sim::SimJob& base, std::size_t batch_size,
+                           const CandidateGrid& grid, Bytes memory_limit,
+                           std::size_t profile_m, std::size_t profile_n) {
+  const Profile profile =
+      make_profile(base, batch_size, grid, profile_m, profile_n);
+
+  TuneResult result;
+  result.method = "profiling";
+  result.tuning_cost = profile.profiling_cost;
+
+  Seconds best = std::numeric_limits<double>::infinity();
+  for (std::size_t m : grid.micro_batches) {
+    for (std::size_t n : grid.pipelines) {
+      const Prediction p = predict(profile, m, n, batch_size, memory_limit);
+      if (!p.feasible) continue;
+      if (p.t_per_sample < best) {
+        best = p.t_per_sample;
+        result.m = m;
+        result.n = n;
+      }
+    }
+  }
+  result.feasible = best < std::numeric_limits<double>::infinity();
+  if (result.feasible) {
+    result.time_per_sample =
+        measure_setting(base, batch_size, result.m, result.n, memory_limit);
+  }
+  return result;
+}
+
+TuneResult traversal_tuner(const sim::SimJob& base, std::size_t batch_size,
+                           const CandidateGrid& grid, Bytes memory_limit,
+                           std::size_t batches_per_setting,
+                           Seconds setup_cost) {
+  TuneResult result;
+  result.method = "traversal";
+  Seconds best = std::numeric_limits<double>::infinity();
+  for (std::size_t m : grid.micro_batches) {
+    for (std::size_t n : grid.pipelines) {
+      bool oom = false;
+      const Seconds per_sample = measure_setting(
+          base, batch_size, m, n, memory_limit, &oom, batches_per_setting);
+      result.tuning_cost += setup_cost + per_sample *
+                                             static_cast<double>(n) *
+                                             static_cast<double>(batch_size) *
+                                             static_cast<double>(batches_per_setting);
+      if (oom) continue;
+      if (per_sample < best) {
+        best = per_sample;
+        result.m = m;
+        result.n = n;
+      }
+    }
+  }
+  result.feasible = best < std::numeric_limits<double>::infinity();
+  result.time_per_sample = best;
+  return result;
+}
+
+namespace {
+TuneResult guideline(const sim::SimJob& base, std::size_t batch_size,
+                     const CandidateGrid& grid, Bytes memory_limit,
+                     std::size_t m, const std::string& name) {
+  TuneResult result;
+  result.method = name;
+  result.m = m;
+  result.tuning_cost = 0;  // guidelines need no measurement
+  // Largest pipeline count that fits in memory with this M.
+  std::size_t chosen = 0;
+  for (auto it = grid.pipelines.rbegin(); it != grid.pipelines.rend(); ++it) {
+    bool oom = false;
+    const Seconds per_sample =
+        measure_setting(base, batch_size, m, *it, memory_limit, &oom);
+    if (!oom) {
+      chosen = *it;
+      result.time_per_sample = per_sample;
+      break;
+    }
+  }
+  result.feasible = chosen > 0;
+  result.n = std::max<std::size_t>(chosen, 1);
+  return result;
+}
+}  // namespace
+
+TuneResult max_num_guideline(const sim::SimJob& base, std::size_t batch_size,
+                             const CandidateGrid& grid, Bytes memory_limit) {
+  // Micro-batch size one: M = batch size.
+  return guideline(base, batch_size, grid, memory_limit, batch_size,
+                   "max-num");
+}
+
+TuneResult max_size_guideline(const sim::SimJob& base, std::size_t batch_size,
+                              const CandidateGrid& grid, Bytes memory_limit) {
+  // One micro-batch: M = 1.
+  return guideline(base, batch_size, grid, memory_limit, 1, "max-size");
+}
+
+}  // namespace avgpipe::tuning

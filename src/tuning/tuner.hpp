@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file tuner.hpp
+/// Parallelism-degree selection strategies compared in the paper's §7.3:
+/// the profiling-based method (ours), exhaustive traversal, and the two
+/// naive guidelines ("max-num" and "max-size").
+
+#include <string>
+#include <vector>
+
+#include "tuning/predictor.hpp"
+
+namespace avgpipe::tuning {
+
+/// Candidate grid: micro-batch numbers are the powers of two dividing the
+/// batch size; pipeline counts are 1..max_pipelines.
+struct CandidateGrid {
+  std::vector<std::size_t> micro_batches;
+  std::vector<std::size_t> pipelines;
+};
+
+CandidateGrid default_grid(std::size_t batch_size, std::size_t max_pipelines);
+
+/// Outcome of a tuning strategy.
+struct TuneResult {
+  std::string method;
+  std::size_t m = 1, n = 1;
+  Seconds tuning_cost = 0;    ///< virtual wall time spent tuning
+  Seconds time_per_sample = 0;  ///< per-sample time of the chosen setting,
+                                ///< measured by simulating it
+  bool feasible = true;
+};
+
+/// The paper's method: one profiling run + Eq. (1)-(8) predictions over the
+/// whole grid; picks the feasible setting with the best predicted
+/// per-sample time. `profile_m`/`profile_n` default (0) to a large-M/small-N
+/// profile per §5.2.1.
+TuneResult profiling_tuner(const sim::SimJob& base, std::size_t batch_size,
+                           const CandidateGrid& grid, Bytes memory_limit,
+                           std::size_t profile_m = 0,
+                           std::size_t profile_n = 1);
+
+/// Exhaustive baseline: simulate every setting for `batches_per_setting`
+/// batches (the paper uses ~10) plus a fixed per-setting startup overhead
+/// (process launch, allocator warmup — `setup_cost`), then pick the best
+/// feasible measured setting.
+TuneResult traversal_tuner(const sim::SimJob& base, std::size_t batch_size,
+                           const CandidateGrid& grid, Bytes memory_limit,
+                           std::size_t batches_per_setting = 10,
+                           Seconds setup_cost = 30.0);
+
+/// "max-num" guideline: micro-batch size one (M = batch size), then the
+/// largest feasible N.
+TuneResult max_num_guideline(const sim::SimJob& base, std::size_t batch_size,
+                             const CandidateGrid& grid, Bytes memory_limit);
+
+/// "max-size" guideline: one micro-batch (M = 1), then the largest feasible
+/// N.
+TuneResult max_size_guideline(const sim::SimJob& base, std::size_t batch_size,
+                              const CandidateGrid& grid, Bytes memory_limit);
+
+/// The full grid of Eq. (1)-(8) predictions from one profiling run, sorted
+/// by predicted per-sample time (best first). Exposed so callers can walk
+/// the ranking when the top choice turns out infeasible in practice (the
+/// prediction is approximate; e.g. Eq. 8 does not see the reference model).
+std::vector<Prediction> ranked_predictions(const sim::SimJob& base,
+                                           std::size_t batch_size,
+                                           const CandidateGrid& grid,
+                                           Bytes memory_limit,
+                                           std::size_t profile_m = 0,
+                                           std::size_t profile_n = 1);
+
+/// Measure a setting's per-sample time by simulating it with the AvgPipe
+/// execution (AFP schedule, elastic averaging when n > 1). Used to score
+/// every strategy's choice on equal footing.
+Seconds measure_setting(const sim::SimJob& base, std::size_t batch_size,
+                        std::size_t m, std::size_t n, Bytes memory_limit,
+                        bool* oom = nullptr,
+                        std::size_t num_batches = 6);
+
+}  // namespace avgpipe::tuning

@@ -1,0 +1,14 @@
+#include "workloads/cluster.hpp"
+
+namespace avgpipe::workloads {
+
+ClusterSpec v100_cluster(std::size_t num_gpus) {
+  ClusterSpec c;
+  AVGPIPE_CHECK(num_gpus >= 1, "need at least one GPU");
+  AVGPIPE_CHECK(num_gpus % c.gpus_per_node == 0 || num_gpus == 1,
+                "cluster preset uses whole 2-GPU nodes");
+  c.num_nodes = (num_gpus + c.gpus_per_node - 1) / c.gpus_per_node;
+  return c;
+}
+
+}  // namespace avgpipe::workloads

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file cluster.hpp
+/// Cluster hardware description consumed by the simulator.
+///
+/// The default preset mirrors the paper's testbed: 3 nodes x 2 Tesla
+/// V100-SXM2 (32 GB), NVLink-class links inside a node, 1 Gbps Ethernet
+/// between nodes. Pipeline stage k is mapped to GPU k in node-major order,
+/// so the stage-(k,k+1) link alternates intra/inter node exactly as on the
+/// real machines.
+
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace avgpipe::workloads {
+
+struct GpuSpec {
+  Flops peak_flops = 15.7 * kTFLOP;  ///< V100 fp32 peak
+  Bytes memory = 32.0 * kGiB;
+};
+
+struct LinkSpec {
+  double bandwidth_bytes_per_s = kGigabitPerSecond;
+  Seconds latency = 50.0 * kMicrosecond;
+
+  Seconds transfer_time(Bytes bytes) const {
+    return latency + bytes / bandwidth_bytes_per_s;
+  }
+};
+
+struct ClusterSpec {
+  std::size_t num_nodes = 3;
+  std::size_t gpus_per_node = 2;
+  GpuSpec gpu;
+  LinkSpec intra_node{25.0 * kGiB, 5.0 * kMicrosecond};  // NVLink-class
+  /// 1 Gbps Ethernet at ~84 % TCP goodput (what PyTorch's gloo/NCCL-socket
+  /// transports sustain with pipeline-sized tensors).
+  LinkSpec inter_node{0.84 * kGigabitPerSecond, 50.0 * kMicrosecond};
+
+  std::size_t num_gpus() const { return num_nodes * gpus_per_node; }
+
+  std::size_t node_of(std::size_t gpu_index) const {
+    AVGPIPE_CHECK(gpu_index < num_gpus(), "gpu index out of range");
+    return gpu_index / gpus_per_node;
+  }
+
+  /// Link used between two GPUs (node-major placement).
+  const LinkSpec& link_between(std::size_t a, std::size_t b) const {
+    return node_of(a) == node_of(b) ? intra_node : inter_node;
+  }
+
+  /// Slowest link on the all-reduce ring over `n` GPUs (data parallelism).
+  const LinkSpec& bottleneck_link(std::size_t n) const {
+    return n > gpus_per_node ? inter_node : intra_node;
+  }
+};
+
+/// The paper's testbed, optionally truncated to `num_gpus` devices
+/// (AWD uses 4 GPUs on two nodes).
+ClusterSpec v100_cluster(std::size_t num_gpus = 6);
+
+}  // namespace avgpipe::workloads

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file profile.hpp
+/// Layer-level cost profiles of the paper's three workloads.
+///
+/// The cluster simulator and the PipeDream-style partitioner consume only
+/// per-layer compute/activation/parameter figures, mirroring how PipeDream's
+/// own profiler feeds its partitioner. The constants below are derived from
+/// the published architectures (GNMT-16, BERT-large, AWD-LSTM) at the batch
+/// sizes the paper trains with; see workloads.cpp for the formulas.
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace avgpipe::workloads {
+
+/// Cost profile of one model layer.
+struct LayerProfile {
+  std::string name;
+  Flops fwd_flops_per_sample = 0;  ///< forward cost; backward costs 2x this
+  Bytes activation_bytes_per_sample = 0;  ///< boundary output activation
+  Bytes stash_bytes_per_sample = 0;  ///< internal state kept for backward
+  Bytes param_bytes = 0;             ///< trainable parameter bytes
+  /// Fraction of parameters with dense gradients/optimizer state. Embedding
+  /// tables train with sparse gradients in the reference implementations,
+  /// so only a sliver of their state is ever materialised.
+  double dense_state_fraction = 1.0;
+};
+
+/// Cost profile of a whole workload plus the training configuration the
+/// paper uses for it.
+struct WorkloadProfile {
+  std::string name;
+  std::vector<LayerProfile> layers;
+
+  std::size_t batch_size = 0;          ///< paper's per-pipeline batch size
+  Bytes input_bytes_per_sample = 0;    ///< raw micro-batch input data
+  std::size_t num_gpus = 0;            ///< GPUs used in the paper's runs
+  std::size_t dataset_samples = 0;     ///< samples per epoch
+
+  /// Kernel-efficiency half-saturation constant, in samples: a kernel over a
+  /// micro-batch of s samples sustains s/(s + eff_half_batch) of GPU peak.
+  /// This is the "arithmetic intensity" model behind the paper's Eq. (2).
+  double eff_half_batch = 2.0;
+
+  /// Optimizer state bytes per parameter byte (Adam keeps m and v -> 2.0).
+  double optimizer_state_factor = 2.0;
+
+  // -- derived ---------------------------------------------------------------
+
+  Flops total_fwd_flops_per_sample() const;
+  Bytes total_param_bytes() const;
+  Bytes total_stash_bytes_per_sample() const;
+  std::size_t num_layers() const { return layers.size(); }
+
+  /// Kernel efficiency in (0,1] for a micro-batch of `samples` samples.
+  double efficiency(double samples) const {
+    return samples / (samples + eff_half_batch);
+  }
+};
+
+/// GNMT-16 stand-in: 16 stacked LSTM layers of hidden 1024, vocab 32k,
+/// sequence length 50, batch 128, Adam, WMT16-sized epoch. 6 GPUs.
+WorkloadProfile gnmt_profile();
+
+/// BERT-large stand-in: 24 Transformer encoder layers of hidden 1024,
+/// sequence length 128, batch 32, Adam, QQP-sized epoch. 6 GPUs.
+WorkloadProfile bert_profile();
+
+/// AWD-LSTM stand-in: 3 LSTM layers (1150 hidden, 400 embed), vocab 10k,
+/// sequence length 70, batch 40, SGD/ASGD, PTB-sized epoch. 4 GPUs.
+WorkloadProfile awd_profile();
+
+/// Tiny 2-stage profile matching the proportions of the paper's Figure 7
+/// walkthrough (2 GPUs, 4 micro-batches, visible comm gaps).
+WorkloadProfile toy_two_stage_profile();
+
+/// All three paper workloads in evaluation order.
+std::vector<WorkloadProfile> paper_workloads();
+
+}  // namespace avgpipe::workloads

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/step_function.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace avgpipe {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(AVGPIPE_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsWithExpression) {
+  try {
+    AVGPIPE_CHECK(1 == 2, "message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("message 42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, ThrowMacro) {
+  EXPECT_THROW(AVGPIPE_THROW("boom"), Error);
+}
+
+TEST(RngTest, DeterministicInSeed) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng base(5);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000) == b.uniform_int(0, 1000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(1);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // 1/8! chance of false failure; fixed seed avoids it
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2.5 * kGiB), "2.50 GiB");
+}
+
+TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(format_seconds(2.5 * kHour), "2.50 h");
+  EXPECT_EQ(format_seconds(90.0), "1.50 min");
+  EXPECT_EQ(format_seconds(0.0425), "42.50 ms");
+}
+
+TEST(UnitsTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.873), "87.3%");
+}
+
+TEST(StatsTest, RunningStatsMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(StatsTest, HistogramQuantiles) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 0.45, 0.1);
+}
+
+TEST(StatsTest, HistogramClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(StatsTest, EmaConverges) {
+  Ema ema(0.5);
+  EXPECT_FALSE(ema.initialized());
+  ema.add(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+  for (int i = 0; i < 30; ++i) ema.add(2.0);
+  EXPECT_NEAR(ema.value(), 2.0, 1e-6);
+}
+
+TEST(StatsTest, RelativeDifference) {
+  EXPECT_NEAR(relative_difference(100.0, 110.0), 10.0 / 110.0, 1e-12);
+  EXPECT_EQ(relative_difference(0.0, 0.0), 0.0);
+}
+
+// -- StepFunction: the predictor's φ(t) curve -------------------------------------------
+
+TEST(StepFunctionTest, AppendAndQuery) {
+  StepFunction f;
+  f.append(0.0, 1.0, 0.5);
+  f.append(1.0, 3.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.value_at(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.value_at(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.value_at(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.integral(), 0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(f.duration(), 3.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 1.0);
+}
+
+TEST(StepFunctionTest, MergesAdjacentEqualSegments) {
+  StepFunction f;
+  f.append(0.0, 1.0, 0.7);
+  f.append(1.0, 2.0, 0.7);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.end(), 2.0);
+}
+
+TEST(StepFunctionTest, DropsEmptySegments) {
+  StepFunction f;
+  f.append(1.0, 1.0, 0.3);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(StepFunctionTest, OutOfOrderAppendThrows) {
+  StepFunction f;
+  f.append(0.0, 2.0, 0.3);
+  EXPECT_THROW(f.append(1.0, 3.0, 0.4), Error);
+}
+
+TEST(StepFunctionTest, ExcessIntegralMatchesEquationTwo) {
+  // φ = 0.6 on [0, 10); scaling by 2 exceeds 100 % by 0.2 over 10s -> 2.0.
+  StepFunction f;
+  f.append(0.0, 10.0, 0.6);
+  EXPECT_NEAR(f.excess_integral(2.0, 1.0), 2.0, 1e-12);
+  // No overflow when the scaled curve stays under 100 %.
+  EXPECT_DOUBLE_EQ(f.excess_integral(1.5, 1.0), 0.0);
+}
+
+TEST(StepFunctionTest, MeanOverSpanCountsGaps) {
+  StepFunction f;
+  f.append(0.0, 1.0, 1.0);
+  f.append(3.0, 4.0, 1.0);  // 2s gap at zero
+  EXPECT_DOUBLE_EQ(f.mean_over_span(), 0.5);
+}
+
+TEST(TableTest, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("b").cell_int(42);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), Error);
+}
+
+}  // namespace
+}  // namespace avgpipe

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "test_util.hpp"
+
+namespace avgpipe::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::Variable;
+using testutil::max_grad_error;
+
+class NnTest : public ::testing::Test {
+ protected:
+  Rng rng_{17};
+};
+
+TEST_F(NnTest, LinearShapes2d) {
+  Linear lin(4, 3, rng_);
+  Variable x(Tensor::randn({5, 4}, rng_), false);
+  EXPECT_EQ(lin.forward(x).shape(), Shape({5, 3}));
+}
+
+TEST_F(NnTest, LinearShapes3d) {
+  Linear lin(4, 3, rng_);
+  Variable x(Tensor::randn({2, 5, 4}, rng_), false);
+  EXPECT_EQ(lin.forward(x).shape(), Shape({2, 5, 3}));
+}
+
+TEST_F(NnTest, LinearWrongDimThrows) {
+  Linear lin(4, 3, rng_);
+  Variable x(Tensor::randn({5, 5}, rng_), false);
+  EXPECT_THROW(lin.forward(x), Error);
+}
+
+TEST_F(NnTest, LinearGradcheck) {
+  Linear lin(3, 2, rng_);
+  Variable x(Tensor::randn({4, 3}, rng_), true);
+  auto params = lin.parameters();
+  params.push_back(x);
+  EXPECT_LT(max_grad_error(
+                [&] {
+                  Variable y = lin.forward(x);
+                  return tensor::sum_all(tensor::mul(y, y));
+                },
+                params),
+            1e-4);
+}
+
+TEST_F(NnTest, LinearParamCount) {
+  Linear lin(4, 3, rng_);
+  EXPECT_EQ(lin.num_params(), 4u * 3u + 3u);
+  Linear nobias(4, 3, rng_, /*bias=*/false);
+  EXPECT_EQ(nobias.num_params(), 12u);
+}
+
+TEST_F(NnTest, EmbeddingLookup) {
+  Embedding emb(10, 4, rng_);
+  Variable ids(Tensor::from2d({{1, 2}, {3, 1}}), false);
+  Variable out = emb.forward(ids);
+  EXPECT_EQ(out.shape(), Shape({2, 2, 4}));
+  // Rows for the same token are identical.
+  const auto v = out.value().data();
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(v[0 * 4 + c], v[3 * 4 + c]);  // token 1 at (0,0) and (1,1)
+  }
+}
+
+TEST_F(NnTest, LayerNormNormalises) {
+  LayerNorm ln(8);
+  Variable x(Tensor::randn({4, 8}, rng_), false);
+  Tensor y = ln.forward(x).value();
+  for (std::size_t r = 0; r < 4; ++r) {
+    double mean = 0, var = 0;
+    for (std::size_t c = 0; c < 8; ++c) mean += y.at(r, c);
+    mean /= 8;
+    for (std::size_t c = 0; c < 8; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST_F(NnTest, DropoutRespectsTrainingFlag) {
+  Dropout d(0.5, rng_);
+  Variable x(Tensor::ones({1000}), false);
+  d.set_training(false);
+  EXPECT_EQ(d.forward(x).value().max_abs_diff(Tensor::ones({1000})), 0.0);
+  d.set_training(true);
+  EXPECT_GT(Tensor::ones({1000}).max_abs_diff(d.forward(x).value()), 0.0);
+}
+
+TEST_F(NnTest, DropConnectMasksWeightsOnlyInTraining) {
+  DropConnectLinear lin(6, 6, 0.5, rng_);
+  Variable x(Tensor::ones({2, 6}), false);
+  lin.set_training(false);
+  Tensor eval1 = lin.forward(x).value();
+  Tensor eval2 = lin.forward(x).value();
+  EXPECT_EQ(eval1.max_abs_diff(eval2), 0.0);  // deterministic in eval
+  lin.set_training(true);
+  Tensor train1 = lin.forward(x).value();
+  Tensor train2 = lin.forward(x).value();
+  EXPECT_GT(train1.max_abs_diff(train2), 0.0);  // fresh mask per pass
+}
+
+TEST_F(NnTest, MeanPoolSeq) {
+  MeanPoolSeq pool;
+  Variable x(Tensor::from2d({{1, 2}, {3, 4}}).reshape({1, 2, 2}), false);
+  Tensor y = pool.forward(x).value();
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST_F(NnTest, MeanPoolGradcheck) {
+  MeanPoolSeq pool;
+  Variable x(Tensor::randn({2, 3, 4}, rng_), true);
+  EXPECT_LT(max_grad_error(
+                [&] {
+                  Variable y = pool.forward(x);
+                  return tensor::sum_all(tensor::mul(y, y));
+                },
+                {x}),
+            1e-5);
+}
+
+TEST_F(NnTest, LastStep) {
+  LastStep last;
+  Variable x(Tensor::from2d({{1, 2}, {3, 4}}).reshape({1, 2, 2}), false);
+  Tensor y = last.forward(x).value();
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+}
+
+TEST_F(NnTest, AttentionShapesAndGrad) {
+  MultiHeadSelfAttention attn(8, 2, rng_);
+  attn.set_training(false);
+  Variable x(Tensor::randn({2, 3, 8}, rng_, 0.5), true);
+  Variable out = attn.forward(x);
+  EXPECT_EQ(out.shape(), Shape({2, 3, 8}));
+  auto params = attn.parameters();
+  params.push_back(x);
+  EXPECT_LT(max_grad_error(
+                [&] {
+                  Variable y = attn.forward(x);
+                  return tensor::mean_all(tensor::mul(y, y));
+                },
+                params, 1e-5),
+            1e-4);
+}
+
+TEST_F(NnTest, AttentionRejectsIndivisibleHeads) {
+  EXPECT_THROW(MultiHeadSelfAttention(10, 3, rng_), Error);
+}
+
+TEST_F(NnTest, TransformerLayerPreservesShape) {
+  TransformerEncoderLayer layer(8, 2, 16, rng_, 0.0);
+  layer.set_training(false);
+  Variable x(Tensor::randn({2, 4, 8}, rng_, 0.5), false);
+  EXPECT_EQ(layer.forward(x).shape(), Shape({2, 4, 8}));
+}
+
+TEST_F(NnTest, LstmShapes) {
+  LSTM lstm(4, 6, rng_);
+  Variable x(Tensor::randn({3, 5, 4}, rng_), false);
+  EXPECT_EQ(lstm.forward(x).shape(), Shape({3, 5, 6}));
+}
+
+TEST_F(NnTest, LstmGradcheck) {
+  LSTM lstm(3, 4, rng_);
+  lstm.set_training(false);
+  Variable x(Tensor::randn({2, 3, 3}, rng_, 0.5), true);
+  auto params = lstm.parameters();
+  params.push_back(x);
+  EXPECT_LT(max_grad_error(
+                [&] {
+                  Variable y = lstm.forward(x);
+                  return tensor::mean_all(tensor::mul(y, y));
+                },
+                params, 1e-5),
+            1e-4);
+}
+
+TEST_F(NnTest, LstmStateIsCausal) {
+  // Changing a later timestep must not affect earlier outputs.
+  LSTM lstm(2, 3, rng_);
+  lstm.set_training(false);
+  Tensor base = Tensor::randn({1, 4, 2}, rng_);
+  Variable x1(base.clone(), false);
+  Tensor modified = base.clone();
+  modified[modified.numel() - 1] += 1.0;
+  Variable x2(modified, false);
+  Tensor y1 = lstm.forward(x1).value();
+  Tensor y2 = lstm.forward(x2).value();
+  // First three timesteps identical, last differs.
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(y1[t * 3 + c], y2[t * 3 + c]) << "t=" << t;
+    }
+  }
+  EXPECT_GT(y1.max_abs_diff(y2), 0.0);
+}
+
+// -- Sequential / partitioning ---------------------------------------------------------
+
+TEST_F(NnTest, SequentialForwardChains) {
+  Sequential seq;
+  seq.emplace<Linear>(4, 8, rng_).emplace<Tanh>().emplace<Linear>(8, 2, rng_);
+  Variable x(Tensor::randn({3, 4}, rng_), false);
+  EXPECT_EQ(seq.forward(x).shape(), Shape({3, 2}));
+  EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST_F(NnTest, SequentialSliceSharesParameters) {
+  Sequential seq;
+  seq.emplace<Linear>(4, 4, rng_).emplace<Tanh>().emplace<Linear>(4, 4, rng_);
+  Sequential head = seq.slice(0, 2);
+  // Mutating the slice's parameter mutates the original.
+  head.parameters()[0].value().fill_(0.5);
+  EXPECT_EQ(seq.parameters()[0].value()[0], 0.5);
+}
+
+TEST_F(NnTest, PartitionCoversAllLayers) {
+  Sequential seq;
+  for (int i = 0; i < 6; ++i) seq.emplace<Tanh>();
+  auto stages = seq.partition({2, 4});
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].size(), 2u);
+  EXPECT_EQ(stages[1].size(), 2u);
+  EXPECT_EQ(stages[2].size(), 2u);
+}
+
+TEST_F(NnTest, PartitionedForwardEqualsFullForward) {
+  Sequential seq = make_mlp(6, 10, 3, 4, /*seed=*/5);
+  auto stages = seq.partition({2, 5});
+  Rng rng(9);
+  Variable x(Tensor::randn({4, 6}, rng), false);
+  Variable full = seq.forward(x);
+  Variable piecewise = x;
+  for (auto& s : stages) piecewise = s.forward(piecewise);
+  EXPECT_EQ(full.value().max_abs_diff(piecewise.value()), 0.0);
+}
+
+TEST_F(NnTest, CopyParametersMakesModelsIdentical) {
+  Sequential a = make_mlp(4, 8, 2, 3, 1);
+  Sequential b = make_mlp(4, 8, 2, 3, 2);
+  Rng rng(3);
+  Variable x(Tensor::randn({2, 4}, rng), false);
+  EXPECT_GT(a.forward(x).value().max_abs_diff(b.forward(x).value()), 0.0);
+  copy_parameters(a, b);
+  EXPECT_EQ(a.forward(x).value().max_abs_diff(b.forward(x).value()), 0.0);
+}
+
+// -- model builders ----------------------------------------------------------------------
+
+TEST_F(NnTest, GnmtLikeOutputShape) {
+  Sequential m = make_gnmt_like(50, 8, 12, 2, 5, 1);
+  Variable ids(Tensor::zeros({3, 7}), false);
+  EXPECT_EQ(m.forward(ids).shape(), Shape({3, 5}));
+}
+
+TEST_F(NnTest, BertLikeOutputShape) {
+  Sequential m = make_bert_like(50, 8, 2, 16, 2, 2, 1, 0.0);
+  m.set_training(false);
+  Variable ids(Tensor::zeros({2, 6}), false);
+  EXPECT_EQ(m.forward(ids).shape(), Shape({2, 2}));
+}
+
+TEST_F(NnTest, AwdLikeOutputShape) {
+  Sequential m = make_awd_like(30, 8, 12, 3, 1, 0.2);
+  m.set_training(false);
+  Variable ids(Tensor::zeros({2, 5}), false);
+  EXPECT_EQ(m.forward(ids).shape(), Shape({2, 5, 30}));
+}
+
+TEST_F(NnTest, ModelsAreDeterministicInSeed) {
+  Sequential a = make_bert_like(20, 8, 2, 16, 1, 2, 42, 0.0);
+  Sequential b = make_bert_like(20, 8, 2, 16, 1, 2, 42, 0.0);
+  auto pa = a.parameters(), pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].value().max_abs_diff(pb[i].value()), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace avgpipe::nn

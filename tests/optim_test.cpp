@@ -1,0 +1,171 @@
+#include "optim/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace avgpipe::optim {
+namespace {
+
+using tensor::Tensor;
+using tensor::Variable;
+
+/// Minimise f(x) = ||x - target||^2 with the given optimizer for `steps`.
+/// Returns the final distance to the optimum.
+double minimise_quadratic(Optimizer& opt, Variable& x, const Tensor& target,
+                          int steps) {
+  for (int i = 0; i < steps; ++i) {
+    opt.zero_grad();
+    tensor::mse_loss(x, target).backward();
+    opt.step();
+  }
+  return x.value().max_abs_diff(target);
+}
+
+class OptimTest : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(OptimTest, ConvergesOnQuadratic) {
+  Rng rng(3);
+  Variable x(Tensor::randn({8}, rng), true);
+  Tensor target = Tensor::randn({8}, rng);
+  auto opt = make_optimizer(GetParam(), {x}, /*lr=*/0.05);
+  const double d0 = x.value().max_abs_diff(target);
+  const double d1 = minimise_quadratic(*opt, x, target, 500);
+  EXPECT_LT(d1, d0 * 0.1) << to_string(GetParam());
+}
+
+TEST_P(OptimTest, StepCountIncrements) {
+  Variable x(Tensor::zeros({2}), true);
+  auto opt = make_optimizer(GetParam(), {x}, 0.1);
+  EXPECT_EQ(opt->step_count(), 0u);
+  opt->zero_grad();
+  tensor::mse_loss(x, Tensor::ones({2})).backward();
+  opt->step();
+  EXPECT_EQ(opt->step_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimTest,
+                         ::testing::Values(OptimizerKind::kSgd,
+                                           OptimizerKind::kMomentum,
+                                           OptimizerKind::kAdam,
+                                           OptimizerKind::kAdagrad,
+                                           OptimizerKind::kAsgd),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(SgdTest, SingleStepIsLrTimesGrad) {
+  Variable x(Tensor::from({1.0}), true);
+  Sgd sgd({x}, 0.1);
+  x.mutable_grad().copy_from(Tensor::from({2.0}));
+  sgd.step();
+  EXPECT_NEAR(x.value()[0], 1.0 - 0.1 * 2.0, 1e-12);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Variable x(Tensor::from({10.0}), true);
+  Sgd sgd({x}, 0.1, 0.0, /*weight_decay=*/0.5);
+  x.mutable_grad().zero_();
+  sgd.step();
+  EXPECT_LT(x.value()[0], 10.0);
+}
+
+TEST(SgdTest, MomentumAcceleratesOnConstantGradient) {
+  Variable a(Tensor::from({0.0}), true);
+  Variable b(Tensor::from({0.0}), true);
+  Sgd plain({a}, 0.1);
+  Sgd momentum({b}, 0.1, 0.9);
+  for (int i = 0; i < 10; ++i) {
+    a.mutable_grad().copy_from(Tensor::from({-1.0}));
+    b.mutable_grad().copy_from(Tensor::from({-1.0}));
+    plain.step();
+    momentum.step();
+    a.zero_grad();
+    b.zero_grad();
+  }
+  EXPECT_GT(b.value()[0], a.value()[0]);
+}
+
+TEST(AdamTest, BiasCorrectionMakesFirstStepLrSized) {
+  Variable x(Tensor::from({0.0}), true);
+  Adam adam({x}, 0.001);
+  x.mutable_grad().copy_from(Tensor::from({1e-3}));
+  adam.step();
+  // With bias correction, the first step is ~lr regardless of grad scale.
+  EXPECT_NEAR(x.value()[0], -0.001, 1e-4);
+}
+
+TEST(AdamTest, InvariantToGradientScale) {
+  Variable a(Tensor::from({0.0}), true);
+  Variable b(Tensor::from({0.0}), true);
+  Adam small({a}, 0.01);
+  Adam large({b}, 0.01);
+  for (int i = 0; i < 5; ++i) {
+    a.mutable_grad().copy_from(Tensor::from({0.001}));
+    b.mutable_grad().copy_from(Tensor::from({100.0}));
+    small.step();
+    large.step();
+    a.zero_grad();
+    b.zero_grad();
+  }
+  EXPECT_NEAR(a.value()[0], b.value()[0], 1e-5);
+}
+
+TEST(AdagradTest, StepSizesDecay) {
+  Variable x(Tensor::from({0.0}), true);
+  Adagrad opt({x}, 0.5);
+  x.mutable_grad().copy_from(Tensor::from({1.0}));
+  opt.step();
+  const double first = -x.value()[0];
+  const double before = x.value()[0];
+  x.zero_grad();
+  x.mutable_grad().copy_from(Tensor::from({1.0}));
+  opt.step();
+  const double second = before - x.value()[0];
+  EXPECT_GT(first, second);
+}
+
+TEST(AsgdTest, AverageLagsBehindIterates) {
+  Variable x(Tensor::from({0.0}), true);
+  Asgd opt({x}, 0.1, /*trigger=*/0);
+  for (int i = 0; i < 10; ++i) {
+    x.zero_grad();
+    x.mutable_grad().copy_from(Tensor::from({-1.0}));
+    opt.step();
+  }
+  // x has marched to 1.0; the Polyak average is the mean of the trajectory.
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  const auto avg = opt.averaged_params();
+  EXPECT_NEAR(avg[0][0], 0.55, 1e-12);  // mean of 0.1..1.0
+}
+
+TEST(AsgdTest, TriggerDelaysAveraging) {
+  Variable x(Tensor::from({0.0}), true);
+  Asgd opt({x}, 0.1, /*trigger=*/5);
+  for (int i = 0; i < 5; ++i) {
+    x.zero_grad();
+    x.mutable_grad().copy_from(Tensor::from({-1.0}));
+    opt.step();
+  }
+  // Before the trigger fires, averaged_params returns the live weights.
+  EXPECT_NEAR(opt.averaged_params()[0][0], x.value()[0], 1e-12);
+}
+
+TEST(AsgdTest, SwapToAverageOverwritesWeights) {
+  Variable x(Tensor::from({0.0}), true);
+  Asgd opt({x}, 0.1, 0);
+  for (int i = 0; i < 4; ++i) {
+    x.zero_grad();
+    x.mutable_grad().copy_from(Tensor::from({-1.0}));
+    opt.step();
+  }
+  opt.swap_to_average();
+  EXPECT_NEAR(x.value()[0], 0.25, 1e-12);  // mean of 0.1..0.4
+}
+
+TEST(FactoryTest, NamesRoundTrip) {
+  EXPECT_EQ(to_string(OptimizerKind::kAdam), "adam");
+  auto opt = make_optimizer(OptimizerKind::kAdam, {}, 0.1);
+  EXPECT_EQ(opt->name(), "Adam");
+}
+
+}  // namespace
+}  // namespace avgpipe::optim

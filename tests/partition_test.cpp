@@ -1,0 +1,184 @@
+#include "partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace avgpipe::partition {
+namespace {
+
+using workloads::ClusterSpec;
+using workloads::WorkloadProfile;
+
+WorkloadProfile random_profile(Rng& rng, std::size_t layers) {
+  WorkloadProfile w;
+  w.name = "random";
+  for (std::size_t i = 0; i < layers; ++i) {
+    workloads::LayerProfile l;
+    l.name = "l" + std::to_string(i);
+    l.fwd_flops_per_sample = rng.uniform(0.1, 10.0) * 1e9;
+    l.activation_bytes_per_sample = rng.uniform(1.0, 500.0) * 1e3;
+    l.stash_bytes_per_sample = 2.0 * l.activation_bytes_per_sample;
+    l.param_bytes = rng.uniform(1.0, 50.0) * 1e6;
+    w.layers.push_back(l);
+  }
+  w.batch_size = 32;
+  return w;
+}
+
+/// All ways to cut `layers` into `stages` contiguous ranges.
+void enumerate(std::size_t layers, std::size_t stages,
+               std::vector<std::size_t>& cuts,
+               const std::function<void(const std::vector<std::size_t>&)>& fn,
+               std::size_t next = 1) {
+  if (cuts.size() == stages - 1) {
+    fn(cuts);
+    return;
+  }
+  for (std::size_t c = next; c < layers; ++c) {
+    cuts.push_back(c);
+    enumerate(layers, stages, cuts, fn, c + 1);
+    cuts.pop_back();
+  }
+}
+
+double brute_force_best(const WorkloadProfile& w, const ClusterSpec& cluster,
+                        std::size_t stages) {
+  double best = 1e300;
+  std::vector<std::size_t> cuts;
+  enumerate(w.layers.size(), stages, cuts, [&](const auto& c) {
+    Partition p;
+    p.num_layers = w.layers.size();
+    p.stage_begin.push_back(0);
+    for (auto x : c) p.stage_begin.push_back(x);
+    best = std::min(best, bottleneck_cost(w, cluster, p));
+  });
+  return best;
+}
+
+TEST(UniformPartitionTest, EqualLayerCounts) {
+  Partition p = uniform_partition(12, 4);
+  EXPECT_EQ(p.num_stages(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(p.end_of(k) - p.begin_of(k), 3u);
+  }
+}
+
+TEST(UniformPartitionTest, UnevenCountsAreContiguous) {
+  Partition p = uniform_partition(10, 4);
+  EXPECT_EQ(p.begin_of(0), 0u);
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < 4; ++k) total += p.end_of(k) - p.begin_of(k);
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(UniformPartitionTest, TooManyStagesThrows) {
+  EXPECT_THROW(uniform_partition(3, 4), Error);
+}
+
+class PipedreamPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipedreamPropertyTest, DpMatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t layers = 6 + static_cast<std::size_t>(GetParam()) % 5;
+  WorkloadProfile w = random_profile(rng, layers);
+  ClusterSpec cluster = workloads::v100_cluster(4);
+  for (std::size_t stages : {2u, 3u, 4u}) {
+    Partition dp = pipedream_partition(w, cluster, stages);
+    const double dp_cost = bottleneck_cost(w, cluster, dp);
+    const double best = brute_force_best(w, cluster, stages);
+    EXPECT_NEAR(dp_cost, best, best * 1e-9)
+        << "layers=" << layers << " stages=" << stages;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipedreamPropertyTest,
+                         ::testing::Range(0, 12));
+
+TEST(PipedreamPartitionTest, CoversAllLayersInOrder) {
+  auto w = workloads::gnmt_profile();
+  auto cluster = workloads::v100_cluster(6);
+  Partition p = pipedream_partition(w, cluster, 6);
+  EXPECT_EQ(p.num_stages(), 6u);
+  EXPECT_EQ(p.begin_of(0), 0u);
+  for (std::size_t k = 1; k < 6; ++k) {
+    EXPECT_GT(p.begin_of(k), p.begin_of(k - 1));
+  }
+  EXPECT_EQ(p.end_of(5), w.layers.size());
+}
+
+TEST(PipedreamPartitionTest, BalancesComputeOnPaperWorkloads) {
+  // No stage should carry more than ~3x the mean compute.
+  for (const auto& w : workloads::paper_workloads()) {
+    auto cluster = workloads::v100_cluster(w.num_gpus);
+    Partition p = pipedream_partition(w, cluster, w.num_gpus);
+    auto costs = stage_costs(w, p);
+    Flops total = 0;
+    for (const auto& c : costs) total += c.fwd_flops_per_sample;
+    const Flops mean = total / static_cast<double>(costs.size());
+    for (const auto& c : costs) {
+      EXPECT_LT(c.fwd_flops_per_sample, 3.0 * mean) << w.name;
+    }
+  }
+}
+
+TEST(PipedreamPartitionTest, SingleStageTakesEverything) {
+  auto w = workloads::awd_profile();
+  auto cluster = workloads::v100_cluster(4);
+  Partition p = pipedream_partition(w, cluster, 1);
+  EXPECT_EQ(p.num_stages(), 1u);
+  EXPECT_EQ(p.end_of(0), w.layers.size());
+}
+
+TEST(StageCostsTest, SumsMatchProfileTotals) {
+  auto w = workloads::bert_profile();
+  auto cluster = workloads::v100_cluster(6);
+  Partition p = pipedream_partition(w, cluster, 6);
+  auto costs = stage_costs(w, p);
+  Flops flops = 0;
+  Bytes params = 0;
+  for (const auto& c : costs) {
+    flops += c.fwd_flops_per_sample;
+    params += c.param_bytes;
+  }
+  EXPECT_NEAR(flops, w.total_fwd_flops_per_sample(), 1.0);
+  EXPECT_NEAR(params, w.total_param_bytes(), 1.0);
+}
+
+TEST(StageCostsTest, BoundaryIsLastLayerActivation) {
+  auto w = workloads::awd_profile();
+  Partition p = uniform_partition(w.layers.size(), 2);
+  auto costs = stage_costs(w, p);
+  const std::size_t last_of_stage0 = p.end_of(0) - 1;
+  EXPECT_EQ(costs[0].boundary_act_bytes_per_sample,
+            w.layers[last_of_stage0].activation_bytes_per_sample);
+}
+
+TEST(ProfileTest, PaperWorkloadsAreWellFormed) {
+  for (const auto& w : workloads::paper_workloads()) {
+    EXPECT_GE(w.layers.size(), 5u) << w.name;
+    EXPECT_GT(w.total_fwd_flops_per_sample(), 0.0) << w.name;
+    EXPECT_GT(w.total_param_bytes(), 0.0) << w.name;
+    EXPECT_GT(w.batch_size, 0u) << w.name;
+    EXPECT_GT(w.efficiency(1.0), 0.0);
+    EXPECT_LT(w.efficiency(1.0), 1.0);
+    EXPECT_GT(w.efficiency(1e9), 0.99);
+  }
+}
+
+TEST(ClusterTest, LinkSelection) {
+  auto c = workloads::v100_cluster(6);
+  EXPECT_EQ(c.num_gpus(), 6u);
+  // GPUs 0,1 share a node; 1,2 do not.
+  EXPECT_GT(c.link_between(0, 1).bandwidth_bytes_per_s,
+            c.link_between(1, 2).bandwidth_bytes_per_s);
+  EXPECT_EQ(c.node_of(2), 1u);
+}
+
+TEST(ClusterTest, TransferTime) {
+  workloads::LinkSpec link{1e6, 1e-3};
+  EXPECT_DOUBLE_EQ(link.transfer_time(1e6), 1.0 + 1e-3);
+}
+
+}  // namespace
+}  // namespace avgpipe::partition

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+#include "tuning/tuner.hpp"
+
+namespace avgpipe::tuning {
+namespace {
+
+/// Predictor validation on the actual paper workloads (the toy-profile
+/// checks live in tuning_test.cpp): Equations (1)-(8) must track the
+/// simulator closely enough to rank settings correctly on GNMT, BERT and
+/// AWD — that is the property the whole tuning method rests on.
+
+class PaperPredictorTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static workloads::WorkloadProfile profile_of(const std::string& name) {
+    if (name == "GNMT") return workloads::gnmt_profile();
+    if (name == "BERT") return workloads::bert_profile();
+    return workloads::awd_profile();
+  }
+
+  void SetUp() override {
+    workload_ = profile_of(GetParam());
+    cluster_ = workloads::v100_cluster(workload_.num_gpus);
+    const auto part = partition::pipedream_partition(workload_, cluster_,
+                                                     workload_.num_gpus);
+    sim::SystemConfig sys;
+    sys.kind = schedule::Kind::kAdvanceForward;
+    sys.micro_batches = 1;
+    job_ = sim::build_job(workload_, cluster_, part, sys,
+                          workload_.batch_size, 4);
+    const std::size_t profile_m =
+        std::max<std::size_t>(2, workload_.batch_size / 8);
+    profile_ = run_profile(job_, profile_m, 1, /*batches=*/8);
+  }
+
+  workloads::WorkloadProfile workload_;
+  workloads::ClusterSpec cluster_;
+  sim::SimJob job_;
+  Profile profile_;
+};
+
+TEST_P(PaperPredictorTest, IdentityPredictionWithinFactorTwo) {
+  const Prediction p = predict(profile_, profile_.m, profile_.n,
+                               workload_.batch_size, 0.0);
+  EXPECT_GT(p.t_batch, 0.0);
+  EXPECT_LT(p.t_batch, 2.0 * profile_.time_per_batch);
+  EXPECT_GT(p.t_batch, 0.5 * profile_.time_per_batch);
+}
+
+TEST_P(PaperPredictorTest, RankingMostlyAgreesWithSimulation) {
+  struct Setting {
+    std::size_t m, n;
+  };
+  std::vector<Setting> settings;
+  for (std::size_t m = 1; m <= workload_.batch_size; m *= 4) {
+    settings.push_back({m, 1});
+    settings.push_back({m, 2});
+  }
+  std::vector<double> predicted, measured;
+  for (const auto& s : settings) {
+    predicted.push_back(
+        predict(profile_, s.m, s.n, workload_.batch_size, 0.0).t_per_sample);
+    bool oom = false;
+    measured.push_back(measure_setting(job_, workload_.batch_size, s.m, s.n,
+                                       0.0, &oom, 3));
+  }
+  int concordant = 0, total = 0;
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    for (std::size_t j = i + 1; j < settings.size(); ++j) {
+      // Skip near-ties, which are rank-unstable by construction.
+      if (relative_difference(measured[i], measured[j]) < 0.05) continue;
+      ++total;
+      if ((predicted[i] < predicted[j]) == (measured[i] < measured[j])) {
+        ++concordant;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GE(static_cast<double>(concordant) / total, 0.6) << GetParam();
+}
+
+TEST_P(PaperPredictorTest, MemoryPredictionTracksSimulation) {
+  // Eq. (8) against measured peaks for a few settings, within 2x (it cannot
+  // see schedule-dependent stash detail or the reference model).
+  for (std::size_t m : {4u, 8u}) {
+    for (std::size_t n : {1u, 2u}) {
+      if (m > workload_.batch_size) continue;
+      const Prediction p =
+          predict(profile_, m, n, workload_.batch_size, 0.0);
+      sim::SimJob job = job_;
+      job.micro_batches = m;
+      job.num_pipelines = n;
+      job.elastic_averaging = n > 1;
+      job.kind = schedule::Kind::kAdvanceForward;
+      job.memory_limit = 1e18;
+      const auto r = sim::simulate(job);
+      Bytes peak = 0;
+      for (const auto& g : r.gpus) peak = std::max(peak, g.peak_memory);
+      EXPECT_GT(p.peak_memory, 0.4 * peak) << "m=" << m << " n=" << n;
+      EXPECT_LT(p.peak_memory, 2.5 * peak) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST_P(PaperPredictorTest, ProfilingTunerBeatsBothGuidelines) {
+  // §7.3's bottom line on the real workloads: the profiling-based method is
+  // never worse than the better of the two naive guidelines (small slack
+  // for simulator noise).
+  auto grid = default_grid(workload_.batch_size, 4);
+  const Bytes limit = cluster_.gpu.memory;
+  const auto prof = profiling_tuner(job_, workload_.batch_size, grid, limit);
+  const auto mn = max_num_guideline(job_, workload_.batch_size, grid, limit);
+  const auto ms = max_size_guideline(job_, workload_.batch_size, grid, limit);
+  ASSERT_TRUE(prof.feasible);
+  const double best_guideline =
+      std::min(mn.feasible ? mn.time_per_sample : 1e300,
+               ms.feasible ? ms.time_per_sample : 1e300);
+  EXPECT_LE(prof.time_per_sample, best_guideline * 1.10) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, PaperPredictorTest,
+                         ::testing::Values("GNMT", "BERT", "AWD"));
+
+}  // namespace
+}  // namespace avgpipe::tuning

@@ -1,0 +1,145 @@
+#include "common/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace avgpipe {
+namespace {
+
+TEST(ChannelTest, SendRecvFifo) {
+  Channel<int> ch(8);
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.recv().value(), 1);
+  EXPECT_EQ(ch.recv().value(), 2);
+}
+
+TEST(ChannelTest, TrySendFullFails) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(ChannelTest, TryRecvEmptyFails) {
+  Channel<int> ch(2);
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+TEST(ChannelTest, CloseDrainsRemainingItems) {
+  Channel<int> ch(4);
+  ch.send(7);
+  ch.close();
+  EXPECT_EQ(ch.recv().value(), 7);
+  EXPECT_FALSE(ch.recv().has_value());
+}
+
+TEST(ChannelTest, SendAfterCloseFails) {
+  Channel<int> ch(4);
+  ch.close();
+  EXPECT_FALSE(ch.send(1));
+  EXPECT_FALSE(ch.try_send(1));
+}
+
+TEST(ChannelTest, CloseWakesBlockedReceiver) {
+  Channel<int> ch(1);
+  std::thread t([&] {
+    auto v = ch.recv();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  t.join();
+}
+
+TEST(ChannelTest, BackpressureBlocksSenderUntilRecv) {
+  Channel<int> ch(1);
+  ch.send(1);
+  std::atomic<bool> second_sent{false};
+  std::thread t([&] {
+    ch.send(2);
+    second_sent = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_sent.load());
+  EXPECT_EQ(ch.recv().value(), 1);
+  t.join();
+  EXPECT_TRUE(second_sent.load());
+  EXPECT_EQ(ch.recv().value(), 2);
+}
+
+TEST(ChannelTest, ZeroCapacityThrows) {
+  EXPECT_THROW(Channel<int>(0), Error);
+}
+
+TEST(ChannelStressTest, MpmcDeliversEverythingExactlyOnce) {
+  Channel<int> ch(16);
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ch.send(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = ch.recv()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  }
+  // Join producers, then close so consumers drain and exit.
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  ch.close();
+  for (std::size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] {
+      if (++counter == 10) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait_for(lock, std::chrono::seconds(5), [&] { return counter == 10; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace avgpipe

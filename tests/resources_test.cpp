@@ -1,0 +1,145 @@
+#include "sim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace avgpipe::sim {
+namespace {
+
+/// The concurrency-gain cap: co-scheduled small kernels raise utilization,
+/// but only up to gain x the largest single-kernel demand. This is the
+/// mechanism behind the paper's "diminishing marginal utility of GPU
+/// utilization when increasing the parallel pipeline number" (§5.1).
+
+TEST(ConcurrencyCapTest, SingleOpUnaffectedByGain) {
+  Engine e;
+  ComputeResource gpu(e, 100.0, /*gain=*/2.0);
+  Seconds done = -1;
+  gpu.submit(50.0, 0.5, [&] { done = e.now(); });
+  e.run();
+  EXPECT_NEAR(done, 1.0, 1e-9);
+}
+
+TEST(ConcurrencyCapTest, UnderCapOpsRunAtFullDemand) {
+  Engine e;
+  ComputeResource gpu(e, 100.0, /*gain=*/2.5);
+  Seconds t1 = -1, t2 = -1;
+  // cap = 2.5 * 0.2 = 0.5; total demand 0.4 < cap.
+  gpu.submit(20.0, 0.2, [&] { t1 = e.now(); });
+  gpu.submit(20.0, 0.2, [&] { t2 = e.now(); });
+  e.run();
+  EXPECT_NEAR(t1, 1.0, 1e-9);
+  EXPECT_NEAR(t2, 1.0, 1e-9);
+}
+
+TEST(ConcurrencyCapTest, OverCapScalesProportionally) {
+  Engine e;
+  ComputeResource gpu(e, 100.0, /*gain=*/2.0);
+  // cap = 2.0 * 0.2 = 0.4; total demand 0.8 -> scale 0.5.
+  Seconds t = -1;
+  for (int i = 0; i < 4; ++i) {
+    gpu.submit(20.0, 0.2, [&] { t = e.now(); });
+  }
+  e.run();
+  // Each op rate = 100 * 0.2 * 0.5 = 10 -> 2 s.
+  EXPECT_NEAR(t, 2.0, 1e-9);
+}
+
+TEST(ConcurrencyCapTest, UtilizationCurveReflectsCap) {
+  Engine e;
+  ComputeResource gpu(e, 100.0, /*gain=*/2.0);
+  for (int i = 0; i < 4; ++i) gpu.submit(20.0, 0.2, [] {});
+  e.run();
+  EXPECT_NEAR(gpu.utilization().max_value(), 0.4, 1e-12);
+}
+
+TEST(ConcurrencyCapTest, LargeKernelLiftsTheCap) {
+  Engine e;
+  ComputeResource gpu(e, 100.0, /*gain=*/2.0);
+  // A demand-0.5 kernel raises the cap to min(1, 1.0) = 1.0, so the small
+  // kernels temporarily co-run at full rate.
+  Seconds small_done = -1;
+  gpu.submit(200.0, 0.5, [] {});
+  gpu.submit(20.0, 0.2, [&] { small_done = e.now(); });
+  e.run();
+  // D = 0.7 <= cap 1.0 -> small kernel runs at 20/s -> 1 s.
+  EXPECT_NEAR(small_done, 1.0, 1e-9);
+}
+
+TEST(ConcurrencyCapTest, ThroughputNeverExceedsPeak) {
+  Engine e;
+  ComputeResource gpu(e, 100.0, /*gain=*/1e9);
+  Seconds t = -1;
+  for (int i = 0; i < 4; ++i) {
+    gpu.submit(50.0, 0.5, [&] { t = e.now(); });
+  }
+  e.run();
+  // Total 200 units at peak 100/s -> exactly 2 s.
+  EXPECT_NEAR(t, 2.0, 1e-9);
+  EXPECT_NEAR(gpu.utilization().max_value(), 1.0, 1e-12);
+}
+
+TEST(ConcurrencyCapTest, InvalidGainThrows) {
+  Engine e;
+  EXPECT_THROW(ComputeResource(e, 100.0, 0.0), Error);
+}
+
+// -- link stress ----------------------------------------------------------------
+
+TEST(LinkStressTest, ManyQueuedTransfersPreserveFifoAndTotals) {
+  Engine e;
+  LinkResource link(e, 1000.0, 0.01);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    link.transfer(100.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_NEAR(link.busy_time(), 50 * 0.1, 1e-9);
+}
+
+TEST(LinkStressTest, InterleavedSubmissionKeepsWireConservation) {
+  Engine e;
+  LinkResource link(e, 1000.0, 0.0);
+  double delivered_bytes = 0;
+  // Schedule bursts at several times; total wire time must equal volume/bw.
+  for (int burst = 0; burst < 5; ++burst) {
+    e.schedule_at(burst * 0.5, [&] {
+      for (int i = 0; i < 3; ++i) {
+        link.transfer(200.0, [&] { delivered_bytes += 200.0; });
+      }
+    });
+  }
+  e.run();
+  EXPECT_DOUBLE_EQ(delivered_bytes, 3000.0);
+  EXPECT_NEAR(link.busy_time(), 3000.0 / 1000.0, 1e-9);
+}
+
+// -- memory categories under churn -------------------------------------------------
+
+TEST(MemoryChurnTest, PeaksAreMonotoneAndConsistent) {
+  MemoryTracker mem(0.0);
+  Rng rng(3);
+  double current = 0, peak = 0;
+  std::vector<double> live;
+  for (int i = 0; i < 1000; ++i) {
+    if (!live.empty() && rng.bernoulli(0.5)) {
+      mem.free(live.back(), MemCategory::kActivations);
+      current -= live.back();
+      live.pop_back();
+    } else {
+      const double b = rng.uniform(1.0, 100.0);
+      mem.alloc(b, MemCategory::kActivations);
+      current += b;
+      live.push_back(b);
+      peak = std::max(peak, current);
+    }
+    EXPECT_NEAR(mem.current(), current, 1e-6);
+    EXPECT_NEAR(mem.peak(), peak, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace avgpipe::sim

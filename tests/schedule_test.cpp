@@ -1,0 +1,242 @@
+#include "schedule/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avgpipe::schedule {
+namespace {
+
+ScheduleParams params(Kind kind, std::size_t k, std::size_t m,
+                      std::size_t batches = 1, std::size_t advance = 0) {
+  ScheduleParams p;
+  p.kind = kind;
+  p.num_stages = k;
+  p.micro_batches = m;
+  p.num_batches = batches;
+  p.advance_num = advance;
+  return p;
+}
+
+// -- validity across the whole (kind, K, M) grid --------------------------------------
+
+struct GridCase {
+  Kind kind;
+  std::size_t k;
+  std::size_t m;
+};
+
+class ScheduleGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ScheduleGridTest, GeneratedScheduleIsValid) {
+  const auto& c = GetParam();
+  const std::size_t advance =
+      c.kind == Kind::kAdvanceForward ? c.k : 0;  // K-1 minimum satisfied
+  auto sched = make_schedule(params(c.kind, c.k, c.m, 2, advance));
+  auto result = check_schedule(sched, c.m, 2);
+  EXPECT_TRUE(result.ok) << to_string(c.kind) << " K=" << c.k << " M=" << c.m
+                         << ": " << result.error;
+}
+
+std::vector<GridCase> grid_cases() {
+  std::vector<GridCase> cases;
+  for (Kind kind : {Kind::kAfab, Kind::kOneFOneB, Kind::kAdvanceForward,
+                    Kind::kPipeDream, Kind::kPipeDream2BW}) {
+    for (std::size_t k : {1u, 2u, 4u, 6u}) {
+      for (std::size_t m : {1u, 2u, 4u, 8u, 16u}) {
+        cases.push_back({kind, k, m});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ScheduleGridTest, ::testing::ValuesIn(grid_cases()),
+    [](const auto& info) {
+      std::string name = to_string(info.param.kind) + "_K" +
+                         std::to_string(info.param.k) + "_M" +
+                         std::to_string(info.param.m);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// -- warmup / stash bounds ---------------------------------------------------------------
+
+TEST(WarmupTest, OneFOneBWarmupIsKMinus1MinusStage) {
+  // advance = K-1 (the 1F1B identity).
+  EXPECT_EQ(warmup_for_stage(5, 0, 100), 5u);
+  EXPECT_EQ(warmup_for_stage(5, 3, 100), 2u);
+  EXPECT_EQ(warmup_for_stage(5, 5, 100), 0u);
+  EXPECT_EQ(warmup_for_stage(5, 9, 100), 0u);
+}
+
+TEST(WarmupTest, ClampsToMicroBatches) {
+  EXPECT_EQ(warmup_for_stage(100, 0, 8), 8u);
+}
+
+TEST(StashBoundTest, OneFOneBMatchesPaperBound) {
+  // Paper §4.1: with K GPUs the k-th GPU (1-indexed) stashes at most
+  // K - k + 1 micro-batches under 1F1B.
+  const std::size_t k = 4, m = 12;
+  auto sched = make_schedule(params(Kind::kOneFOneB, k, m));
+  auto result = check_schedule(sched, m, 1);
+  ASSERT_TRUE(result.ok);
+  for (std::size_t stage = 0; stage < k; ++stage) {
+    EXPECT_EQ(result.max_in_flight[stage], k - stage)
+        << "stage " << stage;
+  }
+}
+
+TEST(StashBoundTest, AfabStashesEverything) {
+  auto sched = make_schedule(params(Kind::kAfab, 3, 8));
+  auto result = check_schedule(sched, 8, 1);
+  ASSERT_TRUE(result.ok);
+  for (std::size_t stage = 0; stage < 3; ++stage) {
+    EXPECT_EQ(result.max_in_flight[stage], 8u);
+  }
+}
+
+TEST(StashBoundTest, AdvanceForwardInterpolates) {
+  // advance = K (one beyond 1F1B): stage 0 stashes one extra micro-batch.
+  const std::size_t k = 4, m = 12;
+  auto afp = make_schedule(params(Kind::kAdvanceForward, k, m, 1, k));
+  auto result = check_schedule(afp, m, 1);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.max_in_flight[0], k + 1);  // one more than 1F1B's K
+  EXPECT_EQ(result.max_in_flight[k - 1], 2u);
+}
+
+TEST(StashBoundTest, PaperFigure7Example) {
+  // K=2, M=4: the paper's walkthrough has AFP stash 3 on GPU 1 (advance=2)
+  // vs 2 for 1F1B and 4 for AFAB.
+  auto f1b = check_schedule(make_schedule(params(Kind::kOneFOneB, 2, 4)), 4, 1);
+  auto afp = check_schedule(
+      make_schedule(params(Kind::kAdvanceForward, 2, 4, 1, 2)), 4, 1);
+  auto afab = check_schedule(make_schedule(params(Kind::kAfab, 2, 4)), 4, 1);
+  EXPECT_EQ(f1b.max_in_flight[0], 2u);
+  EXPECT_EQ(afp.max_in_flight[0], 3u);
+  EXPECT_EQ(afab.max_in_flight[0], 4u);
+}
+
+// -- degeneracies (paper §4.2 "Pros and Cons") ---------------------------------------------
+
+TEST(DegeneracyTest, AdvanceKMinus1EqualsOneFOneB) {
+  const std::size_t k = 4, m = 8;
+  auto f1b = make_schedule(params(Kind::kOneFOneB, k, m, 2));
+  auto afp = make_schedule(params(Kind::kAdvanceForward, k, m, 2, k - 1));
+  for (std::size_t stage = 0; stage < k; ++stage) {
+    EXPECT_EQ(format_stream(f1b.stages[stage]),
+              format_stream(afp.stages[stage]));
+  }
+}
+
+TEST(DegeneracyTest, LargeAdvanceEqualsAfabOnStage0) {
+  const std::size_t k = 3, m = 6;
+  auto afab = make_schedule(params(Kind::kAfab, k, m));
+  auto afp = make_schedule(params(Kind::kAdvanceForward, k, m, 1, m + k));
+  EXPECT_EQ(format_stream(afab.stages[0]), format_stream(afp.stages[0]));
+}
+
+TEST(DegeneracyTest, SingleMicroBatchAllFlushedKindsAgree) {
+  // Paper §7.2 (AWD): with M = 1 AFAB and 1F1B act the same way.
+  const std::size_t k = 4;
+  auto afab = make_schedule(params(Kind::kAfab, k, 1));
+  auto f1b = make_schedule(params(Kind::kOneFOneB, k, 1));
+  for (std::size_t stage = 0; stage < k; ++stage) {
+    EXPECT_EQ(format_stream(afab.stages[stage]),
+              format_stream(f1b.stages[stage]));
+  }
+}
+
+// -- golden streams (paper Figure 7, K=2, M=4) ------------------------------------------------
+
+TEST(GoldenTest, AfabStreams) {
+  auto sched = make_schedule(params(Kind::kAfab, 2, 4));
+  EXPECT_EQ(format_stream(sched.stages[0]), "F0 F1 F2 F3 B0 B1 B2 B3 U");
+  EXPECT_EQ(format_stream(sched.stages[1]), "F0 F1 F2 F3 B0 B1 B2 B3 U");
+}
+
+TEST(GoldenTest, OneFOneBStreams) {
+  auto sched = make_schedule(params(Kind::kOneFOneB, 2, 4));
+  EXPECT_EQ(format_stream(sched.stages[0]), "F0 F1 B0 F2 B1 F3 B2 B3 U");
+  EXPECT_EQ(format_stream(sched.stages[1]), "F0 B0 F1 B1 F2 B2 F3 B3 U");
+}
+
+TEST(GoldenTest, AdvanceForwardStreams) {
+  // Figure 7(c): GPU 1 forwards micro-batch 3 in advance.
+  auto sched = make_schedule(params(Kind::kAdvanceForward, 2, 4, 1, 2));
+  EXPECT_EQ(format_stream(sched.stages[0]), "F0 F1 F2 B0 F3 B1 B2 B3 U");
+  EXPECT_EQ(format_stream(sched.stages[1]), "F0 F1 B0 F2 B1 F3 B2 B3 U");
+}
+
+TEST(GoldenTest, DataParallelStream) {
+  auto sched = make_schedule(params(Kind::kDataParallel, 3, 1, 2));
+  EXPECT_EQ(format_stream(sched.stages[0]), "F0 B0 AR U F1.0 B1.0 AR U");
+}
+
+// -- weight versions (memory model, paper §2) -------------------------------------------------
+
+TEST(WeightVersionsTest, PipeDreamKeepsStageDependentVersions) {
+  // "PipeDream has to maintain four (equal to the number of GPUs) versions"
+  // on the first GPU.
+  EXPECT_EQ(weight_versions(Kind::kPipeDream, 0, 4), 4u);
+  EXPECT_EQ(weight_versions(Kind::kPipeDream, 3, 4), 1u);
+}
+
+TEST(WeightVersionsTest, TwoBWKeepsTwoEverywhere) {
+  for (std::size_t stage = 0; stage < 4; ++stage) {
+    EXPECT_EQ(weight_versions(Kind::kPipeDream2BW, stage, 4), 2u);
+  }
+}
+
+TEST(WeightVersionsTest, FlushedKindsKeepOne) {
+  EXPECT_EQ(weight_versions(Kind::kAfab, 0, 4), 1u);
+  EXPECT_EQ(weight_versions(Kind::kOneFOneB, 0, 4), 1u);
+  EXPECT_EQ(weight_versions(Kind::kAdvanceForward, 0, 4), 1u);
+}
+
+// -- flush-free continuity ---------------------------------------------------------------------
+
+TEST(FlushFreeTest, PipeDreamCrossesBatchBoundaries) {
+  // The first stage of a 2-stage PipeDream should forward batch 1's first
+  // micro-batch before finishing batch 0's backwards (no flush).
+  auto sched = make_schedule(params(Kind::kPipeDream, 2, 2, 2));
+  const std::string s = format_stream(sched.stages[0]);
+  const auto fwd_b1 = s.find("F1.0");
+  const auto last_bwd_b0 = s.rfind("B1");
+  ASSERT_NE(fwd_b1, std::string::npos);
+  EXPECT_LT(fwd_b1, last_bwd_b0);
+}
+
+TEST(FlushFreeTest, PipeDreamUpdatesPerMicroBatch) {
+  auto sched = make_schedule(params(Kind::kPipeDream, 2, 4, 1));
+  std::size_t updates = 0;
+  for (const auto& instr : sched.stages[0].instrs) {
+    if (instr.kind == OpKind::kUpdate) ++updates;
+  }
+  EXPECT_EQ(updates, 4u);
+}
+
+TEST(FlushFreeTest, TwoBWUpdatesPerBatch) {
+  auto sched = make_schedule(params(Kind::kPipeDream2BW, 2, 4, 2));
+  std::size_t updates = 0;
+  for (const auto& instr : sched.stages[0].instrs) {
+    if (instr.kind == OpKind::kUpdate) ++updates;
+  }
+  EXPECT_EQ(updates, 2u);
+}
+
+TEST(InvalidParamsTest, AdvanceBelow1F1BThrows) {
+  EXPECT_THROW(make_schedule(params(Kind::kAdvanceForward, 4, 8, 1, 1)),
+               Error);
+}
+
+TEST(NamesTest, ToStringCoversAllKinds) {
+  EXPECT_EQ(to_string(Kind::kAfab), "AFAB");
+  EXPECT_EQ(to_string(Kind::kAdvanceForward), "AFP");
+  EXPECT_EQ(to_string(OpKind::kForward), "F");
+}
+
+}  // namespace
+}  // namespace avgpipe::schedule

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace avgpipe::sim {
+namespace {
+
+/// Parameterized property sweeps over the full (workload, kind, M, N) grid:
+/// the invariants every simulation must satisfy regardless of configuration.
+
+struct GridCase {
+  std::string workload;
+  schedule::Kind kind;
+  std::size_t m;
+  std::size_t n;
+};
+
+workloads::WorkloadProfile profile_of(const std::string& name) {
+  if (name == "GNMT") return workloads::gnmt_profile();
+  if (name == "BERT") return workloads::bert_profile();
+  if (name == "AWD") return workloads::awd_profile();
+  return workloads::toy_two_stage_profile();
+}
+
+SimResult run_case(const GridCase& c, std::size_t batches = 3) {
+  const auto w = profile_of(c.workload);
+  const auto cluster = workloads::v100_cluster(w.num_gpus);
+  const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+  SystemConfig sys;
+  sys.kind = c.kind;
+  sys.micro_batches = c.m;
+  sys.num_pipelines = c.n;
+  sys.elastic_averaging = c.n > 1;
+  auto job = build_job(w, cluster, part, sys, w.batch_size, batches);
+  job.memory_limit = 1e18;  // invariants, not OOM, are under test
+  return simulate(job);
+}
+
+class SimGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(SimGridTest, UniversalInvariants) {
+  const auto& c = GetParam();
+  const SimResult r = run_case(c);
+
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_NEAR(r.time_per_batch, r.makespan / 3.0, 1e-9);
+  EXPECT_GE(r.mean_utilization, 0.0);
+  EXPECT_LE(r.mean_utilization, 1.0 + 1e-9);
+  EXPECT_LE(r.peak_utilization, 1.0 + 1e-9);
+
+  for (const auto& g : r.gpus) {
+    EXPECT_GE(g.busy, 0.0);
+    EXPECT_LE(g.busy, r.makespan + 1e-9);
+    EXPECT_GE(g.peak_memory, g.static_memory);
+    EXPECT_GE(g.comm_block, 0.0);
+    EXPECT_GE(g.bubble, 0.0);
+    if (!g.utilization.empty()) {
+      EXPECT_LE(g.utilization.max_value(), 1.0 + 1e-9);
+      EXPECT_GE(g.utilization.integral(), 0.0);
+    }
+  }
+}
+
+TEST_P(SimGridTest, Deterministic) {
+  const auto& c = GetParam();
+  const SimResult a = run_case(c);
+  const SimResult b = run_case(c);
+  EXPECT_EQ(a.makespan, b.makespan);
+  for (std::size_t k = 0; k < a.gpus.size(); ++k) {
+    EXPECT_EQ(a.gpus[k].busy, b.gpus[k].busy);
+    EXPECT_EQ(a.gpus[k].peak_memory, b.gpus[k].peak_memory);
+    EXPECT_EQ(a.gpus[k].total_comm, b.gpus[k].total_comm);
+  }
+}
+
+std::vector<GridCase> grid() {
+  std::vector<GridCase> cases;
+  for (const char* w : {"GNMT", "BERT", "AWD"}) {
+    for (auto kind : {schedule::Kind::kAfab, schedule::Kind::kOneFOneB,
+                      schedule::Kind::kAdvanceForward,
+                      schedule::Kind::kPipeDream,
+                      schedule::Kind::kPipeDream2BW}) {
+      for (std::size_t m : {1u, 4u}) {
+        for (std::size_t n : {1u, 2u}) {
+          cases.push_back({w, kind, m, n});
+        }
+      }
+    }
+    cases.push_back({w, schedule::Kind::kDataParallel, 1, 1});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperWorkloads, SimGridTest, ::testing::ValuesIn(grid()),
+    [](const auto& info) {
+      std::string name = info.param.workload + "_" +
+                         schedule::to_string(info.param.kind) + "_M" +
+                         std::to_string(info.param.m) + "_N" +
+                         std::to_string(info.param.n);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// -- monotonicity properties ----------------------------------------------------------
+
+class AdvanceSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AdvanceSweepTest, TimeNonIncreasingMemoryNonDecreasingInAdvance) {
+  // The AFP trade-off (paper §4.2): more advance does not slow the pipeline
+  // (up to a small tolerance — near the AFAB end, bunching all forward
+  // transfers can contend on the half-duplex links) and never shrinks the
+  // footprint.
+  const auto w = profile_of(GetParam());
+  const auto cluster = workloads::v100_cluster(w.num_gpus);
+  const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+  const std::size_t k = w.num_gpus;
+  const std::size_t m = 16;
+
+  Seconds prev_time = 1e300;
+  Bytes prev_mem = 0;
+  for (std::size_t advance : {k - 1, k + 1, k + 4, m + k}) {
+    SystemConfig sys;
+    sys.kind = schedule::Kind::kAdvanceForward;
+    sys.micro_batches = m;
+    sys.advance_num = advance;
+    auto job = build_job(w, cluster, part, sys, w.batch_size, 3);
+    job.memory_limit = 1e18;
+    const SimResult r = simulate(job);
+    Bytes peak = 0;
+    for (const auto& g : r.gpus) peak = std::max(peak, g.peak_memory);
+    EXPECT_LE(r.time_per_batch, prev_time * 1.05)
+        << "advance " << advance << " slowed the pipeline";
+    EXPECT_GE(peak, prev_mem - 1.0) << "advance " << advance;
+    prev_time = r.time_per_batch;
+    prev_mem = peak;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, AdvanceSweepTest,
+                         ::testing::Values("GNMT", "BERT", "AWD"));
+
+TEST(MicroBatchSweepTest, MoreMicroBatchesShrinkActivationPeaks) {
+  // Under 1F1B the stash is ~K micro-batches; smaller micro-batches mean a
+  // smaller stash (the mechanism AvgPipe uses to pay for its replicas).
+  const auto w = workloads::bert_profile();
+  const auto cluster = workloads::v100_cluster(w.num_gpus);
+  const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+  Bytes prev = 1e30;
+  for (std::size_t m : {2u, 4u, 8u, 16u, 32u}) {
+    SystemConfig sys;
+    sys.kind = schedule::Kind::kOneFOneB;
+    sys.micro_batches = m;
+    auto job = build_job(w, cluster, part, sys, w.batch_size, 2);
+    job.memory_limit = 1e18;
+    const SimResult r = simulate(job);
+    Bytes act = 0;
+    for (const auto& g : r.gpus) act = std::max(act, g.peak_activations);
+    EXPECT_LE(act, prev * 1.001) << "M=" << m;
+    prev = act;
+  }
+}
+
+TEST(PipelineSweepTest, EpochThroughputNeverDegradesWithSecondPipeline) {
+  // Adding the second elastic pipeline must improve (or at least match)
+  // per-sample throughput on every paper workload — the core AvgPipe claim.
+  for (const char* name : {"GNMT", "BERT", "AWD"}) {
+    const auto w = profile_of(name);
+    const auto cluster = workloads::v100_cluster(w.num_gpus);
+    const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+    double prev_per_sample = 1e300;
+    for (std::size_t n : {1u, 2u}) {
+      SystemConfig sys;
+      sys.kind = schedule::Kind::kAdvanceForward;
+      sys.micro_batches = std::max<std::size_t>(1, w.batch_size / 8);
+      sys.num_pipelines = n;
+      sys.elastic_averaging = n > 1;
+      auto job = build_job(w, cluster, part, sys, w.batch_size, 3);
+      job.memory_limit = 1e18;
+      const SimResult r = simulate(job);
+      const double per_sample =
+          r.time_per_batch /
+          (static_cast<double>(n) * static_cast<double>(w.batch_size));
+      EXPECT_LE(per_sample, prev_per_sample * 1.02) << name << " N=" << n;
+      prev_per_sample = per_sample;
+    }
+  }
+}
+
+TEST(RecomputeTest, TradesMemoryForBackwardCompute) {
+  // Activation recomputation: far smaller stash, measurably slower batch.
+  const auto w = workloads::bert_profile();
+  const auto cluster = workloads::v100_cluster(w.num_gpus);
+  const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+  SystemConfig sys;
+  sys.kind = schedule::Kind::kAfab;
+  sys.micro_batches = 8;
+  auto job = build_job(w, cluster, part, sys, w.batch_size, 3);
+  job.memory_limit = 1e18;
+
+  const SimResult plain = simulate(job);
+  job.activation_recompute = true;
+  const SimResult recompute = simulate(job);
+
+  Bytes plain_act = 0, rec_act = 0;
+  for (const auto& g : plain.gpus) plain_act = std::max(plain_act, g.peak_activations);
+  for (const auto& g : recompute.gpus) rec_act = std::max(rec_act, g.peak_activations);
+  EXPECT_LT(rec_act, 0.25 * plain_act);
+  EXPECT_GT(recompute.time_per_batch, plain.time_per_batch);
+}
+
+}  // namespace
+}  // namespace avgpipe::sim

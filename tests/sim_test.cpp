@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+#include "sim/simulator.hpp"
+
+namespace avgpipe::sim {
+namespace {
+
+// -- Engine -------------------------------------------------------------------------
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(e.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, TiesBreakByScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(1.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EngineTest, EventsCanScheduleEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] {
+    ++fired;
+    e.schedule_after(1.0, [&] { ++fired; });
+  });
+  EXPECT_DOUBLE_EQ(e.run(), 2.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, SchedulingIntoThePastThrows) {
+  Engine e;
+  e.schedule_at(5.0, [&] {
+    EXPECT_THROW(e.schedule_at(1.0, [] {}), Error);
+  });
+  e.run();
+}
+
+// -- ComputeResource (processor sharing) ------------------------------------------------
+
+TEST(ComputeResourceTest, SingleOpRunsAtDemandedRate) {
+  Engine e;
+  ComputeResource gpu(e, 100.0);
+  Seconds done_at = -1;
+  gpu.submit(50.0, 0.5, [&] { done_at = e.now(); });
+  e.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);  // 50 work at rate 100*0.5
+}
+
+TEST(ComputeResourceTest, UndersubscribedOpsDoNotSlowEachOther) {
+  Engine e;
+  ComputeResource gpu(e, 100.0);
+  Seconds t1 = -1, t2 = -1;
+  gpu.submit(40.0, 0.4, [&] { t1 = e.now(); });
+  gpu.submit(40.0, 0.4, [&] { t2 = e.now(); });
+  e.run();
+  EXPECT_NEAR(t1, 1.0, 1e-9);
+  EXPECT_NEAR(t2, 1.0, 1e-9);
+}
+
+TEST(ComputeResourceTest, OversubscriptionScalesProportionally) {
+  Engine e;
+  ComputeResource gpu(e, 100.0);
+  Seconds t1 = -1;
+  gpu.submit(60.0, 0.6, [&] { t1 = e.now(); });
+  gpu.submit(60.0, 0.6, [&] {});
+  e.run();
+  // Total demand 1.2 -> each op runs at 100*0.6/1.2 = 50 -> 60/50 = 1.2s.
+  EXPECT_NEAR(t1, 1.2, 1e-9);
+}
+
+TEST(ComputeResourceTest, LateArrivalSharesRemainingWork) {
+  Engine e;
+  ComputeResource gpu(e, 100.0);
+  Seconds t1 = -1, t2 = -1;
+  gpu.submit(80.0, 0.8, [&] { t1 = e.now(); });
+  e.schedule_at(0.5, [&] { gpu.submit(40.0, 0.8, [&] { t2 = e.now(); }); });
+  e.run();
+  // [0,0.5): op1 at 80/s -> 40 left. Then demand 1.6 -> each at 50/s.
+  // op2 (40 work) and op1 (40 left) both finish at 0.5 + 0.8 = 1.3.
+  EXPECT_NEAR(t1, 1.3, 1e-9);
+  EXPECT_NEAR(t2, 1.3, 1e-9);
+}
+
+TEST(ComputeResourceTest, UtilizationCurveTracksDemand) {
+  Engine e;
+  ComputeResource gpu(e, 100.0);
+  gpu.submit(50.0, 0.5, [] {});
+  e.run();
+  const StepFunction& phi = gpu.utilization();
+  EXPECT_NEAR(phi.integral(), 0.5 * 1.0, 1e-9);
+  EXPECT_NEAR(gpu.busy_time(), 1.0, 1e-9);
+}
+
+TEST(ComputeResourceTest, UtilizationCapsAtOne) {
+  Engine e;
+  ComputeResource gpu(e, 100.0);
+  gpu.submit(60.0, 0.9, [] {});
+  gpu.submit(60.0, 0.9, [] {});
+  e.run();
+  EXPECT_NEAR(gpu.utilization().max_value(), 1.0, 1e-9);
+}
+
+TEST(ComputeResourceTest, ZeroWorkCompletesImmediately) {
+  Engine e;
+  ComputeResource gpu(e, 1e12);
+  bool done = false;
+  gpu.submit(0.0, 1.0, [&] { done = true; });
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ComputeResourceTest, InvalidDemandThrows) {
+  Engine e;
+  ComputeResource gpu(e, 100.0);
+  EXPECT_THROW(gpu.submit(1.0, 0.0, [] {}), Error);
+  EXPECT_THROW(gpu.submit(1.0, 1.5, [] {}), Error);
+}
+
+// -- LinkResource -----------------------------------------------------------------------
+
+TEST(LinkResourceTest, TransferTimeIsBytesOverBandwidthPlusLatency) {
+  Engine e;
+  LinkResource link(e, 1000.0, 0.1);
+  Seconds delivered = -1;
+  link.transfer(500.0, [&] { delivered = e.now(); });
+  e.run();
+  EXPECT_NEAR(delivered, 0.5 + 0.1, 1e-9);
+}
+
+TEST(LinkResourceTest, TransfersSerialise) {
+  Engine e;
+  LinkResource link(e, 1000.0, 0.0);
+  Seconds t1 = -1, t2 = -1;
+  link.transfer(1000.0, [&] { t1 = e.now(); });
+  link.transfer(1000.0, [&] { t2 = e.now(); });
+  e.run();
+  EXPECT_NEAR(t1, 1.0, 1e-9);
+  EXPECT_NEAR(t2, 2.0, 1e-9);  // second waits for the wire
+  EXPECT_NEAR(link.busy_time(), 2.0, 1e-9);
+}
+
+TEST(LinkResourceTest, LatencyDoesNotOccupyWire) {
+  Engine e;
+  LinkResource link(e, 1000.0, 1.0);
+  Seconds t1 = -1, t2 = -1;
+  link.transfer(1000.0, [&] { t1 = e.now(); });
+  link.transfer(1000.0, [&] { t2 = e.now(); });
+  e.run();
+  // Wire times back-to-back (1s each); each delivery lands +1s latency.
+  EXPECT_NEAR(t1, 2.0, 1e-9);
+  EXPECT_NEAR(t2, 3.0, 1e-9);
+}
+
+// -- MemoryTracker -------------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, TracksPeakAndCategories) {
+  MemoryTracker mem(1000.0);
+  mem.alloc(400.0, MemCategory::kWeights);
+  mem.alloc(300.0, MemCategory::kActivations);
+  mem.free(300.0, MemCategory::kActivations);
+  mem.alloc(100.0, MemCategory::kActivations);
+  EXPECT_DOUBLE_EQ(mem.current(), 500.0);
+  EXPECT_DOUBLE_EQ(mem.peak(), 700.0);
+  EXPECT_DOUBLE_EQ(mem.peak_by(MemCategory::kActivations), 300.0);
+  EXPECT_FALSE(mem.oom());
+}
+
+TEST(MemoryTrackerTest, OomIsSticky) {
+  MemoryTracker mem(100.0);
+  mem.alloc(150.0, MemCategory::kWeights);
+  mem.free(150.0, MemCategory::kWeights);
+  EXPECT_TRUE(mem.oom());
+}
+
+TEST(MemoryTrackerTest, OverFreeThrows) {
+  MemoryTracker mem(100.0);
+  mem.alloc(10.0, MemCategory::kBuffers);
+  EXPECT_THROW(mem.free(20.0, MemCategory::kBuffers), Error);
+}
+
+TEST(MemoryTrackerTest, ModelVsDataSplit) {
+  MemoryTracker mem(0.0);  // no cap
+  mem.alloc(100.0, MemCategory::kWeights);
+  mem.alloc(50.0, MemCategory::kOptimizer);
+  mem.alloc(25.0, MemCategory::kReference);
+  mem.alloc(10.0, MemCategory::kActivations);
+  EXPECT_DOUBLE_EQ(mem.model_bytes(), 175.0);
+  EXPECT_DOUBLE_EQ(mem.data_bytes_peak(), 10.0);
+}
+
+// -- full simulator invariants -----------------------------------------------------------------
+
+SimJob toy_job(schedule::Kind kind, std::size_t m, std::size_t n = 1,
+               std::size_t advance = 0) {
+  auto w = workloads::toy_two_stage_profile();
+  auto cluster = workloads::v100_cluster(2);
+  auto part = partition::uniform_partition(w.layers.size(), 2);
+  SystemConfig sys;
+  sys.kind = kind;
+  sys.micro_batches = m;
+  sys.num_pipelines = n;
+  sys.elastic_averaging = n > 1;
+  sys.advance_num = advance;
+  return build_job(w, cluster, part, sys, w.batch_size, 4);
+}
+
+TEST(SimulatorTest, Deterministic) {
+  auto job = toy_job(schedule::Kind::kOneFOneB, 4);
+  const SimResult a = simulate(job);
+  const SimResult b = simulate(job);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.gpus[0].busy, b.gpus[0].busy);
+  EXPECT_EQ(a.gpus[1].peak_memory, b.gpus[1].peak_memory);
+}
+
+TEST(SimulatorTest, AdvanceKMinus1MatchesOneFOneBExactly) {
+  const SimResult f1b = simulate(toy_job(schedule::Kind::kOneFOneB, 4));
+  const SimResult afp =
+      simulate(toy_job(schedule::Kind::kAdvanceForward, 4, 1, 1));
+  EXPECT_DOUBLE_EQ(f1b.makespan, afp.makespan);
+  EXPECT_DOUBLE_EQ(f1b.gpus[0].peak_memory, afp.gpus[0].peak_memory);
+}
+
+TEST(SimulatorTest, AfabIsNoSlowerThanOneFOneBOnCommBoundJob) {
+  // The toy profile has visible comm; 1F1B must not beat AFAB (paper §4.1).
+  const SimResult afab = simulate(toy_job(schedule::Kind::kAfab, 8));
+  const SimResult f1b = simulate(toy_job(schedule::Kind::kOneFOneB, 8));
+  EXPECT_LE(afab.time_per_batch, f1b.time_per_batch * 1.0001);
+}
+
+TEST(SimulatorTest, AfpTimeBetween1F1BAndAfabMemoryToo) {
+  const SimResult afab = simulate(toy_job(schedule::Kind::kAfab, 8));
+  const SimResult f1b = simulate(toy_job(schedule::Kind::kOneFOneB, 8));
+  const SimResult afp =
+      simulate(toy_job(schedule::Kind::kAdvanceForward, 8, 1, 3));
+  EXPECT_LE(afab.time_per_batch, afp.time_per_batch * 1.0001);
+  EXPECT_LE(afp.time_per_batch, f1b.time_per_batch * 1.0001);
+  EXPECT_LE(f1b.gpus[0].peak_memory, afp.gpus[0].peak_memory);
+  EXPECT_LE(afp.gpus[0].peak_memory, afab.gpus[0].peak_memory);
+}
+
+TEST(SimulatorTest, MorePipelinesRaiseUtilizationAndMemory) {
+  const SimResult one = simulate(toy_job(schedule::Kind::kAdvanceForward, 8,
+                                         1, 2));
+  const SimResult two = simulate(toy_job(schedule::Kind::kAdvanceForward, 8,
+                                         2, 2));
+  EXPECT_GT(two.mean_utilization, one.mean_utilization);
+  EXPECT_GT(two.gpus[0].peak_memory, one.gpus[0].peak_memory);
+}
+
+TEST(SimulatorTest, ParallelPipelinesImprovePerSampleTime) {
+  const SimResult one = simulate(toy_job(schedule::Kind::kAdvanceForward, 8,
+                                         1, 2));
+  const SimResult two = simulate(toy_job(schedule::Kind::kAdvanceForward, 8,
+                                         2, 2));
+  // Two pipelines process twice the samples; per-sample time must improve
+  // (that is the whole point of elastic averaging on underutilised GPUs).
+  EXPECT_LT(two.time_per_batch / 2.0, one.time_per_batch);
+}
+
+TEST(SimulatorTest, PipeDreamUsesMoreMemoryThan2BW) {
+  // With K=2 PipeDream's stage-0 version count (K) ties 2BW's two versions;
+  // use a deeper pipeline where the difference shows (paper §2: K versions
+  // on GPU 1 vs two for 2BW).
+  auto w = workloads::gnmt_profile();
+  auto cluster = workloads::v100_cluster(6);
+  auto part = partition::pipedream_partition(w, cluster, 6);
+  SystemConfig pd_sys{schedule::Kind::kPipeDream, 1, false, 8, 0};
+  SystemConfig bw_sys{schedule::Kind::kPipeDream2BW, 1, false, 8, 0};
+  const SimResult pd = simulate(build_job(w, cluster, part, pd_sys, 128, 2));
+  const SimResult bw = simulate(build_job(w, cluster, part, bw_sys, 128, 2));
+  EXPECT_GT(pd.gpus[0].static_memory, bw.gpus[0].static_memory);
+}
+
+TEST(SimulatorTest, MemoryLimitTriggersOom) {
+  auto job = toy_job(schedule::Kind::kAfab, 8);
+  job.memory_limit = 1.0;  // absurdly small
+  const SimResult r = simulate(job);
+  EXPECT_TRUE(r.oom);
+}
+
+TEST(SimulatorTest, DataParallelIsSlowerThanPipelineOnBigModel) {
+  auto w = workloads::gnmt_profile();
+  auto cluster = workloads::v100_cluster(6);
+  auto part = partition::pipedream_partition(w, cluster, 6);
+  SystemConfig pipe{schedule::Kind::kAfab, 1, false, 16, 0};
+  SystemConfig dp{schedule::Kind::kDataParallel, 1, false, 1, 0};
+  const SimResult rp = simulate(build_job(w, cluster, part, pipe, 128, 2));
+  const SimResult rd = simulate(build_job(w, cluster, part, dp, 128, 2));
+  // Per-sample: DP processes 128 per iteration too (split across GPUs).
+  EXPECT_GT(rd.time_per_batch, 2.0 * rp.time_per_batch);
+}
+
+TEST(SimulatorTest, BusyPlusIdleEqualsMakespan) {
+  const SimResult r = simulate(toy_job(schedule::Kind::kOneFOneB, 8));
+  for (const auto& g : r.gpus) {
+    EXPECT_LE(g.busy, r.makespan + 1e-9);
+    EXPECT_GE(g.busy, 0.0);
+  }
+}
+
+TEST(SimulatorTest, CommStatsPositiveWhenStagesCommunicate) {
+  const SimResult r = simulate(toy_job(schedule::Kind::kAfab, 4));
+  EXPECT_GT(r.gpus[0].total_comm, 0.0);
+  EXPECT_GT(r.gpus[1].total_comm, 0.0);
+}
+
+TEST(AdaptiveAdvanceTest, StaysInValidRange) {
+  auto job = toy_job(schedule::Kind::kAdvanceForward, 8);
+  const std::size_t advance = adaptive_advance(job);
+  EXPECT_GE(advance, job.stages.size() - 1);
+  EXPECT_LE(advance, job.micro_batches + job.stages.size());
+}
+
+TEST(AdaptiveAdvanceTest, StopsAtMemoryLimit) {
+  auto job = toy_job(schedule::Kind::kAdvanceForward, 8);
+  // Find the 1F1B peak and set the limit just above it: no room to advance.
+  job.advance_num = job.stages.size() - 1;
+  job.kind = schedule::Kind::kOneFOneB;
+  const SimResult base = simulate(job);
+  Bytes peak = 0;
+  for (const auto& g : base.gpus) peak = std::max(peak, g.peak_memory);
+  job.memory_limit = peak * 1.001;
+  const std::size_t advance = adaptive_advance(job);
+  EXPECT_EQ(advance, job.stages.size() - 1);
+}
+
+TEST(EpochTimeTest, ScalesWithDatasetAndPipelines) {
+  auto job = toy_job(schedule::Kind::kAdvanceForward, 4, 2, 2);
+  const SimResult r = simulate(job);
+  const Seconds t1 = epoch_time(r, job, 1024);
+  const Seconds t2 = epoch_time(r, job, 2048);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+}  // namespace
+}  // namespace avgpipe::sim

@@ -1,0 +1,164 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avgpipe::tensor {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(TensorTest, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3u);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(2), 4u);
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t({5});
+  for (auto x : t.data()) EXPECT_EQ(x, 0.0);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor t = Tensor::full({3}, 2.5);
+  EXPECT_EQ(t[0], 2.5);
+  EXPECT_EQ(Tensor::ones({2, 2}).sum(), 4.0);
+}
+
+TEST(TensorTest, FromInitializerList) {
+  Tensor t = Tensor::from({1, 2, 3});
+  EXPECT_EQ(t.shape(), Shape({3}));
+  EXPECT_EQ(t[1], 2.0);
+}
+
+TEST(TensorTest, From2d) {
+  Tensor t = Tensor::from2d({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_EQ(t.at(2, 1), 6.0);
+}
+
+TEST(TensorTest, From2dRaggedThrows) {
+  EXPECT_THROW(Tensor::from2d({{1, 2}, {3}}), Error);
+}
+
+TEST(TensorTest, CopyAliasesCloneDoesNot) {
+  Tensor a({4});
+  Tensor b = a;        // alias
+  Tensor c = a.clone();  // deep copy
+  a[0] = 7.0;
+  EXPECT_EQ(b[0], 7.0);
+  EXPECT_EQ(c[0], 0.0);
+  EXPECT_TRUE(a.aliases(b));
+  EXPECT_FALSE(a.aliases(c));
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a({2, 6});
+  Tensor b = a.reshape({3, 4});
+  a[5] = 9.0;
+  EXPECT_EQ(b[5], 9.0);
+  EXPECT_EQ(b.shape(), Shape({3, 4}));
+}
+
+TEST(TensorTest, ReshapeWrongNumelThrows) {
+  Tensor a({2, 3});
+  EXPECT_THROW(a.reshape({7}), Error);
+}
+
+TEST(TensorTest, Axpy) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({10, 20, 30});
+  a.axpy_(0.5, b);
+  EXPECT_DOUBLE_EQ(a[0], 6.0);
+  EXPECT_DOUBLE_EQ(a[2], 18.0);
+}
+
+TEST(TensorTest, AxpyShapeMismatchThrows) {
+  Tensor a({3}), b({4});
+  EXPECT_THROW(a.axpy_(1.0, b), Error);
+}
+
+TEST(TensorTest, Scale) {
+  Tensor a = Tensor::from({2, -4});
+  a.scale_(-0.5);
+  EXPECT_DOUBLE_EQ(a[0], -1.0);
+  EXPECT_DOUBLE_EQ(a[1], 2.0);
+}
+
+TEST(TensorTest, LerpIsElasticPull) {
+  // lerp_(other, t): a <- (1-t) a + t other — the paper's step ❷.
+  Tensor a = Tensor::from({0, 10});
+  Tensor ref = Tensor::from({10, 0});
+  a.lerp_(ref, 0.25);
+  EXPECT_DOUBLE_EQ(a[0], 2.5);
+  EXPECT_DOUBLE_EQ(a[1], 7.5);
+}
+
+TEST(TensorTest, LerpFullPullEqualsReference) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor ref = Tensor::from({4, 5, 6});
+  a.lerp_(ref, 1.0);
+  EXPECT_EQ(a.max_abs_diff(ref), 0.0);
+}
+
+TEST(TensorTest, SumMeanNormDot) {
+  Tensor a = Tensor::from({3, 4});
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.abs_max(), 4.0);
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a = Tensor::from({1, 5});
+  Tensor b = Tensor::from({2, 2});
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 3.0);
+}
+
+TEST(TensorTest, CopyFrom) {
+  Tensor a({3});
+  a.copy_from(Tensor::from({7, 8, 9}));
+  EXPECT_EQ(a[2], 9.0);
+}
+
+TEST(TensorTest, RandnDeterministicInSeed) {
+  Rng r1(99), r2(99);
+  Tensor a = Tensor::randn({16}, r1);
+  Tensor b = Tensor::randn({16}, r2);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST(TensorTest, RandnStddev) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({10000}, rng, 2.0);
+  double mean = t.mean();
+  double var = 0;
+  for (auto x : t.data()) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t({100});
+  const std::string s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(TensorShapeTest, ShapeNumelEmptyIsOne) {
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_numel({0}), 0u);
+  EXPECT_EQ(shape_numel({3, 5}), 15u);
+}
+
+TEST(TensorShapeTest, ShapeToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace avgpipe::tensor

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file test_util.hpp
+/// Shared helpers for the test suite: numeric gradient checking and small
+/// fixtures.
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/ops.hpp"
+
+namespace avgpipe::testutil {
+
+using tensor::Scalar;
+using tensor::Tensor;
+using tensor::Variable;
+
+/// Numeric-vs-autograd gradient check.
+///
+/// `make_loss` must rebuild the scalar loss from scratch on every call
+/// (define-by-run), reading the current values of `params`. Returns the
+/// maximum elementwise absolute error between the autograd gradient and a
+/// central-difference estimate across all parameters.
+inline double max_grad_error(const std::function<Variable()>& make_loss,
+                             std::vector<Variable> params,
+                             Scalar eps = 1e-5) {
+  // Autograd pass.
+  for (auto& p : params) p.zero_grad();
+  Variable loss = make_loss();
+  loss.backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (auto& p : params) analytic.push_back(p.grad().clone());
+
+  double worst = 0.0;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto values = params[pi].value().data();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const Scalar saved = values[i];
+      values[i] = saved + eps;
+      const Scalar up = make_loss().value()[0];
+      values[i] = saved - eps;
+      const Scalar down = make_loss().value()[0];
+      values[i] = saved;
+      const Scalar numeric = (up - down) / (2.0 * eps);
+      worst = std::max(worst,
+                       std::fabs(numeric - analytic[pi].data()[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace avgpipe::testutil

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "tuning/tuner.hpp"
+
+namespace avgpipe::tuning {
+namespace {
+
+sim::SimJob base_job(const workloads::WorkloadProfile& w,
+                     std::size_t num_gpus) {
+  auto cluster = workloads::v100_cluster(num_gpus);
+  auto part = partition::pipedream_partition(w, cluster, num_gpus);
+  sim::SystemConfig sys;
+  sys.kind = schedule::Kind::kAdvanceForward;
+  sys.micro_batches = 1;
+  return sim::build_job(w, cluster, part, sys, w.batch_size, 4);
+}
+
+class PredictorTest : public ::testing::Test {
+ protected:
+  PredictorTest()
+      : workload_(workloads::toy_two_stage_profile()),
+        job_(base_job(workload_, 2)),
+        profile_(run_profile(job_, /*m=*/4, /*n=*/1, /*batches=*/8)) {}
+
+  workloads::WorkloadProfile workload_;
+  sim::SimJob job_;
+  Profile profile_;
+};
+
+TEST_F(PredictorTest, ProfileCollectsPerBatchQuantities) {
+  ASSERT_EQ(profile_.gpus.size(), 2u);
+  for (const auto& g : profile_.gpus) {
+    EXPECT_GT(g.t_gpu, 0.0);
+    EXPECT_GT(g.t_comm, 0.0);
+    EXPECT_GT(g.f_mod, 0.0);
+    EXPECT_GT(g.f_dat, 0.0);
+    EXPECT_FALSE(g.phi.empty());
+  }
+  EXPECT_GT(profile_.profiling_cost, 0.0);
+}
+
+TEST_F(PredictorTest, IdentityPredictionRecoversProfiledSetting) {
+  // Predicting the profiled setting itself should land near the measured
+  // per-batch time (Eq. 1 decomposition of the same run).
+  const Prediction p = predict(profile_, profile_.m, profile_.n,
+                               job_.batch_size, 0.0);
+  EXPECT_GT(p.t_batch, 0.0);
+  EXPECT_NEAR(p.t_batch, profile_.time_per_batch,
+              0.5 * profile_.time_per_batch);
+}
+
+TEST_F(PredictorTest, ComputeTimeScalesInverselyWithPipelines) {
+  // Eq. 2: below saturation, T_gpu* halves when n* doubles... per batch of
+  // one pipeline the computation is constant; the m*n/(mn*) prefactor
+  // reflects per-batch normalisation. Check monotonicity in m*.
+  const Prediction m4 = predict(profile_, 4, 1, job_.batch_size, 0.0);
+  const Prediction m8 = predict(profile_, 8, 1, job_.batch_size, 0.0);
+  // More micro-batches -> lower arithmetic intensity -> more total GPU time.
+  EXPECT_GE(m8.t_gpu[0], m4.t_gpu[0] * 0.99);
+}
+
+TEST_F(PredictorTest, OverflowTermKicksInWhenSaturated) {
+  // Scaling pipelines up multiplies φ; once the scaled curve exceeds 100 %
+  // the prediction must add overflow time rather than keep shrinking.
+  const Prediction n1 = predict(profile_, 4, 1, job_.batch_size, 0.0);
+  const Prediction n8 = predict(profile_, 4, 8, job_.batch_size, 0.0);
+  // With 8 pipelines the per-iteration batch count is 8x; per-sample time
+  // cannot be 8x better than n=1 if the GPU saturates.
+  EXPECT_GT(n8.t_per_sample, n1.t_per_sample / 8.0);
+}
+
+TEST_F(PredictorTest, MemoryFollowsEquationEight) {
+  const Prediction base = predict(profile_, profile_.m, profile_.n,
+                                  job_.batch_size, 0.0);
+  const Prediction more_pipes = predict(profile_, profile_.m, 2,
+                                        job_.batch_size, 0.0);
+  const Prediction more_micro = predict(profile_, 2 * profile_.m, 1,
+                                        job_.batch_size, 0.0);
+  // n* doubling doubles everything; m* doubling halves only the data part.
+  EXPECT_NEAR(more_pipes.peak_memory, 2.0 * base.peak_memory,
+              1e-6 * base.peak_memory);
+  EXPECT_LT(more_micro.peak_memory, base.peak_memory);
+  EXPECT_GT(more_micro.peak_memory, 0.4 * base.peak_memory);
+}
+
+TEST_F(PredictorTest, InfeasibleWhenOverLimit) {
+  const Prediction p = predict(profile_, 4, 4, job_.batch_size, /*limit=*/1.0);
+  EXPECT_FALSE(p.feasible);
+}
+
+TEST_F(PredictorTest, BubbleVanishesWithManyMicroBatches) {
+  // Eqs. 6-7 divide by m*: bubbles shrink as micro-batch count grows.
+  const Prediction few = predict(profile_, 2, 1, job_.batch_size, 0.0);
+  const Prediction many = predict(profile_, 16, 1, job_.batch_size, 0.0);
+  EXPECT_LT(many.t_bub[0], few.t_bub[0]);
+}
+
+/// Property sweep: predictions must rank settings consistently with the
+/// simulator (Spearman-ish check on a small grid).
+TEST_F(PredictorTest, PredictionOrdersSettingsLikeTheSimulator) {
+  struct Setting {
+    std::size_t m, n;
+  };
+  const std::vector<Setting> settings{{1, 1}, {2, 1}, {4, 1}, {8, 1},
+                                      {2, 2}, {4, 2}, {8, 2}};
+  std::vector<double> predicted, measured;
+  for (const auto& s : settings) {
+    predicted.push_back(
+        predict(profile_, s.m, s.n, job_.batch_size, 0.0).t_per_sample);
+    bool oom = false;
+    measured.push_back(measure_setting(job_, job_.batch_size, s.m, s.n, 0.0,
+                                       &oom));
+  }
+  // Count concordant pairs.
+  int concordant = 0, total = 0;
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    for (std::size_t j = i + 1; j < settings.size(); ++j) {
+      ++total;
+      if ((predicted[i] < predicted[j]) == (measured[i] < measured[j])) {
+        ++concordant;
+      }
+    }
+  }
+  EXPECT_GE(static_cast<double>(concordant) / total, 0.65);
+}
+
+// -- tuner strategies ----------------------------------------------------------------------
+
+TEST(GridTest, PowersOfTwoDividingBatch) {
+  auto grid = default_grid(24, 3);
+  EXPECT_EQ(grid.micro_batches, (std::vector<std::size_t>{1, 2, 4, 8}));
+  EXPECT_EQ(grid.pipelines, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+class TunerTest : public ::testing::Test {
+ protected:
+  TunerTest()
+      : workload_(workloads::toy_two_stage_profile()),
+        job_(base_job(workload_, 2)),
+        grid_(default_grid(workload_.batch_size, 4)),
+        limit_(workloads::v100_cluster(2).gpu.memory) {}
+
+  workloads::WorkloadProfile workload_;
+  sim::SimJob job_;
+  CandidateGrid grid_;
+  Bytes limit_;
+};
+
+TEST_F(TunerTest, ProfilingTunerIsNearTraversalOptimum) {
+  const TuneResult traversal =
+      traversal_tuner(job_, workload_.batch_size, grid_, limit_);
+  const TuneResult profiling =
+      profiling_tuner(job_, workload_.batch_size, grid_, limit_);
+  ASSERT_TRUE(traversal.feasible);
+  ASSERT_TRUE(profiling.feasible);
+  // Paper §7.3: "nearly shortest training time".
+  EXPECT_LE(profiling.time_per_sample, traversal.time_per_sample * 1.5);
+}
+
+TEST_F(TunerTest, ProfilingTunerIsMuchCheaperThanTraversal) {
+  const TuneResult traversal =
+      traversal_tuner(job_, workload_.batch_size, grid_, limit_);
+  const TuneResult profiling =
+      profiling_tuner(job_, workload_.batch_size, grid_, limit_);
+  EXPECT_LT(profiling.tuning_cost, traversal.tuning_cost / 5.0);
+}
+
+TEST_F(TunerTest, GuidelinesPickTheirDefiningM) {
+  const TuneResult mn = max_num_guideline(job_, workload_.batch_size, grid_,
+                                          limit_);
+  const TuneResult ms = max_size_guideline(job_, workload_.batch_size, grid_,
+                                           limit_);
+  EXPECT_EQ(mn.m, workload_.batch_size);  // micro-batch size one
+  EXPECT_EQ(ms.m, 1u);                    // a single micro-batch
+}
+
+TEST_F(TunerTest, TraversalNeverLosesToGuidelines) {
+  const TuneResult traversal =
+      traversal_tuner(job_, workload_.batch_size, grid_, limit_);
+  const TuneResult mn = max_num_guideline(job_, workload_.batch_size, grid_,
+                                          limit_);
+  const TuneResult ms = max_size_guideline(job_, workload_.batch_size, grid_,
+                                           limit_);
+  EXPECT_LE(traversal.time_per_sample, mn.time_per_sample * 1.0001);
+  EXPECT_LE(traversal.time_per_sample, ms.time_per_sample * 1.0001);
+}
+
+TEST_F(TunerTest, MemoryLimitRestrictsChoice) {
+  // A tight limit should force fewer pipelines (or fail feasibility).
+  const TuneResult loose =
+      profiling_tuner(job_, workload_.batch_size, grid_, limit_);
+  const TuneResult tight = profiling_tuner(job_, workload_.batch_size, grid_,
+                                           1.2 * workload_.total_param_bytes());
+  if (tight.feasible) {
+    EXPECT_LE(tight.n, loose.n);
+  }
+}
+
+}  // namespace
+}  // namespace avgpipe::tuning
