@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libavgpipe_bench_common.a"
+  "../lib/libavgpipe_bench_common.pdb"
+  "CMakeFiles/avgpipe_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/avgpipe_bench_common.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

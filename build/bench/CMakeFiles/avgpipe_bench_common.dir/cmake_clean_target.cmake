@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libavgpipe_bench_common.a"
+)

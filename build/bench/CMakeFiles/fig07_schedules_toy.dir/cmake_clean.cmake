@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_schedules_toy.dir/fig07_schedules_toy.cpp.o"
+  "CMakeFiles/fig07_schedules_toy.dir/fig07_schedules_toy.cpp.o.d"
+  "fig07_schedules_toy"
+  "fig07_schedules_toy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_schedules_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

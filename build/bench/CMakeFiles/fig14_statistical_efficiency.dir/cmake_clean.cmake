@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_statistical_efficiency.dir/fig14_statistical_efficiency.cpp.o"
+  "CMakeFiles/fig14_statistical_efficiency.dir/fig14_statistical_efficiency.cpp.o.d"
+  "fig14_statistical_efficiency"
+  "fig14_statistical_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_statistical_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_batch_size.dir/fig15_batch_size.cpp.o"
+  "CMakeFiles/fig15_batch_size.dir/fig15_batch_size.cpp.o.d"
+  "fig15_batch_size"
+  "fig15_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

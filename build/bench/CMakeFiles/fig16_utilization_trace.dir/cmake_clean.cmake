@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_utilization_trace.dir/fig16_utilization_trace.cpp.o"
+  "CMakeFiles/fig16_utilization_trace.dir/fig16_utilization_trace.cpp.o.d"
+  "fig16_utilization_trace"
+  "fig16_utilization_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_utilization_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

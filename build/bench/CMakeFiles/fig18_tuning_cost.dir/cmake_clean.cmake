@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_tuning_cost.dir/fig18_tuning_cost.cpp.o"
+  "CMakeFiles/fig18_tuning_cost.dir/fig18_tuning_cost.cpp.o.d"
+  "fig18_tuning_cost"
+  "fig18_tuning_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_tuning_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

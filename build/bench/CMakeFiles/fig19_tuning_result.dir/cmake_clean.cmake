@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_tuning_result.dir/fig19_tuning_result.cpp.o"
+  "CMakeFiles/fig19_tuning_result.dir/fig19_tuning_result.cpp.o.d"
+  "fig19_tuning_result"
+  "fig19_tuning_result.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_tuning_result.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

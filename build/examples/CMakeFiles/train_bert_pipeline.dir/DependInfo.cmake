@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/train_bert_pipeline.cpp" "examples/CMakeFiles/train_bert_pipeline.dir/train_bert_pipeline.cpp.o" "gcc" "examples/CMakeFiles/train_bert_pipeline.dir/train_bert_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avgpipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/avgpipe_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avgpipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/avgpipe_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/avgpipe_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/avgpipe_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/avgpipe_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/avgpipe_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/avgpipe_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/avgpipe_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/avgpipe_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avgpipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

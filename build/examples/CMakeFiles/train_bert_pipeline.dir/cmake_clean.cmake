@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_bert_pipeline.dir/train_bert_pipeline.cpp.o"
+  "CMakeFiles/train_bert_pipeline.dir/train_bert_pipeline.cpp.o.d"
+  "train_bert_pipeline"
+  "train_bert_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_bert_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

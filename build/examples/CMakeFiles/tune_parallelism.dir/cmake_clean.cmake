@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_parallelism.dir/tune_parallelism.cpp.o"
+  "CMakeFiles/tune_parallelism.dir/tune_parallelism.cpp.o.d"
+  "tune_parallelism"
+  "tune_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_common.dir/log.cpp.o"
+  "CMakeFiles/avgpipe_common.dir/log.cpp.o.d"
+  "CMakeFiles/avgpipe_common.dir/stats.cpp.o"
+  "CMakeFiles/avgpipe_common.dir/stats.cpp.o.d"
+  "CMakeFiles/avgpipe_common.dir/step_function.cpp.o"
+  "CMakeFiles/avgpipe_common.dir/step_function.cpp.o.d"
+  "CMakeFiles/avgpipe_common.dir/table.cpp.o"
+  "CMakeFiles/avgpipe_common.dir/table.cpp.o.d"
+  "CMakeFiles/avgpipe_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/avgpipe_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/avgpipe_common.dir/units.cpp.o"
+  "CMakeFiles/avgpipe_common.dir/units.cpp.o.d"
+  "libavgpipe_common.a"
+  "libavgpipe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_core.dir/avgpipe.cpp.o"
+  "CMakeFiles/avgpipe_core.dir/avgpipe.cpp.o.d"
+  "CMakeFiles/avgpipe_core.dir/elastic.cpp.o"
+  "CMakeFiles/avgpipe_core.dir/elastic.cpp.o.d"
+  "libavgpipe_core.a"
+  "libavgpipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_data.dir/dataset.cpp.o"
+  "CMakeFiles/avgpipe_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/avgpipe_data.dir/synthetic.cpp.o"
+  "CMakeFiles/avgpipe_data.dir/synthetic.cpp.o.d"
+  "libavgpipe_data.a"
+  "libavgpipe_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

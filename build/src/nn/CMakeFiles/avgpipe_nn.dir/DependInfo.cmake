@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/avgpipe_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/avgpipe_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/avgpipe_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/avgpipe_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/avgpipe_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/avgpipe_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/avgpipe_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/avgpipe_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/avgpipe_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/avgpipe_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/avgpipe_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avgpipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_nn.dir/attention.cpp.o"
+  "CMakeFiles/avgpipe_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/avgpipe_nn.dir/layers.cpp.o"
+  "CMakeFiles/avgpipe_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/avgpipe_nn.dir/lstm.cpp.o"
+  "CMakeFiles/avgpipe_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/avgpipe_nn.dir/models.cpp.o"
+  "CMakeFiles/avgpipe_nn.dir/models.cpp.o.d"
+  "CMakeFiles/avgpipe_nn.dir/sequential.cpp.o"
+  "CMakeFiles/avgpipe_nn.dir/sequential.cpp.o.d"
+  "libavgpipe_nn.a"
+  "libavgpipe_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/avgpipe_optim.dir/optimizer.cpp.o.d"
+  "libavgpipe_optim.a"
+  "libavgpipe_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

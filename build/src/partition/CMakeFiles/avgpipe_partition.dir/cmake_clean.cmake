@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/avgpipe_partition.dir/partitioner.cpp.o.d"
+  "libavgpipe_partition.a"
+  "libavgpipe_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_runtime.dir/pipeline_runtime.cpp.o"
+  "CMakeFiles/avgpipe_runtime.dir/pipeline_runtime.cpp.o.d"
+  "CMakeFiles/avgpipe_runtime.dir/semantics.cpp.o"
+  "CMakeFiles/avgpipe_runtime.dir/semantics.cpp.o.d"
+  "libavgpipe_runtime.a"
+  "libavgpipe_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_schedule.dir/schedule.cpp.o"
+  "CMakeFiles/avgpipe_schedule.dir/schedule.cpp.o.d"
+  "libavgpipe_schedule.a"
+  "libavgpipe_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

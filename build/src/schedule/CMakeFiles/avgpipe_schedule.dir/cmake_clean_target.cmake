@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libavgpipe_schedule.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_sim.dir/resources.cpp.o"
+  "CMakeFiles/avgpipe_sim.dir/resources.cpp.o.d"
+  "CMakeFiles/avgpipe_sim.dir/simulator.cpp.o"
+  "CMakeFiles/avgpipe_sim.dir/simulator.cpp.o.d"
+  "libavgpipe_sim.a"
+  "libavgpipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

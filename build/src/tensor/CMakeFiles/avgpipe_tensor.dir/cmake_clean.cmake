@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_tensor.dir/autograd.cpp.o"
+  "CMakeFiles/avgpipe_tensor.dir/autograd.cpp.o.d"
+  "CMakeFiles/avgpipe_tensor.dir/ops.cpp.o"
+  "CMakeFiles/avgpipe_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/avgpipe_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/avgpipe_tensor.dir/tensor.cpp.o.d"
+  "libavgpipe_tensor.a"
+  "libavgpipe_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

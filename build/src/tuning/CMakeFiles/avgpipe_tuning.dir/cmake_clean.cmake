@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_tuning.dir/predictor.cpp.o"
+  "CMakeFiles/avgpipe_tuning.dir/predictor.cpp.o.d"
+  "CMakeFiles/avgpipe_tuning.dir/tuner.cpp.o"
+  "CMakeFiles/avgpipe_tuning.dir/tuner.cpp.o.d"
+  "libavgpipe_tuning.a"
+  "libavgpipe_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avgpipe_workloads.dir/cluster.cpp.o"
+  "CMakeFiles/avgpipe_workloads.dir/cluster.cpp.o.d"
+  "CMakeFiles/avgpipe_workloads.dir/profile.cpp.o"
+  "CMakeFiles/avgpipe_workloads.dir/profile.cpp.o.d"
+  "libavgpipe_workloads.a"
+  "libavgpipe_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avgpipe_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

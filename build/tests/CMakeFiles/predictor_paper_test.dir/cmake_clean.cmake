@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_paper_test.dir/predictor_paper_test.cpp.o"
+  "CMakeFiles/predictor_paper_test.dir/predictor_paper_test.cpp.o.d"
+  "predictor_paper_test"
+  "predictor_paper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_paper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
