@@ -1,6 +1,10 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "trace/chrome_trace.hpp"
 
 namespace avgpipe::bench {
 
@@ -34,10 +38,14 @@ SystemResult run_system(const workloads::WorkloadProfile& w,
       sim::build_job(w, cluster, part, sys, w.batch_size, num_batches);
   job.memory_limit = memory_limit;
 
+  trace::Tracer tracer;
+  job.tracer = &tracer;
   SystemResult r;
   r.name = name;
-  r.job = job;
   r.sim = sim::simulate(job);
+  r.analysis = trace::TraceAnalysis(tracer.collect());
+  job.tracer = nullptr;  // the stored copy must not point at the local tracer
+  r.job = job;
   r.epoch_seconds = sim::epoch_time(r.sim, job, w.dataset_samples);
   for (const auto& g : r.sim.gpus) {
     r.peak_memory = std::max(r.peak_memory, g.peak_memory);
@@ -142,6 +150,29 @@ std::string sparkline(const StepFunction& phi, Seconds t_begin, Seconds t_end,
     out += kLevels[level];
   }
   return out;
+}
+
+std::string trace_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      return argv[i] + 8;
+    }
+  }
+  return "";
+}
+
+void maybe_dump_trace(const trace::TraceAnalysis& analysis,
+                      const std::string& path) {
+  if (path.empty()) return;
+  if (!trace::write_chrome_trace_file(path, analysis.events())) {
+    std::printf("trace: could not open %s\n", path.c_str());
+    return;
+  }
+  std::printf("trace: wrote %zu events to %s\n", analysis.events().size(),
+              path.c_str());
 }
 
 }  // namespace avgpipe::bench

@@ -23,6 +23,7 @@
 
 #include "common/table.hpp"
 #include "sim/simulator.hpp"
+#include "trace/analysis.hpp"
 #include "tuning/tuner.hpp"
 
 namespace avgpipe::bench {
@@ -31,6 +32,10 @@ struct SystemResult {
   std::string name;
   sim::SimJob job;
   sim::SimResult sim;
+  /// Metrics derived from the run's execution trace (run_system attaches a
+  /// tracer to every simulation). The figure benches read utilization and
+  /// overlap from here rather than from private simulator state.
+  trace::TraceAnalysis analysis;
   Seconds epoch_seconds = 0;
   Bytes peak_memory = 0;  ///< max over GPUs
   bool oom = false;
@@ -68,5 +73,13 @@ double relative_epochs(const std::string& system_name);
 /// φ(t) sampled into `bins` buckets).
 std::string sparkline(const StepFunction& phi, Seconds t_begin, Seconds t_end,
                       std::size_t bins);
+
+/// Value of a `--trace <path>` (or `--trace=<path>`) flag, "" when absent.
+std::string trace_path_from_args(int argc, char** argv);
+
+/// When `path` is non-empty, write the run's events as Chrome trace-event
+/// JSON (loadable in Perfetto / chrome://tracing) and print where they went.
+void maybe_dump_trace(const trace::TraceAnalysis& analysis,
+                      const std::string& path);
 
 }  // namespace avgpipe::bench

@@ -11,7 +11,8 @@
 
 using namespace avgpipe;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_path_from_args(argc, argv);
   for (const auto& w : workloads::paper_workloads()) {
     std::printf("== Figure 13 — %s averaged GPU utilization ==\n",
                 w.name.c_str());
@@ -20,13 +21,13 @@ int main() {
     auto baselines = bench::run_baselines(w);
     double best_baseline = 0;
     for (const auto& b : baselines) {
-      best_baseline = std::max(best_baseline, b.sim.mean_utilization);
+      best_baseline = std::max(best_baseline, b.analysis.mean_utilization());
       table.row()
           .cell(b.name)
           .cell_int(static_cast<long long>(b.micro_batches))
           .cell_int(static_cast<long long>(b.pipelines))
-          .cell(format_percent(b.sim.mean_utilization))
-          .cell(format_percent(b.sim.peak_utilization));
+          .cell(format_percent(b.analysis.mean_utilization()))
+          .cell(format_percent(b.analysis.peak_utilization()));
     }
     // AvgPipe at the paper's reported configurations: 2 pipelines with
     // 64 / 32 / 1 micro-batches for GNMT / BERT / AWD (§7.1.1).
@@ -46,11 +47,12 @@ int main() {
         .cell(a.name)
         .cell_int(static_cast<long long>(a.micro_batches))
         .cell_int(static_cast<long long>(a.pipelines))
-        .cell(format_percent(a.sim.mean_utilization))
-        .cell(format_percent(a.sim.peak_utilization));
+        .cell(format_percent(a.analysis.mean_utilization()))
+        .cell(format_percent(a.analysis.peak_utilization()));
     table.print();
     std::printf("AvgPipe vs best baseline: +%.1f%% relative\n\n",
-                (a.sim.mean_utilization / best_baseline - 1.0) * 100.0);
+                (a.analysis.mean_utilization() / best_baseline - 1.0) * 100.0);
+    if (w.name == "GNMT") bench::maybe_dump_trace(a.analysis, trace_path);
   }
   return 0;
 }

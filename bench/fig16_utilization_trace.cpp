@@ -11,7 +11,8 @@
 
 using namespace avgpipe;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_path_from_args(argc, argv);
   const auto w = workloads::gnmt_profile();
   std::printf("== Figure 16 — GPU utilization over time (GNMT, GPU 1) ==\n");
   std::printf("(8-level sparkline; ' '=idle, '#'=100%%)\n\n");
@@ -32,18 +33,20 @@ int main() {
 
   double baseline_peak = 0;
   for (const auto* r : {&gpipe, &bw, &avg}) {
-    const auto& gpu1 = r->sim.gpus[0];
-    const Seconds t0 = r->sim.makespan * 0.25;
-    const Seconds t1 = r->sim.makespan * 0.75;
+    const StepFunction phi = r->analysis.utilization(0);
+    const Seconds makespan = r->analysis.span_end();
+    const Seconds t0 = makespan * 0.25;
+    const Seconds t1 = makespan * 0.75;
     std::printf("%-14s |%s|\n", r->name.c_str(),
-                bench::sparkline(gpu1.utilization, t0, t1, 64).c_str());
+                bench::sparkline(phi, t0, t1, 64).c_str());
     std::printf("%-14s peak %s  mean %s\n\n", "",
-                format_percent(r->sim.peak_utilization).c_str(),
-                format_percent(r->sim.mean_utilization).c_str());
+                format_percent(r->analysis.peak_utilization()).c_str(),
+                format_percent(r->analysis.mean_utilization()).c_str());
     if (r != &avg) baseline_peak = std::max(baseline_peak,
-                                            r->sim.peak_utilization);
+                                            r->analysis.peak_utilization());
   }
   std::printf("AvgPipe peak vs baselines: +%.1f%% relative (paper: +57.8%%)\n",
-              (avg.sim.peak_utilization / baseline_peak - 1.0) * 100.0);
+              (avg.analysis.peak_utilization() / baseline_peak - 1.0) * 100.0);
+  bench::maybe_dump_trace(avg.analysis, trace_path);
   return 0;
 }

@@ -29,10 +29,17 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
   reference_ = std::make_unique<ReferenceModel>(clone_values(params0));
 
   // Each replica gets its own pipeline runtime over its own parameters.
-  for (auto& replica : replicas_) {
-    replica->runtime = std::make_unique<runtime::PipelineRuntime>(
-        replica->model, config_.boundaries, make_optimizer,
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->runtime = std::make_unique<runtime::PipelineRuntime>(
+        replicas_[i]->model, config_.boundaries, make_optimizer,
         runtime::cross_entropy_loss(), config_.kind, config_.advance_num);
+    if (config_.tracer != nullptr) {
+      replicas_[i]->runtime->set_tracer(config_.tracer, i);
+    }
+  }
+  if (config_.tracer != nullptr) {
+    driver_trace_ = config_.tracer->create_buffer();
+    reference_trace_ = config_.tracer->create_buffer();
   }
 
   reference_thread_ = std::thread([this] { reference_loop(); });
@@ -53,9 +60,28 @@ void AvgPipe::reference_loop() {
       std::lock_guard<std::mutex> lock(reference_mutex_);
       reference_->accumulate(*update);
       ++received;
+      if (reference_trace_ != nullptr) {
+        // Staleness: local updates folded into the accumulator but not yet
+        // visible to the pipelines through an apply.
+        trace::TraceEvent ev;
+        ev.kind = trace::EventKind::kCounter;
+        ev.counter = trace::CounterId::kStaleness;
+        ev.t_begin = ev.t_end = config_.tracer->wall_now();
+        ev.value = static_cast<double>(received);
+        reference_trace_->record(ev);
+      }
       if (received == replicas_.size()) {
+        const Seconds t0 =
+            reference_trace_ != nullptr ? config_.tracer->wall_now() : 0;
         reference_->apply_accumulated(replicas_.size());
         received = 0;
+        if (reference_trace_ != nullptr) {
+          trace::TraceEvent ev;
+          ev.kind = trace::EventKind::kReferenceApply;
+          ev.t_begin = t0;
+          ev.t_end = config_.tracer->wall_now();
+          reference_trace_->record(ev);
+        }
         applied_queue_.send(1);
       }
     }
@@ -91,10 +117,20 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
     std::lock_guard<std::mutex> lock(reference_mutex_);
     ref_snapshot = reference_->snapshot();
   }
-  for (auto& replica : replicas_) {
-    auto params = replica->model.parameters();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const Seconds t0 =
+        driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
+    auto params = replicas_[i]->model.parameters();
     elastic_pull(params, ref_snapshot, alpha_);
     update_queue_.send(difference(params, ref_snapshot));
+    if (driver_trace_ != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kElasticPull;
+      ev.pipeline = static_cast<std::uint32_t>(i);
+      ev.t_begin = t0;
+      ev.t_end = config_.tracer->wall_now();
+      driver_trace_->record(ev);
+    }
   }
   // Wait for the reference process to fold in this iteration (steps ❹–❺) so
   // the next iteration pulls against fresh weights.

@@ -34,6 +34,12 @@ struct AvgPipeConfig {
   std::vector<std::size_t> boundaries;
   schedule::Kind kind = schedule::Kind::kAdvanceForward;
   std::size_t advance_num = 0;  ///< 0 -> K-1
+  /// Optional tracer (non-owning, must outlive the AvgPipe): every stage
+  /// worker of every replica records wall-clock spans tagged with its
+  /// pipeline index, the driver records the elastic pulls (❷–❸), and the
+  /// reference process records apply spans plus a staleness counter (how
+  /// many local updates were accumulated but not yet applied, ❹–❺).
+  trace::Tracer* tracer = nullptr;
 };
 
 /// The full threaded system.
@@ -75,6 +81,11 @@ class AvgPipe {
   double alpha_ = 0.5;
   std::vector<std::unique_ptr<Replica>> replicas_;
   nn::Sequential eval_model_;
+
+  // Tracing buffers: driver-thread spans (elastic pull) and reference-
+  // process spans; both lazily created from config_.tracer.
+  trace::TraceBuffer* driver_trace_ = nullptr;
+  trace::TraceBuffer* reference_trace_ = nullptr;
 
   // Reference process: updates arrive over a queue, are accumulated, and
   // applied once all N pipelines have reported (steps ❹–❺).

@@ -78,8 +78,44 @@ PipelineRuntime::~PipelineRuntime() {
   }
 }
 
+void PipelineRuntime::set_tracer(trace::Tracer* tracer,
+                                 std::size_t pipeline_index) {
+  tracer_ = tracer;
+  trace_pipeline_ = static_cast<std::uint32_t>(pipeline_index);
+}
+
+void PipelineRuntime::record_span(Stage& stage, trace::EventKind kind,
+                                  const schedule::Instr& instr,
+                                  Seconds t_begin) {
+  if (stage.trace_buf == nullptr) return;
+  trace::TraceEvent ev;
+  ev.kind = kind;
+  ev.pipeline = trace_pipeline_;
+  ev.stage = static_cast<std::uint32_t>(stage.index);
+  ev.batch = instr.batch;
+  ev.micro_batch = instr.micro_batch;
+  ev.t_begin = t_begin;
+  ev.t_end = tracer_->wall_now();
+  stage.trace_buf->record(ev);
+}
+
+void PipelineRuntime::record_queue_depth(Stage& stage, std::size_t depth) {
+  if (stage.trace_buf == nullptr) return;
+  trace::TraceEvent ev;
+  ev.kind = trace::EventKind::kCounter;
+  ev.counter = trace::CounterId::kQueueDepth;
+  ev.pipeline = trace_pipeline_;
+  ev.stage = static_cast<std::uint32_t>(stage.index);
+  ev.t_begin = ev.t_end = tracer_->wall_now();
+  ev.value = static_cast<double>(depth);
+  stage.trace_buf->record(ev);
+}
+
 void PipelineRuntime::worker_loop(Stage& stage) {
   while (auto m = stage_start_[stage.index]->recv()) {
+    if (tracer_ != nullptr && stage.trace_buf == nullptr) {
+      stage.trace_buf = tracer_->create_buffer();
+    }
     schedule::ScheduleParams params;
     params.kind = kind_;
     params.num_stages = stages_.size();
@@ -95,7 +131,7 @@ void PipelineRuntime::worker_loop(Stage& stage) {
       switch (instr.kind) {
         case schedule::OpKind::kForward: run_forward(stage, instr); break;
         case schedule::OpKind::kBackward: run_backward(stage, instr); break;
-        case schedule::OpKind::kUpdate: run_update(stage); break;
+        case schedule::OpKind::kUpdate: run_update(stage, instr); break;
         case schedule::OpKind::kAllReduce:
           AVGPIPE_THROW("all-reduce in a pipeline stream");
       }
@@ -108,13 +144,18 @@ void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr) {
   const bool first = stage.index == 0;
   const bool last = stage.index + 1 == stages_.size();
 
-  auto msg = first ? input_->recv() : acts_[stage.index - 1]->recv();
+  Channel<ActMessage>& in_ch = first ? *input_ : *acts_[stage.index - 1];
+  const Seconds t_wait = stage.trace_buf ? tracer_->wall_now() : 0;
+  auto msg = in_ch.recv();
+  record_span(stage, trace::EventKind::kWaitBubble, instr, t_wait);
+  record_queue_depth(stage, in_ch.size());
   AVGPIPE_CHECK(msg.has_value(), "activation channel closed mid-batch");
   AVGPIPE_CHECK(msg->micro_batch == instr.micro_batch,
                 "stage " << stage.index << " expected micro-batch "
                          << instr.micro_batch << ", got " << msg->micro_batch);
 
   // The boundary input needs a gradient on every stage but the first.
+  const Seconds t0 = stage.trace_buf ? tracer_->wall_now() : 0;
   tensor::Variable in(std::move(msg->payload), /*requires_grad=*/!first);
   tensor::Variable out = stage.module.forward(in);
   Stash stash;
@@ -130,6 +171,7 @@ void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr) {
   }
   stage.stash.emplace(instr.micro_batch, std::move(stash));
   stage.peak_stash = std::max(stage.peak_stash, stage.stash.size());
+  record_span(stage, trace::EventKind::kForward, instr, t0);
 }
 
 void PipelineRuntime::run_backward(Stage& stage,
@@ -144,31 +186,40 @@ void PipelineRuntime::run_backward(Stage& stage,
   Stash stash = std::move(it->second);
   stage.stash.erase(it);
 
+  Seconds t0 = stage.trace_buf ? tracer_->wall_now() : 0;
   if (last) {
     stash.output.backward();  // loss scalar, seed = 1
   } else {
-    auto grad = grads_[stage.index]->recv();
+    Channel<GradMessage>& grad_ch = *grads_[stage.index];
+    const Seconds t_wait = t0;
+    auto grad = grad_ch.recv();
+    record_span(stage, trace::EventKind::kWaitBubble, instr, t_wait);
+    record_queue_depth(stage, grad_ch.size());
     AVGPIPE_CHECK(grad.has_value(), "gradient channel closed mid-batch");
     AVGPIPE_CHECK(grad->micro_batch == instr.micro_batch,
                   "stage " << stage.index << " expected gradient "
                            << instr.micro_batch << ", got "
                            << grad->micro_batch);
+    if (stage.trace_buf) t0 = tracer_->wall_now();
     stash.output.backward(grad->payload);
   }
   if (!first) {
     grads_[stage.index - 1]->send(
         GradMessage{instr.micro_batch, stash.input.grad().clone()});
   }
+  record_span(stage, trace::EventKind::kBackward, instr, t0);
 }
 
-void PipelineRuntime::run_update(Stage& stage) {
+void PipelineRuntime::run_update(Stage& stage, const schedule::Instr& instr) {
   // Accumulated micro-batch gradients -> batch-mean gradient.
+  const Seconds t0 = stage.trace_buf ? tracer_->wall_now() : 0;
   const double inv_m = 1.0 / static_cast<double>(stage.micro_batches);
   for (auto& p : stage.optimizer->params()) {
     const_cast<tensor::Variable&>(p).mutable_grad().scale_(inv_m);
   }
   stage.optimizer->step();
   stage.optimizer->zero_grad();
+  record_span(stage, trace::EventKind::kUpdate, instr, t0);
 }
 
 BatchStats PipelineRuntime::train_batch(const data::Batch& batch,

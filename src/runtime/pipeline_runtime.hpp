@@ -25,6 +25,7 @@
 #include "nn/sequential.hpp"
 #include "optim/optimizer.hpp"
 #include "schedule/schedule.hpp"
+#include "trace/trace.hpp"
 
 namespace avgpipe::runtime {
 
@@ -72,6 +73,13 @@ class PipelineRuntime {
   /// assertions mirroring the paper's stash bounds).
   std::size_t peak_stash(std::size_t stage) const;
 
+  /// Attach a tracer: stage workers then record wall-clock compute spans,
+  /// recv-wait spans and channel-occupancy counters, tagged with
+  /// `pipeline_index` (the replica number under core::AvgPipe). Must be
+  /// called before the first train_batch; the tracer must outlive this
+  /// runtime.
+  void set_tracer(trace::Tracer* tracer, std::size_t pipeline_index = 0);
+
  private:
   struct ActMessage {
     int micro_batch;
@@ -91,7 +99,10 @@ class PipelineRuntime {
   void worker_loop(Stage& stage);
   void run_forward(Stage& stage, const schedule::Instr& instr);
   void run_backward(Stage& stage, const schedule::Instr& instr);
-  void run_update(Stage& stage);
+  void run_update(Stage& stage, const schedule::Instr& instr);
+  void record_span(Stage& stage, trace::EventKind kind,
+                   const schedule::Instr& instr, Seconds t_begin);
+  void record_queue_depth(Stage& stage, std::size_t depth);
 
   nn::Sequential model_;
   LossFn loss_;
@@ -107,6 +118,7 @@ class PipelineRuntime {
     std::size_t peak_stash = 0;
     double loss_sum = 0;  // last stage only
     std::size_t micro_batches = 0;
+    trace::TraceBuffer* trace_buf = nullptr;  // worker-owned, lazily created
     std::thread thread;
   };
   std::vector<std::unique_ptr<Stage>> stages_;
@@ -120,6 +132,11 @@ class PipelineRuntime {
   std::unique_ptr<Channel<std::size_t>> start_;  // broadcast micro count
   std::vector<std::unique_ptr<Channel<std::size_t>>> stage_start_;
   bool stopping_ = false;
+
+  // Tracing (optional): written before the first batch, read by workers
+  // after a start-channel recv, so the channel provides the ordering.
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pipeline_ = 0;
 };
 
 /// Convenience: mean softmax cross-entropy loss head.

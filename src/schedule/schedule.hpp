@@ -41,6 +41,12 @@ struct Instr {
   int micro_batch = 0;  ///< micro-batch index within the batch
 };
 
+inline bool operator==(const Instr& a, const Instr& b) {
+  return a.kind == b.kind && a.batch == b.batch &&
+         a.micro_batch == b.micro_batch;
+}
+inline bool operator!=(const Instr& a, const Instr& b) { return !(a == b); }
+
 /// One stage's ordered instruction stream.
 struct StageStream {
   std::size_t stage = 0;

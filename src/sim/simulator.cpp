@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "sim/resources.hpp"
+#include "trace/trace.hpp"
 
 namespace avgpipe::sim {
 
@@ -80,6 +81,7 @@ class Execution {
 
     allocate_static_memory();
     build_streams();
+    if (job.tracer != nullptr) tb_ = job.tracer->create_buffer();
   }
 
   SimResult run() {
@@ -179,6 +181,23 @@ class Execution {
     return false;
   }
 
+  /// Record a span into the trace buffer, if tracing is on.
+  void emit(trace::EventKind kind, std::size_t pipeline, std::size_t stage,
+            const Instr& in, Seconds t_begin, Seconds t_end,
+            Bytes bytes = 0) {
+    if (tb_ == nullptr || t_end <= t_begin) return;
+    trace::TraceEvent ev;
+    ev.kind = kind;
+    ev.pipeline = static_cast<std::uint32_t>(pipeline);
+    ev.stage = static_cast<std::uint32_t>(stage);
+    ev.batch = in.batch;
+    ev.micro_batch = in.micro_batch;
+    ev.t_begin = t_begin;
+    ev.t_end = t_end;
+    ev.bytes = bytes;
+    tb_->record(ev);
+  }
+
   /// Attribute the just-finished wait of `s` to comm vs bubble using the
   /// dependency's transfer-enqueue timestamp.
   void settle_wait(Stream& s, const Instr& in) {
@@ -192,11 +211,17 @@ class Execution {
         enq.find(key(s.pipeline, in.batch, in.micro_batch, s.stage));
     if (it == enq.end()) {
       s.bubble_wait += wait;
+      emit(trace::EventKind::kWaitBubble, s.pipeline, s.stage, in,
+           s.blocked_since, engine_.now());
       return;
     }
     const Seconds transfer_begin = std::max(it->second, s.blocked_since);
     s.comm_wait += engine_.now() - transfer_begin;
     s.bubble_wait += transfer_begin - s.blocked_since;
+    emit(trace::EventKind::kWaitBubble, s.pipeline, s.stage, in,
+         s.blocked_since, transfer_begin);
+    emit(trace::EventKind::kWaitComm, s.pipeline, s.stage, in, transfer_begin,
+         engine_.now());
   }
 
   void pump() {
@@ -220,7 +245,7 @@ class Execution {
     switch (in.kind) {
       case OpKind::kForward: issue_forward(s, in); break;
       case OpKind::kBackward: issue_backward(s, in); break;
-      case OpKind::kUpdate: issue_update(s); break;
+      case OpKind::kUpdate: issue_update(s, in); break;
       case OpKind::kAllReduce: issue_allreduce(s, in); break;
     }
   }
@@ -243,9 +268,14 @@ class Execution {
   void issue_forward(Stream& s, Instr in) {
     const auto& st = job_.stages[s.stage];
     memory_[s.stage]->alloc(stash_bytes(s.stage), MemCategory::kActivations);
+    const Seconds t0 = engine_.now();
     gpus_[s.stage]->submit(
         st.fwd_flops_per_sample * mb_samples_, demand(),
-        [this, &s, in] { on_forward_done(s, in); });
+        [this, &s, in, t0] {
+          emit(trace::EventKind::kForward, s.pipeline, s.stage, in, t0,
+               engine_.now());
+          on_forward_done(s, in);
+        });
   }
 
   void on_forward_done(Stream& s, Instr in) {
@@ -257,14 +287,18 @@ class Execution {
           job_.stages[s.stage].boundary_act_bytes_per_sample * mb_samples_;
       const std::uint64_t dst =
           key(s.pipeline, in.batch, in.micro_batch, s.stage + 1);
-      act_enqueued_[dst] = engine_.now();
+      const Seconds t_enq = engine_.now();
+      act_enqueued_[dst] = t_enq;
       const std::size_t to = s.stage + 1;
-      const Seconds wire = links_[s.stage]->transfer(bytes, [this, dst, to,
-                                                                 bytes] {
-        memory_[to]->alloc(bytes, MemCategory::kBuffers);
-        act_ready_.insert(dst);
-        pump();
-      });
+      const std::size_t pipeline = s.pipeline;
+      const Seconds wire = links_[s.stage]->transfer(
+          bytes, [this, dst, to, bytes, pipeline, in, t_enq] {
+            memory_[to]->alloc(bytes, MemCategory::kBuffers);
+            act_ready_.insert(dst);
+            emit(trace::EventKind::kCommActivation, pipeline, to, in, t_enq,
+                 engine_.now(), bytes);
+            pump();
+          });
       stats_comm_[s.stage] += wire;
       stats_comm_[to] += wire;
     }
@@ -275,9 +309,14 @@ class Execution {
     const auto& st = job_.stages[s.stage];
     // Recomputation replays the forward before the backward (+1x fwd work).
     const double factor = job_.activation_recompute ? 3.0 : 2.0;
+    const Seconds t0 = engine_.now();
     gpus_[s.stage]->submit(
         factor * st.fwd_flops_per_sample * mb_samples_, demand(),
-        [this, &s, in] { on_backward_done(s, in); });
+        [this, &s, in, t0] {
+          emit(trace::EventKind::kBackward, s.pipeline, s.stage, in, t0,
+               engine_.now());
+          on_backward_done(s, in);
+        });
   }
 
   void on_backward_done(Stream& s, Instr in) {
@@ -288,10 +327,15 @@ class Execution {
       memory_[s.stage]->free(inbound, MemCategory::kBuffers);
       const std::uint64_t dst =
           key(s.pipeline, in.batch, in.micro_batch, s.stage - 1);
-      grad_enqueued_[dst] = engine_.now();
-      const Seconds wire =
-          links_[s.stage - 1]->transfer(inbound, [this, dst] {
+      const Seconds t_enq = engine_.now();
+      grad_enqueued_[dst] = t_enq;
+      const std::size_t to = s.stage - 1;
+      const std::size_t pipeline = s.pipeline;
+      const Seconds wire = links_[s.stage - 1]->transfer(
+          inbound, [this, dst, to, inbound, pipeline, in, t_enq] {
             grad_ready_.insert(dst);
+            emit(trace::EventKind::kCommGradient, pipeline, to, in, t_enq,
+                 engine_.now(), inbound);
             pump();
           });
       stats_comm_[s.stage] += wire;
@@ -300,14 +344,19 @@ class Execution {
     complete(s);
   }
 
-  void issue_update(Stream& s) {
+  void issue_update(Stream& s, Instr in) {
     const double param_count =
         job_.stages[s.stage].param_bytes / kBytesPerParam;
     // Optimizer apply (~2 reads + write per weight) plus the elastic pull
     // and reference send (paper §3.2 ❷-❸) when averaging is on.
     double work = 8.0 * param_count;
     if (job_.elastic_averaging) work += 8.0 * param_count;
-    gpus_[s.stage]->submit(work, 1.0, [this, &s] { complete(s); });
+    const Seconds t0 = engine_.now();
+    gpus_[s.stage]->submit(work, 1.0, [this, &s, in, t0] {
+      emit(trace::EventKind::kUpdate, s.pipeline, s.stage, in, t0,
+           engine_.now());
+      complete(s);
+    });
   }
 
   void issue_allreduce(Stream& s, Instr in) {
@@ -319,9 +368,12 @@ class Execution {
     // gradients sync a negligible slice per iteration.
     const Bytes grad_bytes = job_.stages[0].dense_state_bytes;
     const Seconds dur = allreduce_seconds(grad_bytes, job_.cluster, K_);
+    const Seconds t0 = engine_.now();
     for (Stream* member : barrier) {
       member->comm_wait += dur;
       stats_comm_[member->stage] += dur;
+      emit(trace::EventKind::kCommAllReduce, member->pipeline, member->stage,
+           in, t0, t0 + dur, grad_bytes);
       engine_.schedule_after(dur, [this, member] { complete(*member); });
     }
     barrier.clear();
@@ -354,6 +406,21 @@ class Execution {
       util_sum += makespan > 0 ? integral / makespan : 0.0;
       r.peak_utilization = std::max(r.peak_utilization,
                                     g.utilization.max_value());
+      if (tb_ != nullptr) {
+        // φ^k(t) as counter segments, so TraceAnalysis can rebuild the
+        // exact utilization curve (fig13/fig16 consume the trace, not this
+        // result struct).
+        for (const auto& seg : g.utilization.segments()) {
+          trace::TraceEvent ev;
+          ev.kind = trace::EventKind::kCounter;
+          ev.counter = trace::CounterId::kUtilization;
+          ev.stage = static_cast<std::uint32_t>(k);
+          ev.t_begin = seg.begin;
+          ev.t_end = seg.end;
+          ev.value = seg.value;
+          tb_->record(ev);
+        }
+      }
     }
     r.mean_utilization = util_sum / static_cast<double>(K_);
     return r;
@@ -376,6 +443,7 @@ class Execution {
   std::unordered_map<std::uint64_t, Seconds> grad_enqueued_;
   std::unordered_map<int, std::vector<Stream*>> allreduce_barrier_;
   std::unordered_map<std::size_t, Seconds> stats_comm_;
+  trace::TraceBuffer* tb_ = nullptr;  ///< owned by job_.tracer
 };
 
 }  // namespace
@@ -436,6 +504,7 @@ SimJob build_job(const workloads::WorkloadProfile& w,
 std::size_t adaptive_advance(SimJob job, double min_speedup) {
   const std::size_t k = job.stages.size();
   job.kind = schedule::Kind::kAdvanceForward;
+  job.tracer = nullptr;  // probe runs are not the trace of record
   std::size_t best = k - 1;  // Algorithm 1 line 1: start at 1F1B
   job.advance_num = best;
   SimResult prev = simulate(job);

@@ -24,6 +24,10 @@
 #include "workloads/profile.hpp"
 #include "partition/partitioner.hpp"
 
+namespace avgpipe::trace {
+class Tracer;
+}
+
 namespace avgpipe::sim {
 
 /// Per-stage costs fed to the simulator (one entry per GPU).
@@ -64,6 +68,12 @@ struct SimJob {
   bool activation_recompute = false;
 
   Bytes memory_limit = 0;  ///< per-GPU cap; 0 = cluster GPU memory
+
+  /// Optional event sink (non-owning; may outlive the job struct but must
+  /// outlive simulate()). When set, the simulator records compute, comm and
+  /// stall spans with simulated timestamps plus per-GPU φ(t) counter
+  /// segments — see trace/trace.hpp.
+  trace::Tracer* tracer = nullptr;
 };
 
 /// Per-GPU outcome.

@@ -1,0 +1,131 @@
+#include "trace/chrome_trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace avgpipe::trace {
+
+namespace {
+
+constexpr double kMicros = 1e6;
+
+const char* category(const TraceEvent& ev) {
+  if (is_compute(ev.kind)) return "compute";
+  if (is_comm(ev.kind)) return "comm";
+  if (is_wait(ev.kind)) return "wait";
+  if (ev.kind == EventKind::kCounter) return "counter";
+  return "elastic";
+}
+
+/// Display name: "forward b0.3", "comm_grad b1.0", "utilization", ...
+std::string display_name(const TraceEvent& ev) {
+  if (ev.kind == EventKind::kCounter) return to_string(ev.counter);
+  std::string name = to_string(ev.kind);
+  if (ev.batch >= 0) {
+    name += " b" + std::to_string(ev.batch);
+    if (ev.micro_batch >= 0) name += "." + std::to_string(ev.micro_batch);
+  }
+  return name;
+}
+
+void write_event(std::ostream& os, const TraceEvent& ev) {
+  char buf[640];
+  const char* ph = ev.kind == EventKind::kCounter ? "C" : "X";
+  // args carries the raw fields at full precision for the exact round trip;
+  // the top-level ts/dur/pid/tid are what the viewers render.
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.17g,"
+      "\"dur\":%.17g,\"pid\":%u,\"tid\":%u,\"args\":{\"k\":%d,\"c\":%d,"
+      "\"p\":%u,\"s\":%u,\"b\":%d,\"mb\":%d,\"tb\":%.17g,\"te\":%.17g,"
+      "\"by\":%.17g,\"v\":%.17g}}",
+      display_name(ev).c_str(), category(ev), ph, ev.t_begin * kMicros,
+      (ev.t_end - ev.t_begin) * kMicros, ev.pipeline, ev.stage,
+      static_cast<int>(ev.kind), static_cast<int>(ev.counter), ev.pipeline,
+      ev.stage, ev.batch, ev.micro_batch, ev.t_begin, ev.t_end, ev.bytes,
+      ev.value);
+  os << buf;
+}
+
+/// Extract the numeric value following `"<key>":` in `line`; returns false
+/// if the key is absent.
+bool find_number(const std::string& line, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  *out = std::strtod(start, &end);
+  return end != start;
+}
+
+double require_number(const std::string& line, const char* key) {
+  double v = 0;
+  AVGPIPE_CHECK(find_number(line, key, &v),
+                "chrome trace line missing field '" << key << "': " << line);
+  return v;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    write_event(os, events[i]);
+    if (i + 1 < events.size()) os << ',';
+    os << '\n';
+  }
+  os << "]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, events);
+  return static_cast<bool>(out);
+}
+
+std::vector<TraceEvent> parse_chrome_trace(std::istream& is) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (!saw_header) {
+      AVGPIPE_CHECK(line.find("\"traceEvents\"") != std::string::npos,
+                    "not a chrome trace document: " << line);
+      saw_header = true;
+      continue;
+    }
+    // The args object is the authoritative record; lines without one are
+    // the closing bracket.
+    const auto args_pos = line.find("\"args\":{");
+    if (args_pos == std::string::npos) continue;
+    const std::string args = line.substr(args_pos);
+    TraceEvent ev;
+    ev.kind = static_cast<EventKind>(
+        static_cast<int>(require_number(args, "k")));
+    ev.counter = static_cast<CounterId>(
+        static_cast<int>(require_number(args, "c")));
+    ev.pipeline = static_cast<std::uint32_t>(require_number(args, "p"));
+    ev.stage = static_cast<std::uint32_t>(require_number(args, "s"));
+    ev.batch = static_cast<std::int32_t>(require_number(args, "b"));
+    ev.micro_batch = static_cast<std::int32_t>(require_number(args, "mb"));
+    ev.t_begin = require_number(args, "tb");
+    ev.t_end = require_number(args, "te");
+    ev.bytes = require_number(args, "by");
+    ev.value = require_number(args, "v");
+    events.push_back(ev);
+  }
+  AVGPIPE_CHECK(saw_header, "empty chrome trace document");
+  return events;
+}
+
+}  // namespace avgpipe::trace

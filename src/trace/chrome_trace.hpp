@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file chrome_trace.hpp
+/// Chrome `trace_event` JSON exporter (and re-importer) for TraceEvents.
+///
+/// The emitted file loads directly in `chrome://tracing` and Perfetto
+/// (https://ui.perfetto.dev): spans become complete events (`"ph":"X"`) with
+/// pid = pipeline and tid = stage, so each (pipeline, stage) instruction
+/// stream renders as its own track; counters become counter events
+/// (`"ph":"C"`). Timestamps are microseconds, as the format requires.
+///
+/// Every event additionally carries its full field set (raw seconds at full
+/// precision) in `args`, which is what `parse_chrome_trace` reads back —
+/// the round trip emit → JSON → parse reproduces the span list exactly.
+/// The parser is intentionally minimal: it accepts the one-event-per-line
+/// shape this writer produces, not arbitrary JSON.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace avgpipe::trace {
+
+/// Write the events as a Chrome trace_event JSON document.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events);
+
+/// Convenience: write to `path`. Returns false if the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events);
+
+/// Parse a document produced by write_chrome_trace back into events.
+/// Throws avgpipe::Error on malformed input.
+std::vector<TraceEvent> parse_chrome_trace(std::istream& is);
+
+}  // namespace avgpipe::trace

@@ -1,0 +1,94 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace avgpipe::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kForward: return "forward";
+    case EventKind::kBackward: return "backward";
+    case EventKind::kUpdate: return "update";
+    case EventKind::kCommActivation: return "comm_act";
+    case EventKind::kCommGradient: return "comm_grad";
+    case EventKind::kCommAllReduce: return "comm_allreduce";
+    case EventKind::kWaitComm: return "wait_comm";
+    case EventKind::kWaitBubble: return "wait_bubble";
+    case EventKind::kElasticPull: return "elastic_pull";
+    case EventKind::kReferenceApply: return "reference_apply";
+    case EventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+const char* to_string(CounterId id) {
+  switch (id) {
+    case CounterId::kNone: return "none";
+    case CounterId::kUtilization: return "utilization";
+    case CounterId::kQueueDepth: return "queue_depth";
+    case CounterId::kStaleness: return "staleness";
+  }
+  return "?";
+}
+
+bool is_compute(EventKind kind) {
+  return kind == EventKind::kForward || kind == EventKind::kBackward ||
+         kind == EventKind::kUpdate;
+}
+
+bool is_comm(EventKind kind) {
+  return kind == EventKind::kCommActivation ||
+         kind == EventKind::kCommGradient ||
+         kind == EventKind::kCommAllReduce;
+}
+
+bool is_wait(EventKind kind) {
+  return kind == EventKind::kWaitComm || kind == EventKind::kWaitBubble;
+}
+
+bool operator==(const TraceEvent& a, const TraceEvent& b) {
+  return a.kind == b.kind && a.counter == b.counter &&
+         a.pipeline == b.pipeline && a.stage == b.stage &&
+         a.batch == b.batch && a.micro_batch == b.micro_batch &&
+         a.t_begin == b.t_begin && a.t_end == b.t_end && a.bytes == b.bytes &&
+         a.value == b.value;
+}
+
+TraceBuffer* Tracer::create_buffer() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<TraceBuffer>());
+  return buffers_.back().get();
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex_);
+      merged.insert(merged.end(), buf->events_.begin(), buf->events_.end());
+    }
+  }
+  // Stable: ties keep (buffer creation, insertion) order, so a deterministic
+  // execution collects a bit-identical trace every time.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t_begin < b.t_begin;
+                   });
+  return merged;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex_);
+    buf->events_.clear();
+  }
+}
+
+std::size_t Tracer::num_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+}  // namespace avgpipe::trace

@@ -127,13 +127,19 @@ TEST(ThreadPoolTest, EmptyRangeIsNoop) {
 }
 
 TEST(ThreadPoolTest, SubmitRunsTask) {
-  ThreadPool pool(2);
+  // counter/m/cv must outlive the pool: the pool's destructor joins the
+  // workers, so declaring it last guarantees no worker can still be touching
+  // cv when cv is destroyed.
   std::atomic<int> counter{0};
   std::mutex m;
   std::condition_variable cv;
+  ThreadPool pool(2);
   for (int i = 0; i < 10; ++i) {
     pool.submit([&] {
-      if (++counter == 10) cv.notify_one();
+      if (++counter == 10) {
+        std::lock_guard<std::mutex> lock(m);
+        cv.notify_one();
+      }
     });
   }
   std::unique_lock<std::mutex> lock(m);

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "sim/simulator.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
 
 namespace avgpipe::sim {
 namespace {
@@ -70,6 +72,61 @@ TEST_P(SimGridTest, Deterministic) {
     EXPECT_EQ(a.gpus[k].busy, b.gpus[k].busy);
     EXPECT_EQ(a.gpus[k].peak_memory, b.gpus[k].peak_memory);
     EXPECT_EQ(a.gpus[k].total_comm, b.gpus[k].total_comm);
+  }
+}
+
+SimResult run_case_traced(const GridCase& c, trace::Tracer& tracer,
+                          std::size_t batches = 3) {
+  const auto w = profile_of(c.workload);
+  const auto cluster = workloads::v100_cluster(w.num_gpus);
+  const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+  SystemConfig sys;
+  sys.kind = c.kind;
+  sys.micro_batches = c.m;
+  sys.num_pipelines = c.n;
+  sys.elastic_averaging = c.n > 1;
+  auto job = build_job(w, cluster, part, sys, w.batch_size, batches);
+  job.memory_limit = 1e18;
+  job.tracer = &tracer;
+  return simulate(job);
+}
+
+TEST_P(SimGridTest, TraceIsBitIdenticalAcrossRuns) {
+  // The simulator is deterministic, and so must its trace be: two identical
+  // runs collect to the exact same span sequence (field-for-field), which is
+  // what lets traces serve as golden artifacts.
+  const auto& c = GetParam();
+  trace::Tracer tracer_a, tracer_b;
+  run_case_traced(c, tracer_a);
+  run_case_traced(c, tracer_b);
+  const auto a = tracer_a.collect();
+  const auto b = tracer_b.collect();
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "event " << i;
+  }
+}
+
+TEST_P(SimGridTest, TraceUtilizationMatchesSimulator) {
+  // The φ(t) segments the simulator emits as counter events must rebuild to
+  // the very numbers it reports itself — the guarantee that let the figure
+  // benches switch from private simulator state to TraceAnalysis.
+  const auto& c = GetParam();
+  trace::Tracer tracer;
+  const SimResult r = run_case_traced(c, tracer);
+  const trace::TraceAnalysis analysis(tracer.collect());
+
+  ASSERT_EQ(analysis.num_stages(), r.gpus.size());
+  EXPECT_NEAR(analysis.mean_utilization(), r.mean_utilization, 1e-9);
+  EXPECT_NEAR(analysis.peak_utilization(), r.peak_utilization, 1e-9);
+  EXPECT_NEAR(analysis.span_end(), r.makespan, 1e-9);
+  for (std::size_t k = 0; k < r.gpus.size(); ++k) {
+    const StepFunction phi = analysis.utilization(k);
+    EXPECT_NEAR(phi.integral(), r.gpus[k].utilization.integral(), 1e-9)
+        << "gpu " << k;
+    EXPECT_NEAR(phi.max_value(), r.gpus[k].utilization.max_value(), 1e-9)
+        << "gpu " << k;
   }
 }
 
