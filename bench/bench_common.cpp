@@ -25,7 +25,8 @@ SystemResult run_system(const workloads::WorkloadProfile& w,
                         const std::string& name, schedule::Kind kind,
                         std::size_t micro_batches, std::size_t pipelines,
                         bool elastic, std::size_t advance_num,
-                        Bytes memory_limit, std::size_t num_batches) {
+                        Bytes memory_limit, std::size_t num_batches,
+                        const fault::FaultPlan* faults) {
   auto cluster = workloads::v100_cluster(w.num_gpus);
   auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
   sim::SystemConfig sys;
@@ -40,11 +41,13 @@ SystemResult run_system(const workloads::WorkloadProfile& w,
 
   trace::Tracer tracer;
   job.tracer = &tracer;
+  job.faults = faults;
   SystemResult r;
   r.name = name;
   r.sim = sim::simulate(job);
   r.analysis = trace::TraceAnalysis(tracer.collect());
   job.tracer = nullptr;  // the stored copy must not point at the local tracer
+  job.faults = nullptr;  // nor at a caller-owned fault plan
   r.job = job;
   r.epoch_seconds = sim::epoch_time(r.sim, job, w.dataset_samples);
   for (const auto& g : r.sim.gpus) {
@@ -162,6 +165,26 @@ std::string trace_path_from_args(int argc, char** argv) {
     }
   }
   return "";
+}
+
+std::unique_ptr<fault::FaultPlan> faults_from_args(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      path = argv[i] + 9;
+    }
+  }
+  if (path.empty()) return nullptr;
+  auto plan =
+      std::make_unique<fault::FaultPlan>(fault::FaultPlan::load_file(path));
+  std::printf("faults: loaded plan %s (%zu stragglers, %zu links, %zu drops, "
+              "%zu crashes)\n",
+              path.c_str(), plan->stragglers.size(),
+              plan->link_degradations.size(), plan->drops.size(),
+              plan->crashes.size());
+  return plan;
 }
 
 void maybe_dump_trace(const trace::TraceAnalysis& analysis,

@@ -18,10 +18,12 @@
 /// Baselines get their best micro-batch count from a sweep (strong
 /// baselines), mirroring that the paper tunes each system independently.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/simulator.hpp"
 #include "trace/analysis.hpp"
 #include "tuning/tuner.hpp"
@@ -43,12 +45,15 @@ struct SystemResult {
   std::size_t pipelines = 1;
 };
 
-/// Simulate one system configuration on a paper workload.
+/// Simulate one system configuration on a paper workload. `faults` (optional,
+/// non-owning) injects a fault scenario into the simulation — see
+/// faults_from_args and DESIGN.md "Fault model & recovery".
 SystemResult run_system(const workloads::WorkloadProfile& w,
                         const std::string& name, schedule::Kind kind,
                         std::size_t micro_batches, std::size_t pipelines,
                         bool elastic, std::size_t advance_num,
-                        Bytes memory_limit, std::size_t num_batches = 4);
+                        Bytes memory_limit, std::size_t num_batches = 4,
+                        const fault::FaultPlan* faults = nullptr);
 
 /// Best micro-batch count (powers of two dividing the batch) for a baseline
 /// schedule with one pipeline.
@@ -76,6 +81,10 @@ std::string sparkline(const StepFunction& phi, Seconds t_begin, Seconds t_end,
 
 /// Value of a `--trace <path>` (or `--trace=<path>`) flag, "" when absent.
 std::string trace_path_from_args(int argc, char** argv);
+
+/// Fault plan from a `--faults <plan.json>` (or `--faults=<path>`) flag,
+/// nullptr when the flag is absent. A malformed plan file is a hard error.
+std::unique_ptr<fault::FaultPlan> faults_from_args(int argc, char** argv);
 
 /// When `path` is non-empty, write the run's events as Chrome trace-event
 /// JSON (loadable in Perfetto / chrome://tracing) and print where they went.

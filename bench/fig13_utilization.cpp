@@ -13,6 +13,10 @@ using namespace avgpipe;
 
 int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_path_from_args(argc, argv);
+  // `--faults plan.json` replays the figure with an injected fault scenario
+  // (applied to the AvgPipe run only — baselines stay clean as the healthy
+  // reference point).
+  const auto faults = bench::faults_from_args(argc, argv);
   for (const auto& w : workloads::paper_workloads()) {
     std::printf("== Figure 13 — %s averaged GPU utilization ==\n",
                 w.name.c_str());
@@ -42,7 +46,8 @@ int main(int argc, char** argv) {
     auto job = sim::build_job(w, cluster, part, sys, w.batch_size, 4);
     const std::size_t advance = sim::adaptive_advance(job);
     const auto a = bench::run_system(w, "AvgPipe", schedule::Kind::kAdvanceForward,
-                                     paper_m, 2, true, advance, 0.0);
+                                     paper_m, 2, true, advance, 0.0,
+                                     /*num_batches=*/4, faults.get());
     table.row()
         .cell(a.name)
         .cell_int(static_cast<long long>(a.micro_batches))

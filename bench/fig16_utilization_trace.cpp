@@ -13,6 +13,10 @@ using namespace avgpipe;
 
 int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_path_from_args(argc, argv);
+  // `--faults plan.json` injects a fault scenario into the AvgPipe run so the
+  // timeline shows the trough a straggler/degraded link carves and how the
+  // elastic pipelines fill it.
+  const auto faults = bench::faults_from_args(argc, argv);
   const auto w = workloads::gnmt_profile();
   std::printf("== Figure 16 — GPU utilization over time (GNMT, GPU 1) ==\n");
   std::printf("(8-level sparkline; ' '=idle, '#'=100%%)\n\n");
@@ -29,7 +33,8 @@ int main(int argc, char** argv) {
   // AvgPipe at the paper's GNMT configuration: 2 pipelines x 64 micro-batches.
   const auto avg = bench::run_system(w, "AvgPipe(2BW)",
                                      schedule::Kind::kAdvanceForward, 64, 2,
-                                     true, 0, 0.0);
+                                     true, 0, 0.0, /*num_batches=*/4,
+                                     faults.get());
 
   double baseline_peak = 0;
   for (const auto* r : {&gpipe, &bw, &avg}) {

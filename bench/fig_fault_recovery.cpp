@@ -1,0 +1,170 @@
+/// \file fig_fault_recovery.cpp
+/// Throughput/utilization timeline around a mid-training pipeline crash and
+/// rejoin — the resilience companion to fig13/fig16. Two parts:
+///
+///  1. Simulator: GNMT under AvgPipe (2 pipelines), one pipeline crashed at
+///     25 % of the healthy makespan and rejoined at 50 % (re-sync cost 5 %).
+///     The per-GPU utilization sparklines show the trough the dead pipeline
+///     leaves and the recovery; TraceAnalysis::recoveries() reports the
+///     crash->rejoin latency. Expected shape: the faulted run's makespan
+///     stretches by roughly the dead window (the survivor keeps its own
+///     throughput — no barrier couples it to the dead peer), and utilization
+///     returns to the healthy level after the rejoin.
+///
+///  2. Threaded runtime: a small MLP trained by core::AvgPipe while the fault
+///     plan detaches pipeline 1 for a few driver steps. Loss stays finite
+///     throughout, α rebalances 1/N -> 1/(N-1) -> 1/N, and the trace records
+///     the same crash/rejoin events as the simulator.
+///
+/// `--faults plan.json` replaces the built-in crash scenario for part 1;
+/// `--trace out.json` dumps the faulted simulation's events as Chrome trace
+/// JSON.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/avgpipe.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+
+using namespace avgpipe;
+
+namespace {
+
+/// Sparkline of GPU `stage` utilization over the run, with a marker row for
+/// the crash/rejoin instants.
+void print_timeline(const bench::SystemResult& r, std::size_t stage,
+                    std::size_t bins) {
+  const Seconds end = r.analysis.span_end();
+  std::printf("  GPU %zu |%s|\n", stage,
+              bench::sparkline(r.analysis.utilization(stage), 0, end, bins)
+                  .c_str());
+  const auto recs = r.analysis.recoveries();
+  if (recs.empty()) return;
+  std::string markers(bins, ' ');
+  for (const auto& rec : recs) {
+    const auto at = [&](Seconds t) {
+      return std::min(bins - 1, static_cast<std::size_t>(
+                                    t / end * static_cast<double>(bins)));
+    };
+    markers[at(rec.t_crash)] = 'C';
+    if (rec.rejoined) markers[at(rec.t_rejoin)] = 'R';
+  }
+  std::printf("        |%s|  (C = crash, R = rejoin)\n", markers.c_str());
+}
+
+void simulated_recovery(const fault::FaultPlan* cli_plan,
+                        const std::string& trace_path) {
+  const auto w = workloads::gnmt_profile();
+  std::printf("== Fault recovery — GNMT, AvgPipe 2x64, simulator ==\n\n");
+
+  // Healthy reference run; its makespan anchors the built-in crash window.
+  const auto healthy =
+      bench::run_system(w, "healthy", schedule::Kind::kAdvanceForward, 64, 2,
+                        true, 0, 0.0, /*num_batches=*/8);
+
+  fault::FaultPlan plan;
+  if (cli_plan != nullptr) {
+    plan = *cli_plan;
+  } else {
+    fault::PipelineCrash crash;
+    crash.pipeline = 1;
+    crash.t_crash = healthy.sim.makespan * 0.25;
+    crash.t_rejoin = healthy.sim.makespan * 0.50;
+    crash.resync_seconds = healthy.sim.makespan * 0.05;
+    plan.crashes.push_back(crash);
+  }
+  const auto faulted =
+      bench::run_system(w, "crash+rejoin", schedule::Kind::kAdvanceForward, 64,
+                        2, true, 0, 0.0, /*num_batches=*/8, &plan);
+
+  Table table({"run", "makespan", "time/batch", "mean util", "peak util"});
+  for (const auto* r : {&healthy, &faulted}) {
+    table.row()
+        .cell(r->name)
+        .cell(format_seconds(r->sim.makespan))
+        .cell(format_seconds(r->sim.time_per_batch))
+        .cell(format_percent(r->analysis.mean_utilization()))
+        .cell(format_percent(r->analysis.peak_utilization()));
+  }
+  table.print();
+  std::printf("slowdown vs healthy: %.1f%%\n\n",
+              (faulted.sim.makespan / healthy.sim.makespan - 1.0) * 100.0);
+
+  std::printf("utilization timeline (full run, 8-level sparkline):\n");
+  for (std::size_t g = 0; g < faulted.analysis.num_stages(); ++g) {
+    print_timeline(faulted, g, 64);
+  }
+  std::printf("\n");
+
+  for (const auto& rec : faulted.analysis.recoveries()) {
+    if (rec.rejoined) {
+      std::printf("pipeline %u: crashed at %s, rejoined at %s — recovery "
+                  "latency %s (incl. re-sync)\n",
+                  rec.pipeline, format_seconds(rec.t_crash).c_str(),
+                  format_seconds(rec.t_rejoin).c_str(),
+                  format_seconds(rec.latency).c_str());
+    } else {
+      std::printf("pipeline %u: crashed at %s and never rejoined\n",
+                  rec.pipeline, format_seconds(rec.t_crash).c_str());
+    }
+  }
+  bench::maybe_dump_trace(faulted.analysis, trace_path);
+  std::printf("\n");
+}
+
+void threaded_recovery() {
+  std::printf("== Fault recovery — threaded core::AvgPipe, MLP ==\n\n");
+  data::SyntheticFeatures ds(128, 6, 2, 5, /*noise=*/0.15);
+  data::DataLoader loader(ds, 16, 3);
+
+  // Detach pipeline 1 before step 3, bring it back before step 6.
+  fault::FaultPlan plan;
+  fault::PipelineCrash crash;
+  crash.pipeline = 1;
+  crash.crash_at_step = 3;
+  crash.rejoin_at_step = 6;
+  plan.crashes.push_back(crash);
+
+  trace::Tracer tracer;
+  core::AvgPipeConfig config;
+  config.num_pipelines = 2;
+  config.micro_batches = 4;
+  config.boundaries = {3};
+  config.tracer = &tracer;
+  config.faults = &plan;
+  core::AvgPipe system(
+      [](std::uint64_t seed) { return nn::make_mlp(6, 12, 2, 2, seed); },
+      [](std::vector<tensor::Variable> params) {
+        return std::make_unique<optim::Sgd>(std::move(params), 0.3);
+      },
+      config);
+
+  std::printf("step  loss     alive  alpha\n");
+  for (std::size_t step = 0; step < 9; ++step) {
+    const std::size_t epoch = step / 4, i = (step % 4) * 2;
+    const double loss = system.train_iteration(
+        {loader.batch(epoch, i), loader.batch(epoch, i + 1)});
+    std::printf("%4zu  %.5f  %zu      %.3f\n", step, loss,
+                system.alive_pipelines(), system.alpha());
+  }
+
+  const trace::TraceAnalysis analysis(tracer.collect());
+  for (const auto& rec : analysis.recoveries()) {
+    std::printf("\npipeline %u: detached for %s of wall time, %s\n",
+                rec.pipeline, format_seconds(rec.latency).c_str(),
+                rec.rejoined ? "rejoined from the reference weights"
+                             : "never rejoined");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_path_from_args(argc, argv);
+  const auto faults = bench::faults_from_args(argc, argv);
+  simulated_recovery(faults.get(), trace_path);
+  threaded_recovery();
+  return 0;
+}

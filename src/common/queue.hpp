@@ -10,6 +10,7 @@
 /// send/recv: a bounded buffer provides back-pressure, and `close()` gives a
 /// clean end-of-stream so pipelines can drain and join deterministically.
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -17,15 +18,29 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace avgpipe {
+
+/// Outcome of a timed channel operation (recv_for / send_for).
+enum class ChannelStatus {
+  kOk,       ///< item transferred
+  kTimeout,  ///< deadline elapsed; channel still open
+  kClosed,   ///< channel closed (and, for recv, drained)
+};
 
 /// Bounded MPMC channel. All methods are thread-safe.
 ///
 /// Semantics:
 ///  * `send` blocks while full; returns false if the channel is closed.
 ///  * `recv` blocks while empty; returns nullopt once closed *and* drained.
-///  * `close` wakes all waiters; pending items remain receivable.
+///  * `close` wakes *all* blocked producers and consumers; a `send` issued
+///    after close returns false immediately instead of blocking, and pending
+///    items remain receivable (clean end-of-stream).
+///  * `recv_for` / `send_for` are the bounded variants used by the fault-
+///    tolerant runtime: they give the caller back control after a timeout so
+///    a worker can back off, record a health signal, and eventually declare
+///    a silent peer dead rather than blocking forever.
 template <typename T>
 class Channel {
  public:
@@ -46,6 +61,21 @@ class Channel {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Timed send: blocks up to `timeout` seconds for space. On kTimeout and
+  /// kClosed the value is dropped (matching `send`'s closed behaviour).
+  ChannelStatus send_for(T value, Seconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool ready = not_full_.wait_for(
+        lock, std::chrono::duration<double>(timeout),
+        [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return ChannelStatus::kClosed;
+    if (!ready) return ChannelStatus::kTimeout;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return ChannelStatus::kOk;
   }
 
   /// Non-blocking send. Returns false if full or closed.
@@ -71,6 +101,22 @@ class Channel {
     return value;
   }
 
+  /// Timed receive: blocks up to `timeout` seconds for an item. Pending
+  /// items are still delivered after close (kOk), mirroring `recv`.
+  ChannelStatus recv_for(T* out, Seconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_for(lock, std::chrono::duration<double>(timeout),
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return closed_ ? ChannelStatus::kClosed : ChannelStatus::kTimeout;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return ChannelStatus::kOk;
+  }
+
   /// Non-blocking receive.
   std::optional<T> try_recv() {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -82,12 +128,18 @@ class Channel {
     return value;
   }
 
-  /// Close the channel; wakes all blocked senders/receivers.
+  /// Close the channel; wakes all blocked senders/receivers. Idempotent.
+  ///
+  /// The notifies happen *while holding the mutex*: if they were issued
+  /// after releasing it, a waiter woken spuriously could observe `closed_`,
+  /// return, and let the owner destroy the channel before close() touched
+  /// the condition variables — a use-after-free on shutdown of a full
+  /// queue with a blocked producer. Holding the lock closes that window:
+  /// no waiter can complete its predicate check until close() has finished.
   void close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
     not_full_.notify_all();
     not_empty_.notify_all();
   }

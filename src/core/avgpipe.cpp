@@ -7,10 +7,23 @@ namespace avgpipe::core {
 AvgPipe::AvgPipe(const nn::ModelFactory& factory,
                  const runtime::OptimizerFactory& make_optimizer,
                  AvgPipeConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), make_optimizer_(make_optimizer) {
   AVGPIPE_CHECK(config_.num_pipelines >= 1, "need at least one pipeline");
+  faults_ = config_.faults != nullptr ? config_.faults : fault::env_plan();
+  if (faults_ != nullptr) {
+    for (const auto& c : faults_->crashes) {
+      AVGPIPE_CHECK(c.pipeline >= 0 &&
+                        static_cast<std::size_t>(c.pipeline) <
+                            config_.num_pipelines,
+                    "fault plan crashes pipeline " << c.pipeline
+                                                   << " but the system has "
+                                                   << config_.num_pipelines);
+    }
+  }
   alpha_ = config_.alpha > 0.0 ? config_.alpha
                                : default_alpha(config_.num_pipelines);
+  health_.resize(config_.num_pipelines);
+  expected_updates_ = config_.num_pipelines;
 
   // Build replicas with identical initial weights: replica 0's init is the
   // source of truth, copied into every other replica and the eval model.
@@ -30,12 +43,7 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
 
   // Each replica gets its own pipeline runtime over its own parameters.
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    replicas_[i]->runtime = std::make_unique<runtime::PipelineRuntime>(
-        replicas_[i]->model, config_.boundaries, make_optimizer,
-        runtime::cross_entropy_loss(), config_.kind, config_.advance_num);
-    if (config_.tracer != nullptr) {
-      replicas_[i]->runtime->set_tracer(config_.tracer, i);
-    }
+    replicas_[i]->runtime = make_runtime(i);
   }
   if (config_.tracer != nullptr) {
     driver_trace_ = config_.tracer->create_buffer();
@@ -43,6 +51,16 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
   }
 
   reference_thread_ = std::thread([this] { reference_loop(); });
+}
+
+std::unique_ptr<runtime::PipelineRuntime> AvgPipe::make_runtime(
+    std::size_t i) {
+  auto rt = std::make_unique<runtime::PipelineRuntime>(
+      replicas_[i]->model, config_.boundaries, make_optimizer_,
+      runtime::cross_entropy_loss(), config_.kind, config_.advance_num);
+  if (config_.tracer != nullptr) rt->set_tracer(config_.tracer, i);
+  rt->set_faults(faults_);
+  return rt;
 }
 
 AvgPipe::~AvgPipe() {
@@ -70,10 +88,12 @@ void AvgPipe::reference_loop() {
         ev.value = static_cast<double>(received);
         reference_trace_->record(ev);
       }
-      if (received == replicas_.size()) {
+      if (received >= expected_updates_) {
         const Seconds t0 =
             reference_trace_ != nullptr ? config_.tracer->wall_now() : 0;
-        reference_->apply_accumulated(replicas_.size());
+        // Normalise by the updates actually folded in: after a crash this is
+        // N_alive, which makes the reference the mean of the survivors.
+        reference_->apply_accumulated(received);
         received = 0;
         if (reference_trace_ != nullptr) {
           trace::TraceEvent ev;
@@ -88,36 +108,154 @@ void AvgPipe::reference_loop() {
   }
 }
 
+std::size_t AvgPipe::alive_pipelines() const {
+  std::size_t n = 0;
+  for (const auto& h : health_) n += h.alive ? 1 : 0;
+  return n;
+}
+
+bool AvgPipe::pipeline_alive(std::size_t i) const {
+  AVGPIPE_CHECK(i < health_.size(), "pipeline out of range");
+  return health_[i].alive;
+}
+
+const fault::PipelineHealth& AvgPipe::health(std::size_t i) const {
+  AVGPIPE_CHECK(i < health_.size(), "pipeline out of range");
+  return health_[i];
+}
+
+void AvgPipe::rebalance_alpha() {
+  const std::size_t alive = alive_pipelines();
+  if (alive == 0) return;  // the caller throws; keep the last valid α
+  alpha_ = config_.alpha > 0.0 ? config_.alpha : default_alpha(alive);
+}
+
+void AvgPipe::record_membership_event(trace::EventKind kind,
+                                      std::size_t pipeline) {
+  if (driver_trace_ == nullptr) return;
+  const Seconds now = config_.tracer->wall_now();
+  trace::TraceEvent ev;
+  ev.kind = kind;
+  ev.pipeline = static_cast<std::uint32_t>(pipeline);
+  ev.t_begin = ev.t_end = now;
+  driver_trace_->record(ev);
+  trace::TraceEvent alive;
+  alive.kind = trace::EventKind::kCounter;
+  alive.counter = trace::CounterId::kAlivePipelines;
+  alive.t_begin = alive.t_end = now;
+  alive.value = static_cast<double>(alive_pipelines());
+  driver_trace_->record(alive);
+}
+
+void AvgPipe::detach_pipeline(std::size_t i, const std::string& reason) {
+  AVGPIPE_CHECK(i < replicas_.size(), "pipeline out of range");
+  if (!health_[i].alive) return;
+  health_[i].alive = false;
+  ++health_[i].failures;
+  health_[i].last_error = reason;
+  // Tear the runtime down (worker threads join) — the "process" is gone.
+  // The reference model simply keeps averaging over the survivors: the
+  // mean-of-replicas invariant re-establishes at the next apply.
+  replicas_[i]->runtime.reset();
+  rebalance_alpha();
+  record_membership_event(trace::EventKind::kPipelineCrash, i);
+}
+
+void AvgPipe::rejoin_pipeline(std::size_t i) {
+  AVGPIPE_CHECK(i < replicas_.size(), "pipeline out of range");
+  if (health_[i].alive) return;
+  // Re-initialise from the reference: the paper's pull mechanism doubles as
+  // recovery — a restarted replica starts at the averaged model, and the
+  // fresh runtime brings fresh optimizer state (a real process restart).
+  const ParamSet ref = reference_snapshot();
+  auto params = replicas_[i]->model.parameters();
+  AVGPIPE_CHECK(params.size() == ref.size(), "replica/reference mismatch");
+  for (std::size_t j = 0; j < params.size(); ++j) {
+    params[j].value().copy_from(ref[j]);
+    params[j].zero_grad();  // drop partial sums from the crashed batch
+  }
+  replicas_[i]->runtime = make_runtime(i);
+  health_[i].alive = true;
+  health_[i].last_error.clear();
+  rebalance_alpha();
+  record_membership_event(trace::EventKind::kPipelineRejoin, i);
+}
+
+void AvgPipe::apply_scheduled_faults() {
+  if (faults_ == nullptr) return;
+  for (const auto& c : faults_->crashes) {
+    if (c.crash_at_step == iteration_) {
+      detach_pipeline(static_cast<std::size_t>(c.pipeline),
+                      "injected crash (fault plan)");
+    }
+    if (c.rejoin_at_step == iteration_) {
+      rejoin_pipeline(static_cast<std::size_t>(c.pipeline));
+    }
+  }
+}
+
 double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
   AVGPIPE_CHECK(batches.size() == replicas_.size(),
                 "need one batch per pipeline: got " << batches.size()
                                                     << ", expected "
                                                     << replicas_.size());
-  // Step ❶: each pipeline trains on its batch (its runtime is internally
-  // threaded; replicas run concurrently).
+  apply_scheduled_faults();
+  AVGPIPE_CHECK(alive_pipelines() >= 1, "no pipeline left alive");
+  const long step = iteration_++;
+
+  // Step ❶: each alive pipeline trains on its batch (its runtime is
+  // internally threaded; replicas run concurrently). A runtime failure is
+  // contained to its pipeline: the worker records it and the driver detaches
+  // the pipeline below instead of propagating.
   std::vector<double> losses(replicas_.size(), 0.0);
+  std::vector<std::string> errors(replicas_.size());
+  std::vector<char> completed(replicas_.size(), 0);
   {
     std::vector<std::thread> workers;
     workers.reserve(replicas_.size());
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
-      workers.emplace_back([this, i, &batches, &losses] {
-        losses[i] = replicas_[i]
-                        ->runtime->train_batch(batches[i],
-                                               config_.micro_batches)
-                        .loss;
+      if (!health_[i].alive) continue;
+      workers.emplace_back([this, i, &batches, &losses, &errors, &completed] {
+        try {
+          losses[i] = replicas_[i]
+                          ->runtime->train_batch(batches[i],
+                                                 config_.micro_batches)
+                          .loss;
+          completed[i] = 1;
+        } catch (const std::exception& e) {
+          errors[i] = e.what();
+        }
       });
     }
     for (auto& w : workers) w.join();
   }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!health_[i].alive) continue;
+    if (completed[i]) {
+      health_[i].last_ok_step = step;  // heartbeat
+    } else {
+      detach_pipeline(i, errors[i]);
+    }
+  }
+  const std::size_t alive = alive_pipelines();
+  if (alive == 0) {
+    std::string first;
+    for (const auto& e : errors) {
+      if (!e.empty()) { first = e; break; }
+    }
+    AVGPIPE_THROW("every pipeline failed at step " << step << ": " << first);
+  }
 
-  // Steps ❷–❸: pull each replica toward the reference snapshot, ship the
-  // local updates to the reference process.
+  // Steps ❷–❸ over the survivors: pull each replica toward the reference
+  // snapshot, ship the local updates to the reference process.
   ParamSet ref_snapshot;
   {
     std::lock_guard<std::mutex> lock(reference_mutex_);
     ref_snapshot = reference_->snapshot();
+    expected_updates_ = alive;
   }
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!health_[i].alive) continue;
     const Seconds t0 =
         driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
     auto params = replicas_[i]->model.parameters();
@@ -138,8 +276,10 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
   AVGPIPE_CHECK(applied.has_value(), "reference process stopped");
 
   double total = 0;
-  for (double l : losses) total += l;
-  return total / static_cast<double>(losses.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (health_[i].alive) total += losses[i];
+  }
+  return total / static_cast<double>(alive);
 }
 
 nn::Sequential& AvgPipe::eval_model() {

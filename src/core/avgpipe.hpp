@@ -40,6 +40,11 @@ struct AvgPipeConfig {
   /// reference process records apply spans plus a staleness counter (how
   /// many local updates were accumulated but not yet applied, ❹–❺).
   trace::Tracer* tracer = nullptr;
+  /// Optional fault plan (non-owning, must outlive the AvgPipe; defaults to
+  /// fault::env_plan()). Stragglers/drops are forwarded to every replica
+  /// runtime; the driver itself consumes the step-windowed crash records
+  /// (crash_at_step / rejoin_at_step).
+  const fault::FaultPlan* faults = nullptr;
 };
 
 /// The full threaded system.
@@ -57,11 +62,38 @@ class AvgPipe {
   AvgPipe(const AvgPipe&) = delete;
   AvgPipe& operator=(const AvgPipe&) = delete;
 
-  /// Train one iteration: batch i goes to pipeline i. Returns mean loss.
+  /// Train one iteration: batch i goes to pipeline i. Returns the mean loss
+  /// over the pipelines that completed their batch.
+  ///
+  /// Graceful degradation: a pipeline whose runtime fails mid-batch (or that
+  /// the fault plan crashes at this step) is detached — its batch is lost,
+  /// α rebalances to 1/N_alive, and the reference keeps averaging over the
+  /// survivors. Dead pipelines' batches in `batches` are ignored. Throws
+  /// only when no pipeline is left alive.
   double train_iteration(const std::vector<data::Batch>& batches);
 
   std::size_t num_pipelines() const { return replicas_.size(); }
   double alpha() const { return alpha_; }
+
+  // -- elastic membership (fault tolerance) ----------------------------------
+
+  /// Pipelines currently participating in the average.
+  std::size_t alive_pipelines() const;
+  bool pipeline_alive(std::size_t i) const;
+  /// Liveness/heartbeat record of pipeline `i`.
+  const fault::PipelineHealth& health(std::size_t i) const;
+
+  /// Detach pipeline `i` from the average: its runtime is torn down (worker
+  /// threads joined, like a process death), α rebalances to 1/N_alive and
+  /// the reference model continues as the mean of the survivors. No-op if
+  /// already detached.
+  void detach_pipeline(std::size_t i, const std::string& reason);
+
+  /// Bring a detached pipeline back: its replica re-initialises from the
+  /// current reference weights (the paper's pull mechanism as recovery), a
+  /// fresh runtime (fresh optimizer state) is built, and α rebalances back.
+  /// No-op if alive.
+  void rejoin_pipeline(std::size_t i);
 
   /// Copy the reference weights into the evaluation model and return it.
   nn::Sequential& eval_model();
@@ -76,10 +108,21 @@ class AvgPipe {
   };
 
   void reference_loop();
+  std::unique_ptr<runtime::PipelineRuntime> make_runtime(std::size_t i);
+  void rebalance_alpha();
+  /// Crash/rejoin marker plus an alive-pipelines counter sample.
+  void record_membership_event(trace::EventKind kind, std::size_t pipeline);
+  /// Apply the plan's crash_at_step / rejoin_at_step records due at
+  /// `iteration_`.
+  void apply_scheduled_faults();
 
   AvgPipeConfig config_;
+  const fault::FaultPlan* faults_ = nullptr;
   double alpha_ = 0.5;
+  long iteration_ = 0;  ///< driver step index (train_iteration count)
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<fault::PipelineHealth> health_;  ///< one per pipeline
+  runtime::OptimizerFactory make_optimizer_;   ///< kept for rejoins
   nn::Sequential eval_model_;
 
   // Tracing buffers: driver-thread spans (elastic pull) and reference-
@@ -88,9 +131,13 @@ class AvgPipe {
   trace::TraceBuffer* reference_trace_ = nullptr;
 
   // Reference process: updates arrive over a queue, are accumulated, and
-  // applied once all N pipelines have reported (steps ❹–❺).
+  // applied once all *alive* pipelines have reported (steps ❹–❺). The
+  // expected count follows membership: normalising by N_alive keeps the
+  // reference at the mean of the surviving replicas (the invariant
+  // re-establishes after a single apply regardless of history).
   std::unique_ptr<ReferenceModel> reference_;
-  std::mutex reference_mutex_;  ///< guards reference_ between iterations
+  std::mutex reference_mutex_;  ///< guards reference_ and expected_updates_
+  std::size_t expected_updates_ = 0;
   Channel<ParamSet> update_queue_{64};
   Channel<int> applied_queue_{64};
   std::thread reference_thread_;

@@ -1,0 +1,326 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace avgpipe::fault {
+
+namespace {
+
+bool match(int pattern, int value) { return pattern == kAny || pattern == value; }
+
+bool in_time(Seconds begin, Seconds end, Seconds now) {
+  return now >= begin && now < end;
+}
+
+bool in_step(long begin, long end, long step) {
+  return step >= begin && (end == kNoStepLimit || step < end);
+}
+
+/// SplitMix64 finaliser: a stateless bijective mixer, so per-message
+/// randomness is a pure function of identity — never of event order.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from (seed, key, attempt).
+double hash_uniform(std::uint64_t seed, std::uint64_t key, int attempt) {
+  const std::uint64_t h =
+      mix(mix(seed) ^ mix(key) ^ mix(static_cast<std::uint64_t>(attempt)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Message identity for the simulator's drop hashing.
+std::uint64_t sim_message_key(int pipeline, int stage, int batch,
+                              int micro_batch, LinkDir dir) {
+  std::uint64_t k = static_cast<std::uint64_t>(pipeline + 1);
+  k = k * 131 + static_cast<std::uint64_t>(stage + 1);
+  k = k * 8209 + static_cast<std::uint64_t>(batch + 1);
+  k = k * 524287 + static_cast<std::uint64_t>(micro_batch + 1);
+  return k * 2 + static_cast<std::uint64_t>(dir);
+}
+
+// -- minimal JSON helpers (same technique as trace/chrome_trace.cpp) --------
+
+bool find_number(const std::string& text, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = text.c_str() + pos + needle.size();
+  char* end = nullptr;
+  *out = std::strtod(start, &end);
+  return end != start;
+}
+
+double number_or(const std::string& text, const char* key, double fallback) {
+  double v = 0;
+  return find_number(text, key, &v) ? v : fallback;
+}
+
+/// The `{...}` objects of the flat JSON array under `key`. Records contain
+/// no nested objects, so brace matching is a linear scan.
+std::vector<std::string> array_objects(const std::string& text,
+                                       const char* key) {
+  std::vector<std::string> objects;
+  const std::string needle = std::string("\"") + key + "\"";
+  auto pos = text.find(needle);
+  if (pos == std::string::npos) return objects;
+  pos = text.find('[', pos + needle.size());
+  AVGPIPE_CHECK(pos != std::string::npos,
+                "fault plan: '" << key << "' is not an array");
+  for (std::size_t i = pos + 1; i < text.size(); ++i) {
+    if (text[i] == ']') break;
+    if (text[i] != '{') continue;
+    const auto close = text.find('}', i);
+    AVGPIPE_CHECK(close != std::string::npos,
+                  "fault plan: unterminated object in '" << key << "'");
+    objects.push_back(text.substr(i, close - i + 1));
+    i = close;
+  }
+  return objects;
+}
+
+Seconds seconds_or(const std::string& obj, const char* key, Seconds fallback) {
+  return number_or(obj, key, fallback);
+}
+
+long step_or(const std::string& obj, const char* key, long fallback) {
+  double v = 0;
+  if (!find_number(obj, key, &v)) return fallback;
+  // -1 is the documented "unbounded" spelling for step windows.
+  if (v < 0) return kNoStepLimit;
+  return static_cast<long>(v);
+}
+
+}  // namespace
+
+double FaultPlan::compute_factor(int pipeline, int stage, Seconds now) const {
+  double factor = 1.0;
+  for (const auto& s : stragglers) {
+    if (match(s.pipeline, pipeline) && match(s.stage, stage) &&
+        in_time(s.t_begin, s.t_end, now)) {
+      factor *= s.factor;
+    }
+  }
+  return factor;
+}
+
+std::size_t FaultPlan::drop_count(int pipeline, int stage, int batch,
+                                  int micro_batch, LinkDir dir,
+                                  Seconds* penalty_per_drop) const {
+  for (const auto& d : drops) {
+    if (!match(d.pipeline, pipeline) || !match(d.stage, stage)) continue;
+    if (d.probability <= 0.0) continue;
+    const std::uint64_t key =
+        sim_message_key(pipeline, stage, batch, micro_batch, dir);
+    std::size_t lost = 0;
+    while (lost < static_cast<std::size_t>(d.max_drops) &&
+           hash_uniform(seed, key, static_cast<int>(lost)) < d.probability) {
+      ++lost;
+    }
+    if (lost > 0 && penalty_per_drop != nullptr) {
+      *penalty_per_drop = d.retry_timeout;
+    }
+    if (lost > 0) return lost;
+  }
+  return 0;
+}
+
+double FaultPlan::straggler_factor(int pipeline, int stage, long step) const {
+  double factor = 1.0;
+  for (const auto& s : stragglers) {
+    if (match(s.pipeline, pipeline) && match(s.stage, stage) &&
+        in_step(s.step_begin, s.step_end, step)) {
+      factor *= s.factor;
+    }
+  }
+  return factor;
+}
+
+Seconds FaultPlan::send_delay(int link, long step) const {
+  Seconds delay = 0;
+  for (const auto& l : link_degradations) {
+    if (match(l.link, link) && in_step(l.step_begin, l.step_end, step)) {
+      delay += l.extra_latency;
+    }
+  }
+  return delay;
+}
+
+bool FaultPlan::should_drop(int pipeline, int stage, long step,
+                            std::uint64_t key, int attempt,
+                            Seconds* retry_timeout) const {
+  for (const auto& d : drops) {
+    if (!match(d.pipeline, pipeline) || !match(d.stage, stage)) continue;
+    if (!in_step(d.step_begin, d.step_end, step)) continue;
+    if (d.probability <= 0.0) continue;
+    if (hash_uniform(seed, key, attempt) < d.probability) {
+      if (retry_timeout != nullptr) *retry_timeout = d.retry_timeout;
+      return true;
+    }
+  }
+  return false;
+}
+
+const PipelineCrash* FaultPlan::crash_for(int pipeline) const {
+  for (const auto& c : crashes) {
+    if (c.pipeline == pipeline) return &c;
+  }
+  return nullptr;
+}
+
+FaultPlan FaultPlan::parse_json(const std::string& text) {
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(number_or(text, "seed", 0));
+
+  for (const auto& obj : array_objects(text, "stragglers")) {
+    StragglerFault s;
+    s.pipeline = static_cast<int>(number_or(obj, "pipeline", kAny));
+    s.stage = static_cast<int>(number_or(obj, "stage", kAny));
+    s.factor = number_or(obj, "factor", 1.0);
+    AVGPIPE_CHECK(s.factor >= 1.0, "straggler factor must be >= 1, got "
+                                       << s.factor);
+    s.t_begin = seconds_or(obj, "t_begin", 0);
+    s.t_end = seconds_or(obj, "t_end", kForever);
+    s.step_begin = step_or(obj, "step_begin", 0);
+    s.step_end = step_or(obj, "step_end", kNoStepLimit);
+    plan.stragglers.push_back(s);
+  }
+  for (const auto& obj : array_objects(text, "link_degradations")) {
+    LinkDegradation l;
+    l.link = static_cast<int>(number_or(obj, "link", kAny));
+    l.bandwidth_factor = number_or(obj, "bandwidth_factor", 1.0);
+    AVGPIPE_CHECK(l.bandwidth_factor > 0.0 && l.bandwidth_factor <= 1.0,
+                  "bandwidth_factor must be in (0,1], got "
+                      << l.bandwidth_factor);
+    l.extra_latency = seconds_or(obj, "extra_latency", 0);
+    l.t_begin = seconds_or(obj, "t_begin", 0);
+    l.t_end = seconds_or(obj, "t_end", kForever);
+    l.step_begin = step_or(obj, "step_begin", 0);
+    l.step_end = step_or(obj, "step_end", kNoStepLimit);
+    plan.link_degradations.push_back(l);
+  }
+  for (const auto& obj : array_objects(text, "drops")) {
+    MessageDrop d;
+    d.pipeline = static_cast<int>(number_or(obj, "pipeline", kAny));
+    d.stage = static_cast<int>(number_or(obj, "stage", kAny));
+    d.probability = number_or(obj, "probability", 0.0);
+    AVGPIPE_CHECK(d.probability >= 0.0 && d.probability <= 1.0,
+                  "drop probability must be in [0,1], got " << d.probability);
+    d.max_drops = static_cast<int>(number_or(obj, "max_drops", 3));
+    d.retry_timeout = seconds_or(obj, "retry_timeout", 1e-3);
+    d.step_begin = step_or(obj, "step_begin", 0);
+    d.step_end = step_or(obj, "step_end", kNoStepLimit);
+    plan.drops.push_back(d);
+  }
+  for (const auto& obj : array_objects(text, "crashes")) {
+    PipelineCrash c;
+    c.pipeline = static_cast<int>(number_or(obj, "pipeline", 0));
+    c.t_crash = seconds_or(obj, "t_crash", kForever);
+    c.t_rejoin = seconds_or(obj, "t_rejoin", kForever);
+    AVGPIPE_CHECK(c.t_rejoin > c.t_crash || c.t_rejoin == kForever,
+                  "rejoin must follow crash");
+    c.resync_seconds = seconds_or(obj, "resync_seconds", 0);
+    c.crash_at_step = static_cast<long>(number_or(obj, "crash_at_step", -1));
+    c.rejoin_at_step = static_cast<long>(number_or(obj, "rejoin_at_step", -1));
+    AVGPIPE_CHECK(c.rejoin_at_step < 0 || c.rejoin_at_step > c.crash_at_step,
+                  "rejoin_at_step must follow crash_at_step");
+    plan.crashes.push_back(c);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::load_file(const std::string& path) {
+  std::ifstream in(path);
+  AVGPIPE_CHECK(static_cast<bool>(in), "cannot open fault plan: " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str());
+}
+
+namespace {
+
+void write_step_window(std::ostream& os, long begin, long end) {
+  os << ",\"step_begin\":" << begin << ",\"step_end\":"
+     << (end == kNoStepLimit ? -1 : end);
+}
+
+void write_time_window(std::ostream& os, Seconds begin, Seconds end) {
+  os << ",\"t_begin\":" << begin;
+  if (end != kForever) os << ",\"t_end\":" << end;
+}
+
+}  // namespace
+
+void FaultPlan::write_json(std::ostream& os) const {
+  os << "{\"seed\":" << seed;
+  os << ",\n\"stragglers\":[";
+  for (std::size_t i = 0; i < stragglers.size(); ++i) {
+    const auto& s = stragglers[i];
+    os << (i ? ",\n " : "") << "{\"pipeline\":" << s.pipeline
+       << ",\"stage\":" << s.stage << ",\"factor\":" << s.factor;
+    write_time_window(os, s.t_begin, s.t_end);
+    write_step_window(os, s.step_begin, s.step_end);
+    os << "}";
+  }
+  os << "],\n\"link_degradations\":[";
+  for (std::size_t i = 0; i < link_degradations.size(); ++i) {
+    const auto& l = link_degradations[i];
+    os << (i ? ",\n " : "") << "{\"link\":" << l.link
+       << ",\"bandwidth_factor\":" << l.bandwidth_factor
+       << ",\"extra_latency\":" << l.extra_latency;
+    write_time_window(os, l.t_begin, l.t_end);
+    write_step_window(os, l.step_begin, l.step_end);
+    os << "}";
+  }
+  os << "],\n\"drops\":[";
+  for (std::size_t i = 0; i < drops.size(); ++i) {
+    const auto& d = drops[i];
+    os << (i ? ",\n " : "") << "{\"pipeline\":" << d.pipeline
+       << ",\"stage\":" << d.stage << ",\"probability\":" << d.probability
+       << ",\"max_drops\":" << d.max_drops
+       << ",\"retry_timeout\":" << d.retry_timeout;
+    write_step_window(os, d.step_begin, d.step_end);
+    os << "}";
+  }
+  os << "],\n\"crashes\":[";
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const auto& c = crashes[i];
+    os << (i ? ",\n " : "") << "{\"pipeline\":" << c.pipeline;
+    if (c.t_crash != kForever) os << ",\"t_crash\":" << c.t_crash;
+    if (c.t_rejoin != kForever) os << ",\"t_rejoin\":" << c.t_rejoin;
+    os << ",\"resync_seconds\":" << c.resync_seconds
+       << ",\"crash_at_step\":" << c.crash_at_step
+       << ",\"rejoin_at_step\":" << c.rejoin_at_step << "}";
+  }
+  os << "]}\n";
+}
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+const FaultPlan* env_plan() {
+  static std::once_flag once;
+  static FaultPlan plan;
+  static const FaultPlan* result = nullptr;
+  std::call_once(once, [] {
+    const char* path = std::getenv("AVGPIPE_FAULT_PLAN");
+    if (path == nullptr || path[0] == '\0') return;
+    plan = FaultPlan::load_file(path);
+    result = &plan;
+  });
+  return result;
+}
+
+}  // namespace avgpipe::fault

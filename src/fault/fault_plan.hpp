@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file fault_plan.hpp
+/// Deterministic, seeded fault descriptions consumed by both executors.
+///
+/// AvgPipe's elastic-averaging design couples parallel pipelines to the
+/// reference model only through asynchronous message queues (paper §3.2), so
+/// the system should degrade gracefully when one pipeline slows down, loses
+/// messages, or dies outright — far better than tightly-synchronised
+/// schemes, where one straggler stalls every peer at the next barrier. A
+/// `FaultPlan` makes that claim testable: it is a declarative, seeded list
+/// of faults that the discrete-event simulator consumes as first-class
+/// events (bit-identical traces for a given seed) and the threaded runtime
+/// consumes through an injection shim on its channels and worker loops.
+///
+/// Two clocks coexist deliberately. The simulator's faults are windowed in
+/// *virtual seconds*; the threaded runtime and the elastic driver are
+/// windowed in *steps* (train_batch / train_iteration indices), because wall
+/// time is not reproducible. Every fault record carries both windows and
+/// each executor reads the one that is meaningful to it.
+///
+/// All randomness (message drops) is derived by stateless hashing of
+/// (seed, message identity, attempt) — never from a shared mutable RNG — so
+/// the outcome of one fault cannot depend on event-processing order. This is
+/// what makes a seeded plan produce bit-identical simulator traces.
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace avgpipe::fault {
+
+/// Matches every index when a fault field is set to this.
+constexpr int kAny = -1;
+/// Open-ended window ends.
+constexpr Seconds kForever = std::numeric_limits<Seconds>::infinity();
+constexpr long kNoStepLimit = std::numeric_limits<long>::max();
+
+/// Message direction, part of a message's identity for drop hashing.
+enum class LinkDir : std::uint8_t { kActivation = 0, kGradient = 1 };
+
+/// A slow pipeline/stage: compute runs `factor`x slower inside the window.
+/// The simulator multiplies submitted work; the threaded runtime injects a
+/// sleep of (factor-1) x the measured op duration after each affected op.
+struct StragglerFault {
+  int pipeline = kAny;
+  int stage = kAny;
+  double factor = 1.0;  ///< >= 1; 1 means no effect
+  Seconds t_begin = 0, t_end = kForever;
+  long step_begin = 0, step_end = kNoStepLimit;
+};
+
+/// A transiently degraded link between stages `link` and `link`+1.
+struct LinkDegradation {
+  int link = kAny;               ///< boundary index (stage k -> k+1)
+  double bandwidth_factor = 1.0; ///< in (0, 1]; scales effective bandwidth
+  Seconds extra_latency = 0;     ///< added per message
+  Seconds t_begin = 0, t_end = kForever;
+  long step_begin = 0, step_end = kNoStepLimit;
+};
+
+/// Probabilistic message loss on a sending stage's outbound boundary. Each
+/// attempt is retried after `retry_timeout`; a message is never dropped more
+/// than `max_drops` consecutive times in the simulator, while the runtime's
+/// send shim gives up (fails the batch) after its own retry budget.
+struct MessageDrop {
+  int pipeline = kAny;
+  int stage = kAny;          ///< sending stage
+  double probability = 0.0;  ///< per-attempt drop probability
+  int max_drops = 3;         ///< cap on consecutive losses per message
+  Seconds retry_timeout = 1e-3;  ///< cost of one lost attempt
+  long step_begin = 0, step_end = kNoStepLimit;
+};
+
+/// A whole pipeline dies and (optionally) comes back. The simulator uses the
+/// virtual-time fields; the elastic driver uses the step fields and performs
+/// the paper's own pull mechanism as recovery (re-init from the reference).
+struct PipelineCrash {
+  int pipeline = 0;
+  Seconds t_crash = kForever;   ///< sim: streams stop issuing at this time
+  Seconds t_rejoin = kForever;  ///< sim: streams resume (next whole batch)
+  Seconds resync_seconds = 0;   ///< sim: cost of re-pulling the weights
+  long crash_at_step = -1;      ///< driver: detach before this iteration
+  long rejoin_at_step = -1;     ///< driver: rejoin before this iteration
+};
+
+/// The full declarative fault scenario.
+class FaultPlan {
+ public:
+  std::uint64_t seed = 0;
+  std::vector<StragglerFault> stragglers;
+  std::vector<LinkDegradation> link_degradations;
+  std::vector<MessageDrop> drops;
+  std::vector<PipelineCrash> crashes;
+
+  /// True when the plan injects nothing; executors treat a null plan and an
+  /// empty plan identically (the shim is zero-cost in both cases).
+  bool empty() const {
+    return stragglers.empty() && link_degradations.empty() && drops.empty() &&
+           crashes.empty();
+  }
+
+  // -- queries (sim: virtual-time windows) ----------------------------------
+
+  /// Product of matching straggler factors at virtual time `now`.
+  double compute_factor(int pipeline, int stage, Seconds now) const;
+
+  /// Deterministic number of consecutive drops (0 = delivered first try) for
+  /// one simulated message, independent of event order.
+  std::size_t drop_count(int pipeline, int stage, int batch, int micro_batch,
+                         LinkDir dir, Seconds* penalty_per_drop) const;
+
+  // -- queries (runtime: step windows) --------------------------------------
+
+  /// Product of matching straggler factors at step `step`.
+  double straggler_factor(int pipeline, int stage, long step) const;
+
+  /// Extra latency injected before a send on boundary `link` at `step`.
+  Seconds send_delay(int link, long step) const;
+
+  /// Whether send attempt `attempt` of the message identified by `key`
+  /// should be dropped, and at what retry cost. Deterministic in
+  /// (seed, key, attempt).
+  bool should_drop(int pipeline, int stage, long step, std::uint64_t key,
+                   int attempt, Seconds* retry_timeout) const;
+
+  /// The crash record for `pipeline`, or nullptr.
+  const PipelineCrash* crash_for(int pipeline) const;
+
+  // -- serialisation --------------------------------------------------------
+
+  /// Parse the JSON plan format (see DESIGN.md "Fault model & recovery").
+  /// Throws avgpipe::Error on malformed input.
+  static FaultPlan parse_json(const std::string& text);
+  static FaultPlan load_file(const std::string& path);
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+};
+
+/// Process-wide plan from the AVGPIPE_FAULT_PLAN environment variable (a
+/// file path), loaded once. Returns nullptr when unset; a malformed file is
+/// a hard error (a CI fault job must not silently run fault-free).
+const FaultPlan* env_plan();
+
+}  // namespace avgpipe::fault

@@ -1,0 +1,20 @@
+#include "fault/shim.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace avgpipe::fault {
+
+std::uint64_t message_key(long step, int micro_batch, int stage, LinkDir dir) {
+  std::uint64_t k = static_cast<std::uint64_t>(step + 1);
+  k = k * 524287 + static_cast<std::uint64_t>(micro_batch + 1);
+  k = k * 131 + static_cast<std::uint64_t>(stage + 1);
+  return k * 2 + static_cast<std::uint64_t>(dir);
+}
+
+void sleep_for(Seconds seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace avgpipe::fault

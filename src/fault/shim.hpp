@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file shim.hpp
+/// Runtime-side injection/resilience helpers around `FaultPlan`.
+///
+/// The threaded runtime cannot replay a fault plan as scheduled events the
+/// way the simulator does; instead its channels and worker loops consult
+/// these helpers at each send/recv/op. Everything here is branch-cheap and
+/// guarded by `plan == nullptr || plan->empty()` at the call sites, so an
+/// empty plan costs nothing on the hot path.
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace avgpipe::fault {
+
+/// Per-pipeline liveness record kept by the elastic driver (core::AvgPipe).
+/// `last_ok_step` is the heartbeat: the last iteration the pipeline finished
+/// a batch; `failures` counts batches it failed (worker exception, link
+/// declared dead, or injected crash).
+struct PipelineHealth {
+  bool alive = true;
+  long last_ok_step = -1;
+  std::size_t failures = 0;
+  std::string last_error;
+};
+
+/// Exponential backoff schedule for a bounded-queue pop with timeout: the
+/// waiter polls with a growing per-attempt timeout until an overall deadline
+/// elapses, then declares the peer unresponsive.
+class Backoff {
+ public:
+  /// \param initial first wait quantum; doubles each attempt.
+  /// \param max_wait per-attempt cap.
+  /// \param deadline total budget across attempts.
+  Backoff(Seconds initial, Seconds max_wait, Seconds deadline)
+      : next_(initial), max_(max_wait), remaining_(deadline) {}
+
+  /// Whether the budget allows another attempt.
+  bool can_retry() const { return remaining_ > 0; }
+
+  /// The next attempt's timeout; advances the schedule.
+  Seconds next_timeout() {
+    const Seconds t = next_ < remaining_ ? next_ : remaining_;
+    remaining_ -= t;
+    if (next_ < max_) next_ = next_ * 2 < max_ ? next_ * 2 : max_;
+    ++attempts_;
+    return t;
+  }
+
+  std::size_t attempts() const { return attempts_; }
+
+ private:
+  Seconds next_;
+  Seconds max_;
+  Seconds remaining_;
+  std::size_t attempts_ = 0;
+};
+
+/// Identity of one runtime boundary message, for deterministic drop hashing:
+/// (step, micro-batch, sending stage, direction) pins the message uniquely
+/// within a pipeline.
+std::uint64_t message_key(long step, int micro_batch, int stage, LinkDir dir);
+
+/// Sleep for `seconds` of wall time (no-op for non-positive values).
+void sleep_for(Seconds seconds);
+
+}  // namespace avgpipe::fault

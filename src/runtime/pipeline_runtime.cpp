@@ -1,5 +1,8 @@
 #include "runtime/pipeline_runtime.hpp"
 
+#include <chrono>
+#include <sstream>
+
 #include "tensor/ops.hpp"
 
 namespace avgpipe::runtime {
@@ -8,6 +11,23 @@ namespace {
 /// Generous capacity so bounded back-pressure can never deadlock the
 /// act/grad cycle between adjacent stages.
 constexpr std::size_t kChannelCapacity = 4096;
+
+/// Resilient-recv budget under an active fault plan: first poll quantum,
+/// per-attempt cap, and the overall wall deadline after which a silent peer
+/// is declared dead. Generous against injected stragglers (which sleep for
+/// multiples of real op durations) while still bounding a true hang.
+constexpr Seconds kRecvInitialWait = 1e-4;
+constexpr Seconds kRecvMaxWait = 0.05;
+constexpr Seconds kRecvDeadline = 10.0;
+
+/// Consecutive injected drops a sender tolerates before declaring its
+/// outbound link dead and failing the batch.
+constexpr int kMaxSendAttempts = 5;
+
+Seconds elapsed_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 }  // namespace
 
 LossFn cross_entropy_loss() {
@@ -46,6 +66,9 @@ PipelineRuntime::PipelineRuntime(nn::Sequential model,
                 "advance_num " << advance_num_ << " below the 1F1B minimum "
                                << k - 1);
 
+  faults_ = fault::env_plan();
+  faults_active_ = faults_ != nullptr && !faults_->empty();
+
   input_ = std::make_unique<Channel<ActMessage>>(kChannelCapacity);
   done_ = std::make_unique<Channel<int>>(kChannelCapacity);
   for (std::size_t i = 0; i + 1 < k; ++i) {
@@ -68,20 +91,43 @@ PipelineRuntime::PipelineRuntime(nn::Sequential model,
 }
 
 PipelineRuntime::~PipelineRuntime() {
+  close_all();
+  for (auto& stage : stages_) {
+    if (stage->thread.joinable()) stage->thread.join();
+  }
+}
+
+void PipelineRuntime::close_all() {
   for (auto& ch : stage_start_) ch->close();
   input_->close();
   for (auto& ch : acts_) ch->close();
   for (auto& ch : grads_) ch->close();
   done_->close();
-  for (auto& stage : stages_) {
-    if (stage->thread.joinable()) stage->thread.join();
+}
+
+void PipelineRuntime::fail(const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    if (failure_.empty()) failure_ = what;  // first failure wins
   }
+  failed_.store(true, std::memory_order_release);
+  close_all();
+}
+
+std::string PipelineRuntime::failure_message() const {
+  std::lock_guard<std::mutex> lock(failure_mutex_);
+  return failure_;
 }
 
 void PipelineRuntime::set_tracer(trace::Tracer* tracer,
                                  std::size_t pipeline_index) {
   tracer_ = tracer;
   trace_pipeline_ = static_cast<std::uint32_t>(pipeline_index);
+}
+
+void PipelineRuntime::set_faults(const fault::FaultPlan* plan) {
+  faults_ = plan;
+  faults_active_ = faults_ != nullptr && !faults_->empty();
 }
 
 void PipelineRuntime::record_span(Stage& stage, trace::EventKind kind,
@@ -99,16 +145,79 @@ void PipelineRuntime::record_span(Stage& stage, trace::EventKind kind,
   stage.trace_buf->record(ev);
 }
 
-void PipelineRuntime::record_queue_depth(Stage& stage, std::size_t depth) {
+void PipelineRuntime::record_counter(Stage& stage, trace::CounterId id,
+                                     double value) {
   if (stage.trace_buf == nullptr) return;
   trace::TraceEvent ev;
   ev.kind = trace::EventKind::kCounter;
-  ev.counter = trace::CounterId::kQueueDepth;
+  ev.counter = id;
   ev.pipeline = trace_pipeline_;
   ev.stage = static_cast<std::uint32_t>(stage.index);
   ev.t_begin = ev.t_end = tracer_->wall_now();
-  ev.value = static_cast<double>(depth);
+  ev.value = value;
   stage.trace_buf->record(ev);
+}
+
+void PipelineRuntime::record_queue_depth(Stage& stage, std::size_t depth) {
+  record_counter(stage, trace::CounterId::kQueueDepth,
+                 static_cast<double>(depth));
+}
+
+template <typename T>
+std::optional<T> PipelineRuntime::robust_recv(Stage& stage, Channel<T>& ch,
+                                              const char* what) {
+  if (!faults_active_) return ch.recv();
+  fault::Backoff backoff(kRecvInitialWait, kRecvMaxWait, kRecvDeadline);
+  T out;
+  while (backoff.can_retry()) {
+    switch (ch.recv_for(&out, backoff.next_timeout())) {
+      case ChannelStatus::kOk: return out;
+      case ChannelStatus::kClosed: return std::nullopt;
+      case ChannelStatus::kTimeout:
+        record_counter(stage, trace::CounterId::kRecvRetry,
+                       static_cast<double>(backoff.attempts()));
+        break;
+    }
+  }
+  AVGPIPE_THROW("stage " << stage.index << ": peer unresponsive on " << what
+                         << " after " << backoff.attempts()
+                         << " attempts (deadline " << kRecvDeadline << "s)");
+}
+
+template <typename T>
+void PipelineRuntime::faulty_send(Stage& stage, Channel<T>& ch, T msg,
+                                  const schedule::Instr& instr, long step,
+                                  fault::LinkDir dir) {
+  if (faults_active_) {
+    const std::uint64_t key = fault::message_key(
+        step, instr.micro_batch, static_cast<int>(stage.index), dir);
+    const Seconds t0 = stage.trace_buf ? tracer_->wall_now() : 0;
+    int attempt = 0;
+    Seconds retry = 0;
+    while (faults_->should_drop(static_cast<int>(trace_pipeline_),
+                                static_cast<int>(stage.index), step, key,
+                                attempt, &retry)) {
+      ++attempt;
+      AVGPIPE_CHECK(attempt < kMaxSendAttempts,
+                    "stage " << stage.index << ": message (step " << step
+                             << ", micro-batch " << instr.micro_batch
+                             << ") dropped " << attempt
+                             << " consecutive times; link declared dead");
+      fault::sleep_for(retry);
+    }
+    if (attempt > 0) {
+      record_span(stage, trace::EventKind::kFaultDrop, instr, t0);
+    }
+    // Degraded-link windows add per-message latency on this boundary.
+    const int link = dir == fault::LinkDir::kActivation
+                         ? static_cast<int>(stage.index)
+                         : static_cast<int>(stage.index) - 1;
+    fault::sleep_for(faults_->send_delay(link, step));
+  }
+  const bool ok = ch.send(std::move(msg));
+  AVGPIPE_CHECK(ok, "stage " << stage.index
+                             << ": channel closed while sending (peer "
+                                "failure in flight)");
 }
 
 void PipelineRuntime::worker_loop(Stage& stage) {
@@ -126,27 +235,68 @@ void PipelineRuntime::worker_loop(Stage& stage) {
         schedule::make_schedule(params).stages[stage.index].instrs;
     stage.loss_sum = 0;
     stage.micro_batches = *m;
+    const long step = step_.load(std::memory_order_acquire);
 
-    for (const auto& instr : stage.program) {
-      switch (instr.kind) {
-        case schedule::OpKind::kForward: run_forward(stage, instr); break;
-        case schedule::OpKind::kBackward: run_backward(stage, instr); break;
-        case schedule::OpKind::kUpdate: run_update(stage, instr); break;
-        case schedule::OpKind::kAllReduce:
-          AVGPIPE_THROW("all-reduce in a pipeline stream");
+    // Any exception inside an instruction — a CHECK failure, an injected
+    // fault, a model bug — would previously escape the thread and
+    // std::terminate the process. Capture it with the stage/instruction
+    // context, fail the batch and let every peer unwind over the closed
+    // channels instead.
+    const schedule::Instr* current = nullptr;
+    try {
+      for (const auto& instr : stage.program) {
+        current = &instr;
+        run_instr(stage, instr, step);
       }
+    } catch (const std::exception& e) {
+      std::ostringstream msg;
+      msg << "stage " << stage.index;
+      if (current != nullptr) {
+        msg << " [" << schedule::to_string(current->kind) << " b"
+            << current->batch << "." << current->micro_batch << "]";
+      }
+      msg << ": " << e.what();
+      fail(msg.str());
+      return;  // the worker is dead; the runtime is permanently failed
     }
     done_->send(static_cast<int>(stage.index));
   }
 }
 
-void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr) {
+void PipelineRuntime::run_instr(Stage& stage, const schedule::Instr& instr,
+                                long step) {
+  const double slow =
+      faults_active_
+          ? faults_->straggler_factor(static_cast<int>(trace_pipeline_),
+                                      static_cast<int>(stage.index), step)
+          : 1.0;
+  const auto w0 = std::chrono::steady_clock::now();
+
+  switch (instr.kind) {
+    case schedule::OpKind::kForward: run_forward(stage, instr, step); break;
+    case schedule::OpKind::kBackward: run_backward(stage, instr, step); break;
+    case schedule::OpKind::kUpdate: run_update(stage, instr); break;
+    case schedule::OpKind::kAllReduce:
+      AVGPIPE_THROW("all-reduce in a pipeline stream");
+  }
+
+  if (slow > 1.0) {
+    // A straggler runs `slow`x slower: stretch the op by sleeping the
+    // missing (slow - 1) share of its measured duration.
+    const Seconds t0 = stage.trace_buf ? tracer_->wall_now() : 0;
+    fault::sleep_for((slow - 1.0) * elapsed_since(w0));
+    record_span(stage, trace::EventKind::kFaultStraggler, instr, t0);
+  }
+}
+
+void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr,
+                                  long step) {
   const bool first = stage.index == 0;
   const bool last = stage.index + 1 == stages_.size();
 
   Channel<ActMessage>& in_ch = first ? *input_ : *acts_[stage.index - 1];
   const Seconds t_wait = stage.trace_buf ? tracer_->wall_now() : 0;
-  auto msg = in_ch.recv();
+  auto msg = robust_recv(stage, in_ch, "activation");
   record_span(stage, trace::EventKind::kWaitBubble, instr, t_wait);
   record_queue_depth(stage, in_ch.size());
   AVGPIPE_CHECK(msg.has_value(), "activation channel closed mid-batch");
@@ -165,8 +315,10 @@ void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr) {
     stage.loss_sum += loss_var.value()[0];
     stash.output = loss_var;
   } else {
-    acts_[stage.index]->send(
-        ActMessage{instr.micro_batch, out.value(), std::move(msg->targets)});
+    faulty_send(stage, *acts_[stage.index],
+                ActMessage{instr.micro_batch, out.value(),
+                           std::move(msg->targets)},
+                instr, step, fault::LinkDir::kActivation);
     stash.output = out;
   }
   stage.stash.emplace(instr.micro_batch, std::move(stash));
@@ -175,7 +327,7 @@ void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr) {
 }
 
 void PipelineRuntime::run_backward(Stage& stage,
-                                   const schedule::Instr& instr) {
+                                   const schedule::Instr& instr, long step) {
   const bool first = stage.index == 0;
   const bool last = stage.index + 1 == stages_.size();
 
@@ -192,7 +344,7 @@ void PipelineRuntime::run_backward(Stage& stage,
   } else {
     Channel<GradMessage>& grad_ch = *grads_[stage.index];
     const Seconds t_wait = t0;
-    auto grad = grad_ch.recv();
+    auto grad = robust_recv(stage, grad_ch, "gradient");
     record_span(stage, trace::EventKind::kWaitBubble, instr, t_wait);
     record_queue_depth(stage, grad_ch.size());
     AVGPIPE_CHECK(grad.has_value(), "gradient channel closed mid-batch");
@@ -204,8 +356,9 @@ void PipelineRuntime::run_backward(Stage& stage,
     stash.output.backward(grad->payload);
   }
   if (!first) {
-    grads_[stage.index - 1]->send(
-        GradMessage{instr.micro_batch, stash.input.grad().clone()});
+    faulty_send(stage, *grads_[stage.index - 1],
+                GradMessage{instr.micro_batch, stash.input.grad().clone()},
+                instr, step, fault::LinkDir::kGradient);
   }
   record_span(stage, trace::EventKind::kBackward, instr, t0);
 }
@@ -225,19 +378,30 @@ void PipelineRuntime::run_update(Stage& stage, const schedule::Instr& instr) {
 BatchStats PipelineRuntime::train_batch(const data::Batch& batch,
                                         std::size_t micro_batches) {
   AVGPIPE_CHECK(!stopping_, "runtime already stopped");
+  if (failed()) {
+    AVGPIPE_THROW("pipeline permanently failed: " << failure_message());
+  }
   auto micro = data::slice_micro_batches(batch, micro_batches);
+  step_.fetch_add(1, std::memory_order_release);
 
   for (auto& ch : stage_start_) {
-    const bool ok = ch->send(micro_batches);
-    AVGPIPE_CHECK(ok, "stage start channel closed");
+    if (!ch->send(micro_batches)) {
+      AVGPIPE_THROW("pipeline failed: " << failure_message());
+    }
   }
   for (std::size_t i = 0; i < micro.size(); ++i) {
+    // A closed (failed) channel drops the message; the failure surfaces at
+    // the done barrier below.
     input_->send(ActMessage{static_cast<int>(i), std::move(micro[i].inputs),
                             std::move(micro[i].targets)});
   }
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     auto d = done_->recv();
-    AVGPIPE_CHECK(d.has_value(), "done channel closed mid-batch");
+    if (!d.has_value()) {
+      const std::string why = failure_message();
+      AVGPIPE_THROW("pipeline failed: "
+                    << (why.empty() ? "done channel closed mid-batch" : why));
+    }
   }
 
   BatchStats stats;

@@ -15,13 +15,16 @@
 /// once per batch by per-stage optimizers, which reproduces exactly the
 /// update of non-pipelined training on the full batch.
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "common/queue.hpp"
 #include "data/dataset.hpp"
+#include "fault/shim.hpp"
 #include "nn/sequential.hpp"
 #include "optim/optimizer.hpp"
 #include "schedule/schedule.hpp"
@@ -61,7 +64,17 @@ class PipelineRuntime {
 
   /// Train on one batch sliced into `micro_batches`; blocks until the
   /// optimizer step of every stage has been applied.
+  ///
+  /// Throws avgpipe::Error if any stage worker fails (uncaught exception,
+  /// injected fault, or unresponsive peer); the message carries the failing
+  /// stage index and instruction. A failed runtime is permanently dead:
+  /// every later train_batch rethrows the stored failure.
   BatchStats train_batch(const data::Batch& batch, std::size_t micro_batches);
+
+  /// Whether a stage worker has failed (see train_batch).
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  /// First recorded failure, empty if none.
+  std::string failure_message() const;
 
   /// The underlying full model (parameters shared with the stages). Only
   /// safe to use between train_batch calls.
@@ -80,6 +93,16 @@ class PipelineRuntime {
   /// runtime.
   void set_tracer(trace::Tracer* tracer, std::size_t pipeline_index = 0);
 
+  /// Attach a fault plan (nullptr to clear): worker loops then consult its
+  /// step-windowed records — straggler sleeps after ops, deterministic send
+  /// drops with retry penalties, extra send latency — and recvs switch to
+  /// timeout + exponential backoff so a silent peer is eventually declared
+  /// dead. Must be called before the first train_batch; the plan must
+  /// outlive this runtime. Defaults to fault::env_plan(). A null or empty
+  /// plan leaves every hot path branch-free.
+  void set_faults(const fault::FaultPlan* plan);
+  const fault::FaultPlan* faults() const { return faults_; }
+
  private:
   struct ActMessage {
     int micro_batch;
@@ -97,12 +120,33 @@ class PipelineRuntime {
 
   struct Stage;
   void worker_loop(Stage& stage);
-  void run_forward(Stage& stage, const schedule::Instr& instr);
-  void run_backward(Stage& stage, const schedule::Instr& instr);
+  void run_instr(Stage& stage, const schedule::Instr& instr, long step);
+  void run_forward(Stage& stage, const schedule::Instr& instr, long step);
+  void run_backward(Stage& stage, const schedule::Instr& instr, long step);
   void run_update(Stage& stage, const schedule::Instr& instr);
   void record_span(Stage& stage, trace::EventKind kind,
                    const schedule::Instr& instr, Seconds t_begin);
+  void record_counter(Stage& stage, trace::CounterId id, double value);
   void record_queue_depth(Stage& stage, std::size_t depth);
+
+  /// Record the first failure, close every channel (peers unwind on the
+  /// closed-channel checks) and mark the runtime dead.
+  void fail(const std::string& what);
+  void close_all();
+
+  /// recv with fault-plan resilience: timeout + exponential backoff, a
+  /// kRecvRetry counter per timeout, and an overall deadline after which the
+  /// peer is declared unresponsive (throws). Plain blocking recv when no
+  /// plan is active.
+  template <typename T>
+  std::optional<T> robust_recv(Stage& stage, Channel<T>& ch,
+                               const char* what);
+  /// send through the drop/delay shim; throws after too many consecutive
+  /// injected drops (link declared dead) or when the channel is closed.
+  template <typename T>
+  void faulty_send(Stage& stage, Channel<T>& ch, T msg,
+                   const schedule::Instr& instr, long step,
+                   fault::LinkDir dir);
 
   nn::Sequential model_;
   LossFn loss_;
@@ -137,6 +181,16 @@ class PipelineRuntime {
   // after a start-channel recv, so the channel provides the ordering.
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pipeline_ = 0;
+
+  // Fault injection (optional) and failure state. `step_` is the batch
+  // index, bumped by train_batch before dispatch; workers read it after the
+  // start-channel recv, so the channel again provides the ordering.
+  const fault::FaultPlan* faults_ = nullptr;
+  bool faults_active_ = false;
+  std::atomic<long> step_{-1};
+  std::atomic<bool> failed_{false};
+  mutable std::mutex failure_mutex_;
+  std::string failure_;
 };
 
 /// Convenience: mean softmax cross-entropy loss head.

@@ -119,7 +119,16 @@ Seconds LinkResource::transfer(Bytes bytes,
   AVGPIPE_CHECK(bytes >= 0.0, "negative transfer size");
   queue_.push_back(Pending{bytes, std::move(on_delivered)});
   if (!sending_) start_next();
-  return bytes / bandwidth_ + latency_;
+  return bytes / bandwidth() + latency();
+}
+
+void LinkResource::set_degradation(double bandwidth_factor,
+                                   Seconds extra_latency) {
+  AVGPIPE_CHECK(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+                "bandwidth factor must be in (0,1], got " << bandwidth_factor);
+  AVGPIPE_CHECK(extra_latency >= 0.0, "negative extra latency");
+  bandwidth_factor_ = bandwidth_factor;
+  extra_latency_ = extra_latency;
 }
 
 void LinkResource::start_next() {
@@ -130,11 +139,11 @@ void LinkResource::start_next() {
   sending_ = true;
   Pending item = std::move(queue_.front());
   queue_.pop_front();
-  const Seconds wire = item.bytes / bandwidth_;
+  const Seconds wire = item.bytes / bandwidth();
   busy_ += wire;
   // Link frees after the wire time; delivery lands one latency later.
   engine_.schedule_after(wire, [this] { start_next(); });
-  engine_.schedule_after(wire + latency_,
+  engine_.schedule_after(wire + latency(),
                          [fn = std::move(item.on_delivered)] { fn(); });
 }
 

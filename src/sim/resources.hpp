@@ -87,9 +87,15 @@ class LinkResource {
   /// wire time (bytes/bandwidth + latency), excluding queueing.
   Seconds transfer(Bytes bytes, std::function<void()> on_delivered);
 
+  /// Transient degradation (fault injection): effective bandwidth becomes
+  /// bandwidth x `bandwidth_factor` and every message pays `extra_latency`
+  /// more, until the next call. Sampled per transfer at wire start, so a
+  /// window change mid-queue affects only subsequent messages.
+  void set_degradation(double bandwidth_factor, Seconds extra_latency);
+
   Seconds busy_time() const { return busy_; }
-  double bandwidth() const { return bandwidth_; }
-  Seconds latency() const { return latency_; }
+  double bandwidth() const { return bandwidth_ * bandwidth_factor_; }
+  Seconds latency() const { return latency_ + extra_latency_; }
 
  private:
   void start_next();
@@ -97,6 +103,8 @@ class LinkResource {
   Engine& engine_;
   double bandwidth_;
   Seconds latency_;
+  double bandwidth_factor_ = 1.0;
+  Seconds extra_latency_ = 0.0;
 
   struct Pending {
     Bytes bytes;

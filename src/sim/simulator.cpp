@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "fault/fault_plan.hpp"
 #include "sim/resources.hpp"
 #include "trace/trace.hpp"
 
@@ -82,18 +83,25 @@ class Execution {
     allocate_static_memory();
     build_streams();
     if (job.tracer != nullptr) tb_ = job.tracer->create_buffer();
+    // An empty plan and a null plan are the same thing: no fault branch is
+    // ever taken and no extra event is scheduled (zero-cost shim).
+    if (job.faults != nullptr && !job.faults->empty()) faults_ = job.faults;
+    schedule_fault_events();
   }
 
   SimResult run() {
     pump();
     const Seconds makespan = engine_.run();
     for (const auto& s : streams_) {
+      // A crashed pipeline that never rejoined legitimately stops mid-stream.
+      if (s.dead) continue;
       AVGPIPE_CHECK(s.idx == s.instrs.size(),
                     "deadlock: stream (pipeline " << s.pipeline << ", stage "
                                                   << s.stage << ") stuck at "
                                                   << s.idx << "/"
                                                   << s.instrs.size());
     }
+    emit_degradation_windows(makespan);
     return collect(makespan);
   }
 
@@ -105,6 +113,10 @@ class Execution {
     std::size_t idx = 0;
     bool running = false;
     bool blocked = false;
+    bool dead = false;  ///< pipeline crashed; stream issues nothing
+    /// Bumped by a crash so completion callbacks of in-flight ops can tell
+    /// they were superseded and must not touch the stream.
+    std::uint64_t gen = 0;
     Seconds blocked_since = 0;
     Seconds comm_wait = 0;
     Seconds bubble_wait = 0;
@@ -198,6 +210,197 @@ class Execution {
     tb_->record(ev);
   }
 
+  /// Fault/recovery events carry no instruction identity and may be
+  /// instantaneous (crash markers), so they bypass the span filter above.
+  void emit_fault(trace::EventKind kind, std::size_t pipeline,
+                  std::size_t stage, Seconds t_begin, Seconds t_end,
+                  double value = 0) {
+    if (tb_ == nullptr) return;
+    trace::TraceEvent ev;
+    ev.kind = kind;
+    ev.pipeline = static_cast<std::uint32_t>(pipeline);
+    ev.stage = static_cast<std::uint32_t>(stage);
+    ev.t_begin = t_begin;
+    ev.t_end = t_end;
+    ev.value = value;
+    tb_->record(ev);
+  }
+
+  // -- fault injection (src/fault) ------------------------------------------
+
+  /// Straggler slowdown for an op issued on (pipeline, stage) right now.
+  double fault_scale(const Stream& s) const {
+    return faults_ == nullptr
+               ? 1.0
+               : faults_->compute_factor(static_cast<int>(s.pipeline),
+                                         static_cast<int>(s.stage),
+                                         engine_.now());
+  }
+
+  /// Attribute the injected share of a finished op as a straggler span: of
+  /// the [t0, t1] duration, (1 - 1/factor) would not exist without the
+  /// fault.
+  void emit_straggler(const Stream& s, const Instr& in, Seconds t0,
+                      Seconds t1, double factor) {
+    if (factor <= 1.0) return;
+    const Seconds extra = (t1 - t0) * (1.0 - 1.0 / factor);
+    emit(trace::EventKind::kFaultStraggler, s.pipeline, s.stage, in,
+         t1 - extra, t1);
+  }
+
+  /// Turn the plan's time-windowed faults into engine events: link windows
+  /// schedule a refresh at each edge, crashes/rejoins fire at their virtual
+  /// times. Called once at construction (engine time 0).
+  void schedule_fault_events() {
+    if (faults_ == nullptr) return;
+    AVGPIPE_CHECK(!is_dp_ || faults_->crashes.empty(),
+                  "pipeline crashes are undefined under data parallelism "
+                  "(the all-reduce barrier would hang)");
+    if (!faults_->link_degradations.empty()) {
+      refresh_links();  // windows starting at t=0 apply from the first send
+      for (const auto& ld : faults_->link_degradations) {
+        engine_.schedule_at(ld.t_begin, [this] { refresh_links(); });
+        if (ld.t_end != fault::kForever) {
+          engine_.schedule_at(ld.t_end, [this] { refresh_links(); });
+        }
+      }
+    }
+    for (const auto& c : faults_->crashes) {
+      if (c.t_crash == fault::kForever) continue;
+      const int p = c.pipeline;
+      engine_.schedule_at(c.t_crash, [this, p] { crash_pipeline(p); });
+      if (c.t_rejoin != fault::kForever) {
+        const Seconds resync = c.resync_seconds;
+        engine_.schedule_at(c.t_rejoin,
+                            [this, p, resync] { rejoin_pipeline(p, resync); });
+      }
+    }
+  }
+
+  /// Recompute every link's effective bandwidth/latency from the windows
+  /// active right now (overlapping windows compose multiplicatively).
+  void refresh_links() {
+    const Seconds now = engine_.now();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      double factor = 1.0;
+      Seconds extra = 0.0;
+      for (const auto& ld : faults_->link_degradations) {
+        if ((ld.link == fault::kAny || ld.link == static_cast<int>(l)) &&
+            now >= ld.t_begin && now < ld.t_end) {
+          factor *= ld.bandwidth_factor;
+          extra += ld.extra_latency;
+        }
+      }
+      links_[l]->set_degradation(factor, extra);
+    }
+  }
+
+  void crash_pipeline(int p) {
+    bool any = false;
+    for (auto& s : streams_) {
+      if (static_cast<int>(s.pipeline) != p || s.dead) continue;
+      any = true;
+      s.dead = true;
+      s.running = false;
+      s.blocked = false;  // the pending wait dies with the process
+      ++s.gen;            // in-flight completions are now stale
+    }
+    if (any) {
+      emit_fault(trace::EventKind::kPipelineCrash,
+                 static_cast<std::size_t>(p), 0, engine_.now(), engine_.now());
+    }
+  }
+
+  /// Resume the pipeline at the next whole batch. Work on batches that were
+  /// in flight at the crash is lost, exactly as for a real process restart:
+  /// the replica re-pulls the reference model (resync) and continues with
+  /// fresh data rather than replaying.
+  void rejoin_pipeline(int p, Seconds resync) {
+    int resume_batch = 0;
+    for (const auto& s : streams_) {
+      if (static_cast<int>(s.pipeline) != p) continue;
+      for (std::size_t i = 0; i < s.idx; ++i) {
+        resume_batch = std::max(resume_batch, s.instrs[i].batch + 1);
+      }
+    }
+    bool any = false;
+    for (auto& s : streams_) {
+      if (static_cast<int>(s.pipeline) != p || !s.dead) continue;
+      any = true;
+      while (s.idx < s.instrs.size() && s.instrs[s.idx].batch < resume_batch) {
+        ++s.idx;
+      }
+      s.dead = false;
+      s.running = false;
+      s.blocked = false;
+    }
+    if (!any) return;
+    emit_fault(trace::EventKind::kPipelineRejoin, static_cast<std::size_t>(p),
+               0, engine_.now(), engine_.now() + resync);
+    engine_.schedule_after(resync, [this] { pump(); });
+  }
+
+  /// After the run: record each degradation window clamped to the makespan,
+  /// so the trace shows when the wire was impaired.
+  void emit_degradation_windows(Seconds makespan) {
+    if (faults_ == nullptr || tb_ == nullptr) return;
+    for (const auto& ld : faults_->link_degradations) {
+      const Seconds end = std::min(ld.t_end, makespan);
+      if (end <= ld.t_begin) continue;
+      const std::size_t link = ld.link == fault::kAny
+                                   ? 0
+                                   : static_cast<std::size_t>(ld.link);
+      emit_fault(trace::EventKind::kLinkDegraded, 0, link, ld.t_begin, end,
+                 ld.bandwidth_factor);
+    }
+  }
+
+  /// Ship one boundary tensor from stage `from` to stage `to` over
+  /// `links_[link]`, delayed by the plan's deterministic drop penalty when a
+  /// drop record matches. Delivery marks the dependency key ready.
+  void send(std::size_t pipeline, std::size_t from, std::size_t to,
+            std::size_t link, std::uint64_t dst, Bytes bytes, Instr in,
+            fault::LinkDir dir) {
+    Seconds delay = 0;
+    if (faults_ != nullptr) {
+      Seconds penalty = 0;
+      const std::size_t lost = faults_->drop_count(
+          static_cast<int>(pipeline), static_cast<int>(from), in.batch,
+          in.micro_batch, dir, &penalty);
+      if (lost > 0) {
+        delay = static_cast<double>(lost) * penalty;
+        emit(trace::EventKind::kFaultDrop, pipeline, from, in, engine_.now(),
+             engine_.now() + delay, bytes);
+      }
+    }
+    auto start = [this, pipeline, from, to, link, dst, bytes, in, dir] {
+      const Seconds t_enq = engine_.now();
+      const bool act = dir == fault::LinkDir::kActivation;
+      (act ? act_enqueued_ : grad_enqueued_)[dst] = t_enq;
+      const Seconds wire = links_[link]->transfer(
+          bytes, [this, dst, to, bytes, pipeline, in, t_enq, act] {
+            if (act) {
+              memory_[to]->alloc(bytes, MemCategory::kBuffers);
+              act_ready_.insert(dst);
+              emit(trace::EventKind::kCommActivation, pipeline, to, in, t_enq,
+                   engine_.now(), bytes);
+            } else {
+              grad_ready_.insert(dst);
+              emit(trace::EventKind::kCommGradient, pipeline, to, in, t_enq,
+                   engine_.now(), bytes);
+            }
+            pump();
+          });
+      stats_comm_[from] += wire;
+      stats_comm_[to] += wire;
+    };
+    if (delay > 0) {
+      engine_.schedule_after(delay, start);
+    } else {
+      start();
+    }
+  }
+
   /// Attribute the just-finished wait of `s` to comm vs bubble using the
   /// dependency's transfer-enqueue timestamp.
   void settle_wait(Stream& s, const Instr& in) {
@@ -226,7 +429,7 @@ class Execution {
 
   void pump() {
     for (auto& s : streams_) {
-      if (s.running || s.idx >= s.instrs.size()) continue;
+      if (s.dead || s.running || s.idx >= s.instrs.size()) continue;
       const Instr& in = s.instrs[s.idx];
       if (!is_ready(s, in)) {
         if (!s.blocked) {
@@ -269,11 +472,14 @@ class Execution {
     const auto& st = job_.stages[s.stage];
     memory_[s.stage]->alloc(stash_bytes(s.stage), MemCategory::kActivations);
     const Seconds t0 = engine_.now();
+    const double slow = fault_scale(s);
     gpus_[s.stage]->submit(
-        st.fwd_flops_per_sample * mb_samples_, demand(),
-        [this, &s, in, t0] {
+        slow * st.fwd_flops_per_sample * mb_samples_, demand(),
+        [this, &s, in, t0, slow, gen = s.gen] {
+          if (s.gen != gen) return;  // superseded by a crash
           emit(trace::EventKind::kForward, s.pipeline, s.stage, in, t0,
                engine_.now());
+          emit_straggler(s, in, t0, engine_.now(), slow);
           on_forward_done(s, in);
         });
   }
@@ -285,22 +491,9 @@ class Execution {
     } else {
       const Bytes bytes =
           job_.stages[s.stage].boundary_act_bytes_per_sample * mb_samples_;
-      const std::uint64_t dst =
-          key(s.pipeline, in.batch, in.micro_batch, s.stage + 1);
-      const Seconds t_enq = engine_.now();
-      act_enqueued_[dst] = t_enq;
-      const std::size_t to = s.stage + 1;
-      const std::size_t pipeline = s.pipeline;
-      const Seconds wire = links_[s.stage]->transfer(
-          bytes, [this, dst, to, bytes, pipeline, in, t_enq] {
-            memory_[to]->alloc(bytes, MemCategory::kBuffers);
-            act_ready_.insert(dst);
-            emit(trace::EventKind::kCommActivation, pipeline, to, in, t_enq,
-                 engine_.now(), bytes);
-            pump();
-          });
-      stats_comm_[s.stage] += wire;
-      stats_comm_[to] += wire;
+      send(s.pipeline, s.stage, s.stage + 1, s.stage,
+           key(s.pipeline, in.batch, in.micro_batch, s.stage + 1), bytes, in,
+           fault::LinkDir::kActivation);
     }
     complete(s);
   }
@@ -310,11 +503,14 @@ class Execution {
     // Recomputation replays the forward before the backward (+1x fwd work).
     const double factor = job_.activation_recompute ? 3.0 : 2.0;
     const Seconds t0 = engine_.now();
+    const double slow = fault_scale(s);
     gpus_[s.stage]->submit(
-        factor * st.fwd_flops_per_sample * mb_samples_, demand(),
-        [this, &s, in, t0] {
+        slow * factor * st.fwd_flops_per_sample * mb_samples_, demand(),
+        [this, &s, in, t0, slow, gen = s.gen] {
+          if (s.gen != gen) return;  // superseded by a crash
           emit(trace::EventKind::kBackward, s.pipeline, s.stage, in, t0,
                engine_.now());
+          emit_straggler(s, in, t0, engine_.now(), slow);
           on_backward_done(s, in);
         });
   }
@@ -325,21 +521,9 @@ class Execution {
       const Bytes inbound =
           job_.stages[s.stage - 1].boundary_act_bytes_per_sample * mb_samples_;
       memory_[s.stage]->free(inbound, MemCategory::kBuffers);
-      const std::uint64_t dst =
-          key(s.pipeline, in.batch, in.micro_batch, s.stage - 1);
-      const Seconds t_enq = engine_.now();
-      grad_enqueued_[dst] = t_enq;
-      const std::size_t to = s.stage - 1;
-      const std::size_t pipeline = s.pipeline;
-      const Seconds wire = links_[s.stage - 1]->transfer(
-          inbound, [this, dst, to, inbound, pipeline, in, t_enq] {
-            grad_ready_.insert(dst);
-            emit(trace::EventKind::kCommGradient, pipeline, to, in, t_enq,
-                 engine_.now(), inbound);
-            pump();
-          });
-      stats_comm_[s.stage] += wire;
-      stats_comm_[s.stage - 1] += wire;
+      send(s.pipeline, s.stage, s.stage - 1, s.stage - 1,
+           key(s.pipeline, in.batch, in.micro_batch, s.stage - 1), inbound,
+           in, fault::LinkDir::kGradient);
     }
     complete(s);
   }
@@ -352,9 +536,13 @@ class Execution {
     double work = 8.0 * param_count;
     if (job_.elastic_averaging) work += 8.0 * param_count;
     const Seconds t0 = engine_.now();
-    gpus_[s.stage]->submit(work, 1.0, [this, &s, in, t0] {
+    const double slow = fault_scale(s);
+    gpus_[s.stage]->submit(slow * work, 1.0,
+                           [this, &s, in, t0, slow, gen = s.gen] {
+      if (s.gen != gen) return;  // superseded by a crash
       emit(trace::EventKind::kUpdate, s.pipeline, s.stage, in, t0,
            engine_.now());
+      emit_straggler(s, in, t0, engine_.now(), slow);
       complete(s);
     });
   }
@@ -444,6 +632,8 @@ class Execution {
   std::unordered_map<int, std::vector<Stream*>> allreduce_barrier_;
   std::unordered_map<std::size_t, Seconds> stats_comm_;
   trace::TraceBuffer* tb_ = nullptr;  ///< owned by job_.tracer
+  /// Non-null only when the job carries a non-empty plan (zero-cost shim).
+  const fault::FaultPlan* faults_ = nullptr;
 };
 
 }  // namespace
@@ -505,6 +695,7 @@ std::size_t adaptive_advance(SimJob job, double min_speedup) {
   const std::size_t k = job.stages.size();
   job.kind = schedule::Kind::kAdvanceForward;
   job.tracer = nullptr;  // probe runs are not the trace of record
+  job.faults = nullptr;  // the advance count is chosen for the healthy system
   std::size_t best = k - 1;  // Algorithm 1 line 1: start at 1F1B
   job.advance_num = best;
   SimResult prev = simulate(job);

@@ -28,6 +28,10 @@ namespace avgpipe::trace {
 class Tracer;
 }
 
+namespace avgpipe::fault {
+class FaultPlan;
+}
+
 namespace avgpipe::sim {
 
 /// Per-stage costs fed to the simulator (one entry per GPU).
@@ -74,6 +78,16 @@ struct SimJob {
   /// stall spans with simulated timestamps plus per-GPU φ(t) counter
   /// segments — see trace/trace.hpp.
   trace::Tracer* tracer = nullptr;
+
+  /// Optional fault scenario (non-owning; must outlive simulate()). The
+  /// simulator consumes the virtual-time windows: straggler factors scale
+  /// submitted work, link-degradation windows rescale bandwidth/latency as
+  /// scheduled events, message drops delay transfers by a deterministic
+  /// retry penalty, and pipeline crashes kill/rejoin whole instruction
+  /// streams. nullptr and an empty plan behave identically (no fault code
+  /// on any hot path). Note: fault windows beyond the natural makespan
+  /// extend the run (the engine drains every scheduled event).
+  const fault::FaultPlan* faults = nullptr;
 };
 
 /// Per-GPU outcome.

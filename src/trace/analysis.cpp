@@ -202,6 +202,49 @@ std::vector<schedule::Instr> TraceAnalysis::stage_ops(
   return ops;
 }
 
+std::vector<TraceEvent> TraceAnalysis::fault_events() const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (is_fault(ev.kind)) out.push_back(ev);
+  }
+  return out;
+}
+
+Seconds TraceAnalysis::straggler_delay(std::size_t stage) const {
+  Seconds total = 0;
+  for (const auto& ev : events_) {
+    if (ev.stage == stage && ev.kind == EventKind::kFaultStraggler) {
+      total += ev.t_end - ev.t_begin;
+    }
+  }
+  return total;
+}
+
+std::vector<TraceAnalysis::Recovery> TraceAnalysis::recoveries() const {
+  std::vector<Recovery> episodes;
+  for (const auto& ev : events_) {
+    if (ev.kind == EventKind::kPipelineCrash) {
+      Recovery r;
+      r.pipeline = ev.pipeline;
+      r.t_crash = ev.t_begin;
+      r.latency = span_end_ - ev.t_begin;
+      episodes.push_back(r);
+    } else if (ev.kind == EventKind::kPipelineRejoin) {
+      // Close the most recent open episode of this pipeline (events_ is
+      // time-sorted, so the match is the last unrejoined crash).
+      for (auto it = episodes.rbegin(); it != episodes.rend(); ++it) {
+        if (it->pipeline == ev.pipeline && !it->rejoined) {
+          it->rejoined = true;
+          it->t_rejoin = ev.t_end;
+          it->latency = ev.t_end - it->t_crash;
+          break;
+        }
+      }
+    }
+  }
+  return episodes;
+}
+
 Table TraceAnalysis::metrics_table() const {
   Table table({"stage", "busy s", "idle", "comm s", "overlap", "bubble s",
                "comm wait s", "mean util", "peak util", "qdepth p50",

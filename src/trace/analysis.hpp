@@ -79,6 +79,31 @@ class TraceAnalysis {
   /// queue-depth percentiles.
   Table metrics_table() const;
 
+  // -- fault & recovery metrics (src/fault) ---------------------------------
+
+  /// All fault-injection/recovery events (is_fault), in time order.
+  std::vector<TraceEvent> fault_events() const;
+
+  /// Total injected straggler delay attributed to `stage` (union-free sum of
+  /// kFaultStraggler spans — the straggler-induced bubble the elastic design
+  /// must absorb).
+  Seconds straggler_delay(std::size_t stage) const;
+
+  /// One crash→rejoin episode of a pipeline. `latency` is the time from the
+  /// crash event to the end of the rejoin span (re-sync from the reference
+  /// model included); a crash with no rejoin has rejoined == false and
+  /// latency measured to span_end().
+  struct Recovery {
+    std::uint32_t pipeline = 0;
+    Seconds t_crash = 0;
+    Seconds t_rejoin = 0;
+    Seconds latency = 0;
+    bool rejoined = false;
+  };
+  /// Crash/rejoin episodes reconstructed from kPipelineCrash/kPipelineRejoin
+  /// events, in crash order.
+  std::vector<Recovery> recoveries() const;
+
  private:
   struct Interval {
     Seconds begin;

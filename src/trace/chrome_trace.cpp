@@ -19,6 +19,7 @@ const char* category(const TraceEvent& ev) {
   if (is_compute(ev.kind)) return "compute";
   if (is_comm(ev.kind)) return "comm";
   if (is_wait(ev.kind)) return "wait";
+  if (is_fault(ev.kind)) return "fault";
   if (ev.kind == EventKind::kCounter) return "counter";
   return "elastic";
 }

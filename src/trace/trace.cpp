@@ -17,6 +17,11 @@ const char* to_string(EventKind kind) {
     case EventKind::kElasticPull: return "elastic_pull";
     case EventKind::kReferenceApply: return "reference_apply";
     case EventKind::kCounter: return "counter";
+    case EventKind::kFaultStraggler: return "fault_straggler";
+    case EventKind::kFaultDrop: return "fault_drop";
+    case EventKind::kLinkDegraded: return "link_degraded";
+    case EventKind::kPipelineCrash: return "pipeline_crash";
+    case EventKind::kPipelineRejoin: return "pipeline_rejoin";
   }
   return "?";
 }
@@ -27,6 +32,8 @@ const char* to_string(CounterId id) {
     case CounterId::kUtilization: return "utilization";
     case CounterId::kQueueDepth: return "queue_depth";
     case CounterId::kStaleness: return "staleness";
+    case CounterId::kAlivePipelines: return "alive_pipelines";
+    case CounterId::kRecvRetry: return "recv_retry";
   }
   return "?";
 }
@@ -44,6 +51,13 @@ bool is_comm(EventKind kind) {
 
 bool is_wait(EventKind kind) {
   return kind == EventKind::kWaitComm || kind == EventKind::kWaitBubble;
+}
+
+bool is_fault(EventKind kind) {
+  return kind == EventKind::kFaultStraggler ||
+         kind == EventKind::kFaultDrop || kind == EventKind::kLinkDegraded ||
+         kind == EventKind::kPipelineCrash ||
+         kind == EventKind::kPipelineRejoin;
 }
 
 bool operator==(const TraceEvent& a, const TraceEvent& b) {

@@ -51,6 +51,16 @@ enum class EventKind : std::uint8_t {
   kReferenceApply,
   // Counter sample: `value` holds the reading, `counter` names the series.
   kCounter,
+  // Fault-injection & recovery events (src/fault). Straggler spans cover the
+  // injected extra delay; drop markers are instantaneous (value = attempt);
+  // link-degraded spans cover the degradation window; crash/rejoin mark a
+  // pipeline detaching from and re-entering the elastic group (the rejoin
+  // span covers the re-sync from the reference model).
+  kFaultStraggler,
+  kFaultDrop,
+  kLinkDegraded,
+  kPipelineCrash,
+  kPipelineRejoin,
 };
 
 /// Named counter series for EventKind::kCounter events.
@@ -59,6 +69,8 @@ enum class CounterId : std::uint8_t {
   kUtilization,  ///< GPU utilization φ(t); span = constant segment
   kQueueDepth,   ///< channel occupancy observed at a recv
   kStaleness,    ///< reference-model updates accumulated but not yet applied
+  kAlivePipelines,  ///< pipelines attached to the elastic group
+  kRecvRetry,    ///< bounded-pop timeouts survived before a message arrived
 };
 
 const char* to_string(EventKind kind);
@@ -66,6 +78,7 @@ const char* to_string(CounterId id);
 bool is_compute(EventKind kind);
 bool is_comm(EventKind kind);
 bool is_wait(EventKind kind);
+bool is_fault(EventKind kind);
 
 /// One structured event. Spans have t_begin <= t_end; instantaneous counter
 /// samples use t_begin == t_end. Simulated and wall-clock traces share the

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
+#include "trace/analysis.hpp"
 
 namespace avgpipe::core {
 namespace {
@@ -266,6 +269,186 @@ TEST(AvgPipeSystemTest, AlphaDefaultsToOneOverN) {
   config.boundaries = {};
   AvgPipe system(mlp_factory(4, 6, 1, 2), sgd_factory(0.1), config);
   EXPECT_DOUBLE_EQ(system.alpha(), 0.25);
+}
+
+// -- elastic membership (fault tolerance) -----------------------------------------------
+
+TEST(AvgPipeElasticTest, DetachRebalancesAlphaAndTrainingConverges) {
+  // Drop one of three pipelines mid-training: α must rebalance to 1/(N-1)
+  // and the survivors must still converge (the graceful-degradation claim).
+  SyntheticFeatures ds(128, 6, 2, 5, /*noise=*/0.15);
+  DataLoader loader(ds, 16, 3);
+
+  AvgPipeConfig config;
+  config.num_pipelines = 3;
+  config.micro_batches = 2;
+  config.boundaries = {2};
+  AvgPipe system(mlp_factory(6, 12, 2, 2), sgd_factory(0.3), config);
+  EXPECT_DOUBLE_EQ(system.alpha(), 1.0 / 3.0);
+
+  auto batches_at = [&](std::size_t epoch, std::size_t i) {
+    return std::vector<Batch>{loader.batch(epoch, i),
+                              loader.batch(epoch, i + 1),
+                              loader.batch(epoch, i + 2)};
+  };
+  system.train_iteration(batches_at(0, 0));
+
+  system.detach_pipeline(2, "operator-killed for the test");
+  EXPECT_EQ(system.alive_pipelines(), 2u);
+  EXPECT_FALSE(system.pipeline_alive(2));
+  EXPECT_EQ(system.health(2).failures, 1u);
+  EXPECT_EQ(system.health(2).last_error, "operator-killed for the test");
+  EXPECT_DOUBLE_EQ(system.alpha(), 0.5);  // 1 / N_alive
+
+  // Training continues over the survivors; the dead pipeline's batch slot is
+  // simply ignored.
+  for (std::size_t epoch = 0; epoch < 10; ++epoch) {
+    for (std::size_t i = 0; i + 2 < loader.batches_per_epoch(); i += 3) {
+      const double loss = system.train_iteration(batches_at(epoch, i));
+      EXPECT_TRUE(std::isfinite(loss));
+    }
+  }
+  EXPECT_GT(runtime::evaluate_accuracy(system.eval_model(), loader, 0, 4),
+            0.9);
+}
+
+TEST(AvgPipeElasticTest, LoneSurvivorMatchesSinglePipelineTrainer) {
+  // After every peer dies, normalising by N_alive must leave the reference
+  // exactly on the lone survivor's trajectory — i.e. the degraded system IS
+  // a single-pipeline AvgPipe, not a wounded N-pipeline one.
+  SyntheticFeatures ds(64, 6, 2, 3);
+  DataLoader loader(ds, 12, 1);
+
+  AvgPipeConfig config;
+  config.num_pipelines = 2;
+  config.micro_batches = 3;
+  config.boundaries = {2};
+  AvgPipe system(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), config);
+  system.detach_pipeline(1, "dead before the first batch");
+  EXPECT_DOUBLE_EQ(system.alpha(), default_alpha(1));
+
+  AvgPipeTrainer lone(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), 1);
+  for (std::size_t iter = 0; iter < 3; ++iter) {
+    const Batch b = loader.batch(iter, 0);
+    system.train_iteration({b, loader.batch(iter, 1)});  // slot 1 ignored
+    lone.train_iteration({b});
+  }
+  const ParamSet sys_ref = system.reference_snapshot();
+  const auto& lone_ref = lone.reference().params();
+  ASSERT_EQ(sys_ref.size(), lone_ref.size());
+  for (std::size_t i = 0; i < sys_ref.size(); ++i) {
+    EXPECT_LT(sys_ref[i].max_abs_diff(lone_ref[i]), 1e-9) << "tensor " << i;
+  }
+}
+
+TEST(AvgPipeElasticTest, RejoinRestoresAlphaAndEmitsTraceEvents) {
+  SyntheticFeatures ds(64, 6, 2, 3);
+  DataLoader loader(ds, 12, 1);
+
+  trace::Tracer tracer;
+  AvgPipeConfig config;
+  config.num_pipelines = 3;
+  config.micro_batches = 2;
+  config.boundaries = {2};
+  config.tracer = &tracer;
+  AvgPipe system(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), config);
+
+  auto iter_batches = [&](std::size_t iter) {
+    return std::vector<Batch>{loader.batch(iter, 0), loader.batch(iter, 1),
+                              loader.batch(iter, 2)};
+  };
+  system.train_iteration(iter_batches(0));
+  system.detach_pipeline(1, "transient node failure");
+  EXPECT_DOUBLE_EQ(system.alpha(), 0.5);
+  system.train_iteration(iter_batches(1));
+
+  system.rejoin_pipeline(1);
+  EXPECT_TRUE(system.pipeline_alive(1));
+  EXPECT_EQ(system.alive_pipelines(), 3u);
+  EXPECT_DOUBLE_EQ(system.alpha(), 1.0 / 3.0);
+  EXPECT_TRUE(system.health(1).last_error.empty());
+  system.train_iteration(iter_batches(2));
+
+  trace::TraceAnalysis analysis(tracer.collect());
+  const auto recoveries = analysis.recoveries();
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_EQ(recoveries[0].pipeline, 1u);
+  EXPECT_TRUE(recoveries[0].rejoined);
+
+  // The alive-pipelines counter must sample 2 at the crash and 3 again at
+  // the rejoin.
+  std::vector<double> alive_samples;
+  for (const auto& ev : analysis.events()) {
+    if (ev.kind == trace::EventKind::kCounter &&
+        ev.counter == trace::CounterId::kAlivePipelines) {
+      alive_samples.push_back(ev.value);
+    }
+  }
+  ASSERT_EQ(alive_samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(alive_samples[0], 2.0);
+  EXPECT_DOUBLE_EQ(alive_samples[1], 3.0);
+}
+
+TEST(AvgPipeElasticTest, FaultPlanDrivesCrashAndRejoinBySteps) {
+  SyntheticFeatures ds(64, 6, 2, 3);
+  DataLoader loader(ds, 12, 1);
+
+  fault::FaultPlan plan;
+  fault::PipelineCrash crash;
+  crash.pipeline = 1;
+  crash.crash_at_step = 1;   // detach before iteration 1
+  crash.rejoin_at_step = 3;  // rejoin before iteration 3
+  plan.crashes.push_back(crash);
+
+  trace::Tracer tracer;
+  AvgPipeConfig config;
+  config.num_pipelines = 2;
+  config.micro_batches = 3;
+  config.boundaries = {2};
+  config.tracer = &tracer;
+  config.faults = &plan;
+  AvgPipe system(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), config);
+
+  for (std::size_t iter = 0; iter < 5; ++iter) {
+    system.train_iteration({loader.batch(iter, 0), loader.batch(iter, 1)});
+    if (iter >= 1 && iter < 3) {
+      EXPECT_EQ(system.alive_pipelines(), 1u) << "iter " << iter;
+    } else {
+      EXPECT_EQ(system.alive_pipelines(), 2u) << "iter " << iter;
+    }
+  }
+  EXPECT_DOUBLE_EQ(system.alpha(), 0.5);
+  EXPECT_EQ(system.health(1).failures, 1u);
+
+  trace::TraceAnalysis analysis(tracer.collect());
+  const auto recoveries = analysis.recoveries();
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_TRUE(recoveries[0].rejoined);
+}
+
+TEST(AvgPipeElasticTest, DetachingEveryPipelineMakesTrainingThrow) {
+  AvgPipeConfig config;
+  config.num_pipelines = 2;
+  config.boundaries = {};
+  AvgPipe system(mlp_factory(4, 6, 1, 2), sgd_factory(0.1), config);
+  system.detach_pipeline(0, "gone");
+  system.detach_pipeline(1, "also gone");
+  EXPECT_EQ(system.alive_pipelines(), 0u);
+  Batch b{Tensor({4, 4}), {0, 1, 0, 1}};
+  EXPECT_THROW(system.train_iteration({b, b}), Error);
+}
+
+TEST(AvgPipeElasticTest, DetachAndRejoinAreIdempotent) {
+  AvgPipeConfig config;
+  config.num_pipelines = 2;
+  config.boundaries = {};
+  AvgPipe system(mlp_factory(4, 6, 1, 2), sgd_factory(0.1), config);
+  system.rejoin_pipeline(0);  // already alive: no-op
+  EXPECT_EQ(system.alive_pipelines(), 2u);
+  system.detach_pipeline(0, "x");
+  system.detach_pipeline(0, "x again");  // already dead: no-op
+  EXPECT_EQ(system.health(0).failures, 1u);
+  EXPECT_EQ(system.alive_pipelines(), 1u);
 }
 
 }  // namespace

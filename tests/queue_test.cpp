@@ -78,6 +78,67 @@ TEST(ChannelTest, ZeroCapacityThrows) {
   EXPECT_THROW(Channel<int>(0), Error);
 }
 
+TEST(ChannelTest, CloseWakesBlockedProducer) {
+  // A producer blocked on a full channel must be released by close() and see
+  // the send fail — the shutdown path of a failed pipeline stage.
+  Channel<int> ch(1);
+  ch.send(1);
+  std::atomic<bool> send_result{true};
+  std::thread t([&] { send_result = ch.send(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  t.join();
+  EXPECT_FALSE(send_result.load());
+  EXPECT_EQ(ch.recv().value(), 1);  // the buffered item still drains
+  EXPECT_FALSE(ch.recv().has_value());
+}
+
+TEST(ChannelTest, RecvForTimesOutOnEmptyOpenChannel) {
+  Channel<int> ch(2);
+  int out = 0;
+  EXPECT_EQ(ch.recv_for(&out, 0.01), ChannelStatus::kTimeout);
+  ch.send(9);
+  EXPECT_EQ(ch.recv_for(&out, 0.01), ChannelStatus::kOk);
+  EXPECT_EQ(out, 9);
+}
+
+TEST(ChannelTest, RecvForDrainsPendingItemsAfterClose) {
+  Channel<int> ch(2);
+  ch.send(5);
+  ch.close();
+  int out = 0;
+  EXPECT_EQ(ch.recv_for(&out, 0.01), ChannelStatus::kOk);
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(ch.recv_for(&out, 0.01), ChannelStatus::kClosed);
+}
+
+TEST(ChannelTest, SendForTimesOutOnFullAndFailsOnClosed) {
+  Channel<int> ch(1);
+  EXPECT_EQ(ch.send_for(1, 0.01), ChannelStatus::kOk);
+  EXPECT_EQ(ch.send_for(2, 0.01), ChannelStatus::kTimeout);  // full
+  ch.close();
+  EXPECT_EQ(ch.send_for(3, 0.01), ChannelStatus::kClosed);
+}
+
+TEST(ChannelTest, RecvForDeliversWhenProducerArrivesWithinTimeout) {
+  Channel<int> ch(1);
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ch.send(42);
+  });
+  int out = 0;
+  EXPECT_EQ(ch.recv_for(&out, 5.0), ChannelStatus::kOk);
+  EXPECT_EQ(out, 42);
+  t.join();
+}
+
+TEST(ChannelTest, CloseIsIdempotent) {
+  Channel<int> ch(1);
+  ch.close();
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+}
+
 TEST(ChannelStressTest, MpmcDeliversEverythingExactlyOnce) {
   Channel<int> ch(16);
   constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
