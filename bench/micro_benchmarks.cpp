@@ -3,18 +3,43 @@
 /// autograd round trips, channels, the discrete-event engine and the
 /// processor-sharing compute resource. These quantify the cost of the
 /// building blocks the reproduction rests on.
+///
+/// Besides the google-benchmark suite, a hand-timed kernel suite can emit a
+/// machine-readable perf baseline:
+///
+///   micro_benchmarks --json=BENCH_kernels.json [--kernels-only]
+///
+/// The JSON records GFLOP/s and ns/op for the blocked GEMM vs the reference
+/// loop, fused vs unfused elastic/SGD kernels, and heap allocations per
+/// steady-state training step from the arena counters. The kernel suite also
+/// re-checks blocked-vs-reference parity and exits non-zero on a mismatch,
+/// so CI's perf-smoke job doubles as a correctness gate.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "common/queue.hpp"
+#include "common/thread_pool.hpp"
+#include "core/elastic.hpp"
 #include "nn/models.hpp"
+#include "optim/optimizer.hpp"
 #include "sim/resources.hpp"
 #include "sim/simulator.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
 
 using namespace avgpipe;
+using tensor::Scalar;
 using tensor::Tensor;
 using tensor::Variable;
 
@@ -29,7 +54,7 @@ void BM_TensorMatmul(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_MatmulForwardBackward(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -119,6 +144,252 @@ void BM_SimulateGnmtBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateGnmtBatch);
 
+// -- hand-timed kernel suite (--json) -------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+/// Median-of-reps wall time for one call of `fn`, with one warm-up call.
+template <typename Fn>
+double time_ns(Fn&& fn, int reps) {
+  fn();  // warm up (populates arena caches, spawns pool threads)
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+std::vector<Scalar> bench_vec(std::size_t n, Rng& rng) {
+  std::vector<Scalar> v(n);
+  for (auto& x : v) x = rng.normal(0.0, 1.0);
+  return v;
+}
+
+struct GemmResult {
+  std::size_t m, n, k;
+  double ref_ns, blocked_ns, ref_gflops, blocked_gflops, speedup, max_rel_err;
+};
+
+GemmResult bench_gemm(std::size_t m, std::size_t n, std::size_t k) {
+  Rng rng(0xBE7C);
+  const auto a = bench_vec(m * k, rng);
+  const auto b = bench_vec(k * n, rng);
+  std::vector<Scalar> c_ref(m * n, 0.0), c_blk(m * n, 0.0);
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  const int reps = std::max(3, static_cast<int>(2e8 / flops));
+
+  GemmResult r{m, n, k, 0, 0, 0, 0, 0, 0};
+  r.ref_ns = time_ns(
+      [&] {
+        tensor::gemm_reference(a.data(), b.data(), c_ref.data(), m, n, k,
+                               false, false, false);
+      },
+      reps);
+  r.blocked_ns = time_ns(
+      [&] {
+        tensor::gemm_blocked(a.data(), b.data(), c_blk.data(), m, n, k, false,
+                             false, false);
+      },
+      reps);
+  r.ref_gflops = flops / r.ref_ns;
+  r.blocked_gflops = flops / r.blocked_ns;
+  r.speedup = r.ref_ns / r.blocked_ns;
+  for (std::size_t i = 0; i < m * n; ++i) {
+    const double denom = std::max(1.0, std::abs(c_ref[i]));
+    r.max_rel_err = std::max(r.max_rel_err,
+                             std::abs(c_blk[i] - c_ref[i]) / denom);
+  }
+  return r;
+}
+
+struct FusedResult {
+  std::string name;
+  double fused_ns, unfused_ns, speedup;
+};
+
+FusedResult bench_fused_elastic() {
+  const std::size_t n = 1 << 16;
+  Rng rng(5);
+  auto make = [&] {
+    Tensor t({n});
+    for (auto& v : t.data()) v = rng.normal(0.0, 1.0);
+    return t;
+  };
+  std::vector<Variable> params{Variable(make(), true)};
+  core::ParamSet reference;
+  reference.push_back(make());
+  const double alpha = 0.25;
+
+  FusedResult r{"elastic_pull_push", 0, 0, 0};
+  r.fused_ns = time_ns(
+      [&] {
+        benchmark::DoNotOptimize(
+            core::elastic_pull_push(params, reference, alpha));
+      },
+      50);
+  r.unfused_ns = time_ns(
+      [&] {
+        core::elastic_pull(params, reference, alpha);
+        benchmark::DoNotOptimize(core::difference(params, reference));
+      },
+      50);
+  r.speedup = r.unfused_ns / r.fused_ns;
+  return r;
+}
+
+FusedResult bench_fused_sgd() {
+  const std::size_t n = 1 << 16;
+  Rng rng(6);
+  Tensor w({n}), g({n});
+  for (auto& v : w.data()) v = rng.normal(0.0, 1.0);
+  for (auto& v : g.data()) v = rng.normal(0.0, 1.0);
+  Variable p(std::move(w), true);
+  p.mutable_grad().copy_from(g);
+  optim::Sgd sgd({p}, 1e-6, 0.9, 1e-4);
+
+  Tensor velocity(p.value().shape());
+  FusedResult r{"sgd_momentum_step", 0, 0, 0};
+  r.fused_ns = time_ns([&] { sgd.step(); }, 50);
+  r.unfused_ns = time_ns(
+      [&] {
+        Tensor gc = p.grad().clone();
+        gc.axpy_(1e-4, p.value());
+        velocity.scale_(0.9);
+        velocity.axpy_(1.0, gc);
+        p.value().axpy_(-1e-6, velocity);
+      },
+      50);
+  r.speedup = r.unfused_ns / r.fused_ns;
+  return r;
+}
+
+struct ArenaResult {
+  double acquires_per_step, heap_allocs_per_step;
+};
+
+ArenaResult bench_arena_steady_state() {
+  // One optimizer + persistent parameters, fresh activations per step: the
+  // shape every training loop in the repo has.
+  Rng rng(7);
+  Variable w(Tensor::randn({64, 32}, rng), true);
+  optim::Sgd sgd({w}, 0.01, 0.9);
+  auto step = [&] {
+    Rng local(9);
+    Variable x(Tensor::randn({16, 64}, local), false);
+    w.zero_grad();
+    tensor::mean_all(tensor::relu(tensor::matmul(x, w))).backward();
+    sgd.step();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warm-up fills the free lists
+  tensor::arena::reset_stats();
+  const int steps = 100;
+  for (int i = 0; i < steps; ++i) step();
+  const auto s = tensor::arena::stats();
+  return {static_cast<double>(s.acquires) / steps,
+          static_cast<double>(s.heap_allocs) / steps};
+}
+
+int run_kernel_suite(const std::string& json_path) {
+  const std::vector<std::array<std::size_t, 3>> shapes = {
+      {64, 64, 64}, {128, 128, 128}, {256, 256, 256}, {96, 257, 33}};
+  std::vector<GemmResult> gemms;
+  bool parity_ok = true;
+  for (const auto& [m, n, k] : shapes) {
+    gemms.push_back(bench_gemm(m, n, k));
+    const auto& g = gemms.back();
+    // Tolerance mirrors tests/kernel_test.cpp: FMA reassociation accumulates
+    // at most a few ulp per k-term.
+    if (g.max_rel_err > 1e-13 * static_cast<double>(k + 1)) {
+      parity_ok = false;
+      std::fprintf(stderr,
+                   "PARITY FAIL gemm %zux%zux%zu: max_rel_err=%.3e\n", m, n,
+                   k, g.max_rel_err);
+    }
+    std::printf(
+        "gemm %4zux%-4zux%-4zu ref %8.2f GFLOP/s  blocked %8.2f GFLOP/s  "
+        "speedup %5.2fx  max_rel_err %.2e\n",
+        m, n, k, g.ref_gflops, g.blocked_gflops, g.speedup, g.max_rel_err);
+  }
+  const std::vector<FusedResult> fused = {bench_fused_elastic(),
+                                          bench_fused_sgd()};
+  for (const auto& f : fused) {
+    std::printf("%-20s fused %10.0f ns  unfused %10.0f ns  speedup %.2fx\n",
+                f.name.c_str(), f.fused_ns, f.unfused_ns, f.speedup);
+  }
+  const ArenaResult arena = bench_arena_steady_state();
+  std::printf("arena steady-state: %.1f acquires/step, %.2f heap allocs/step\n",
+              arena.acquires_per_step, arena.heap_allocs_per_step);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"schema\": \"avgpipe-kernel-bench-v1\",\n";
+  out << "  \"num_threads\": " << configured_num_threads() << ",\n";
+  out << "  \"gemm\": [\n";
+  for (std::size_t i = 0; i < gemms.size(); ++i) {
+    const auto& g = gemms[i];
+    out << "    {\"m\": " << g.m << ", \"n\": " << g.n << ", \"k\": " << g.k
+        << ", \"ref_ns\": " << g.ref_ns << ", \"blocked_ns\": " << g.blocked_ns
+        << ", \"ref_gflops\": " << g.ref_gflops
+        << ", \"blocked_gflops\": " << g.blocked_gflops
+        << ", \"speedup\": " << g.speedup
+        << ", \"max_rel_err\": " << g.max_rel_err << "}"
+        << (i + 1 < gemms.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"fused\": [\n";
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    const auto& f = fused[i];
+    out << "    {\"name\": \"" << f.name << "\", \"fused_ns\": " << f.fused_ns
+        << ", \"unfused_ns\": " << f.unfused_ns
+        << ", \"speedup\": " << f.speedup << "}"
+        << (i + 1 < fused.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"arena\": {\"acquires_per_step\": "
+      << arena.acquires_per_step
+      << ", \"heap_allocs_per_step\": " << arena.heap_allocs_per_step
+      << "},\n";
+  out << "  \"parity_ok\": " << (parity_ok ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return parity_ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own flags before handing argv to google-benchmark.
+  std::string json_path;
+  bool kernels_only = false;
+  int out_argc = 0;
+  std::vector<char*> out_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--kernels-only") == 0) {
+      kernels_only = true;
+    } else {
+      out_argv.push_back(argv[i]);
+      ++out_argc;
+    }
+  }
+  out_argv.push_back(nullptr);
+
+  int rc = 0;
+  if (!json_path.empty()) rc = run_kernel_suite(json_path);
+  if (!kernels_only) {
+    benchmark::Initialize(&out_argc, out_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(out_argc, out_argv.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return rc;
+}

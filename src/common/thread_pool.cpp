@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 
 namespace avgpipe {
@@ -36,10 +37,16 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min<std::size_t>(workers_.size(), n);
+  if (grain == 0) grain = 1;
+  // Caller counts as an execution slot, so even a 0-worker pool or a
+  // parallel_for issued from inside a pool task makes progress.
+  const std::size_t max_chunks = workers_.size() + 1;
+  const std::size_t chunks =
+      std::min(max_chunks, (n + grain - 1) / grain);
   if (chunks <= 1) {
     fn(begin, end);
     return;
@@ -47,10 +54,10 @@ void ThreadPool::parallel_for(
 
   std::mutex mutex;
   std::condition_variable done_cv;
-  std::size_t remaining = chunks;
+  std::size_t remaining = chunks - 1;
 
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
     submit([&, lo, hi] {
@@ -60,13 +67,28 @@ void ThreadPool::parallel_for(
     });
   }
 
+  fn(begin, std::min(end, begin + chunk_size));
+
   std::unique_lock<std::mutex> lock(mutex);
   done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(configured_num_threads());
   return pool;
+}
+
+std::size_t parse_num_threads(const char* value, std::size_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t configured_num_threads() {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return parse_num_threads(std::getenv("AVGPIPE_NUM_THREADS"), hw);
 }
 
 }  // namespace avgpipe

@@ -4,9 +4,17 @@
 /// Fixed-size worker pool with a parallel_for helper.
 ///
 /// The tensor kernels use `parallel_for` OpenMP-style: a half-open index
-/// range is split into contiguous chunks, one per worker. On a single-core
-/// host the pool degenerates to inline execution with zero overhead, which
-/// keeps unit tests fast and deterministic.
+/// range is split into contiguous chunks with a minimum grain size. The
+/// calling thread always executes the first chunk itself (caller-runs), so
+/// a parallel_for issued from inside a pool task cannot deadlock and small
+/// ranges never pay a wake-up. On a single-core host the pool degenerates
+/// to inline execution with zero overhead, which keeps unit tests fast and
+/// deterministic.
+///
+/// The process-wide pool (`ThreadPool::global()`) is sized by the
+/// AVGPIPE_NUM_THREADS environment variable (falling back to
+/// hardware_concurrency), giving benches and the pipeline runtime one knob
+/// for intra-op parallelism.
 
 #include <cstddef>
 #include <functional>
@@ -32,13 +40,17 @@ class ThreadPool {
   /// Enqueue a task; runs asynchronously on some worker.
   void submit(std::function<void()> task);
 
-  /// Run fn(i) for i in [begin, end), split into one contiguous chunk per
-  /// worker; blocks until all chunks finish. Exceptions inside `fn`
-  /// terminate (tensor kernels are noexcept in spirit); keep bodies simple.
+  /// Run fn(lo, hi) over [begin, end) split into contiguous chunks of at
+  /// least `grain` indices each (at most one chunk per worker plus the
+  /// caller); blocks until all chunks finish. The caller executes the first
+  /// chunk itself. Exceptions inside `fn` terminate (tensor kernels are
+  /// noexcept in spirit); keep bodies simple.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1);
 
-  /// Process-wide shared pool (lazily created, sized to the machine).
+  /// Process-wide shared pool, lazily created with `configured_num_threads()`
+  /// workers.
   static ThreadPool& global();
 
  private:
@@ -47,5 +59,13 @@ class ThreadPool {
   Channel<std::function<void()>> tasks_{1024};
   std::vector<std::thread> workers_;
 };
+
+/// Parse an AVGPIPE_NUM_THREADS-style value: a positive integer wins,
+/// anything else (null, empty, junk, zero) yields `fallback`.
+std::size_t parse_num_threads(const char* value, std::size_t fallback);
+
+/// Thread count the global pool is created with: AVGPIPE_NUM_THREADS if set
+/// to a positive integer, else hardware_concurrency (min 1).
+std::size_t configured_num_threads();
 
 }  // namespace avgpipe

@@ -259,8 +259,7 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
     const Seconds t0 =
         driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
     auto params = replicas_[i]->model.parameters();
-    elastic_pull(params, ref_snapshot, alpha_);
-    update_queue_.send(difference(params, ref_snapshot));
+    update_queue_.send(elastic_pull_push(params, ref_snapshot, alpha_));
     if (driver_trace_ != nullptr) {
       trace::TraceEvent ev;
       ev.kind = trace::EventKind::kElasticPull;
@@ -344,11 +343,12 @@ double AvgPipeTrainer::train_iteration(const std::vector<data::Batch>& batches) 
     loss_sum += loss.value()[0];
   }
 
-  const ParamSet ref_snapshot = reference_->snapshot();
+  // Fused pull+push straight against the live reference: accumulate only
+  // writes accum_, so every replica still sees identical reference values —
+  // no snapshot clone needed in this serial trainer.
   for (auto& replica : replicas_) {
     auto params = replica->model.parameters();
-    elastic_pull(params, ref_snapshot, alpha_);
-    reference_->accumulate(difference(params, ref_snapshot));
+    reference_->pull_and_accumulate(params, alpha_);
   }
   reference_->apply_accumulated(replicas_.size());
   return loss_sum / static_cast<double>(replicas_.size());

@@ -36,7 +36,10 @@ Variable MultiHeadSelfAttention::forward(const Variable& x) {
   Variable q = split_heads(0), k = split_heads(1), v = split_heads(2);
 
   Variable scores = tensor::bmm(q, tensor::transpose_last2(k));  // [BH,S,S]
-  scores = tensor::scale(scores, 1.0 / std::sqrt(static_cast<Scalar>(d_head_)));
+  // In-place scale: scores is a freshly owned bmm output and bmm's backward
+  // reads only its inputs.
+  scores =
+      tensor::scale_(scores, 1.0 / std::sqrt(static_cast<Scalar>(d_head_)));
   Variable weights = tensor::softmax_rows(scores);
   weights = attn_dropout_.forward(weights);
   Variable ctx = tensor::bmm(weights, v);                        // [BH,S,Dh]

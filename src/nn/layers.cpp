@@ -29,7 +29,7 @@ Variable Linear::forward(const Variable& x) {
                       ? x
                       : tensor::reshape(x, {x.numel() / in_, in_});
   Variable y = tensor::matmul(flat, weight_);
-  if (has_bias_) y = tensor::add_bias(y, bias_);
+  if (has_bias_) y = tensor::add_bias_(y, bias_);
   if (shape.size() != 2) {
     Shape out_shape = shape;
     out_shape.back() = out_;
@@ -59,7 +59,7 @@ Variable DropConnectLinear::forward(const Variable& x) {
   if (!training_ || p_ == 0.0) return Linear::forward(x);
   // Mask the weight matrix, not the activations.
   const Scalar keep = 1.0 - p_;
-  Tensor mask(weight_.shape());
+  Tensor mask = Tensor::uninitialized(weight_.shape());
   for (auto& m : mask.data()) m = rng_.bernoulli(keep) ? 1.0 / keep : 0.0;
   Variable masked_w = tensor::mul(weight_, Variable(mask));
 
@@ -69,7 +69,7 @@ Variable DropConnectLinear::forward(const Variable& x) {
                       ? x
                       : tensor::reshape(x, {x.numel() / in_, in_});
   Variable y = tensor::matmul(flat, masked_w);
-  if (has_bias_) y = tensor::add_bias(y, bias_);
+  if (has_bias_) y = tensor::add_bias_(y, bias_);
   if (shape.size() != 2) {
     Shape out_shape = shape;
     out_shape.back() = out_;

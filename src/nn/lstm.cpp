@@ -27,7 +27,9 @@ std::pair<Variable, Variable> LSTM::cell(const Variable& x_t,
                                          const Variable& h, const Variable& c,
                                          const Variable& w_hh_eff) {
   using namespace tensor;
-  Variable gates = add_bias(
+  // In-place bias: the add output is freshly owned here and add's backward
+  // never reads its own output value.
+  Variable gates = add_bias_(
       add(matmul(x_t, w_ih_), matmul(h, w_hh_eff)), bias_);  // [B,4H]
   Variable i = sigmoid(slice_cols(gates, 0, hidden_));
   Variable f = sigmoid(slice_cols(gates, hidden_, 2 * hidden_));

@@ -20,16 +20,29 @@ Sgd::Sgd(std::vector<Variable> params, Scalar lr, Scalar momentum,
 }
 
 void Sgd::step() {
+  // Single fused pass: no grad clone, and decay/velocity/weight updates all
+  // happen in one sweep per parameter instead of up to four.
   for (std::size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
-    Tensor g = p.grad().clone();
-    if (weight_decay_ != 0.0) g.axpy_(weight_decay_, p.value());
+    const auto g = p.grad().data();
+    auto w = p.value().data();
+    const std::size_t n = w.size();
     if (momentum_ != 0.0) {
-      velocity_[i].scale_(momentum_);
-      velocity_[i].axpy_(1.0, g);
-      p.value().axpy_(-lr_, velocity_[i]);
+      auto v = velocity_[i].data();
+      for (std::size_t j = 0; j < n; ++j) {
+        Scalar gj = g[j];
+        if (weight_decay_ != 0.0) gj += weight_decay_ * w[j];
+        Scalar vj = v[j] * momentum_;
+        vj += gj;
+        v[j] = vj;
+        w[j] += -lr_ * vj;
+      }
     } else {
-      p.value().axpy_(-lr_, g);
+      for (std::size_t j = 0; j < n; ++j) {
+        Scalar gj = g[j];
+        if (weight_decay_ != 0.0) gj += weight_decay_ * w[j];
+        w[j] += -lr_ * gj;
+      }
     }
   }
   ++steps_;
@@ -102,11 +115,17 @@ Asgd::Asgd(std::vector<Variable> params, Scalar lr, std::size_t trigger,
 }
 
 void Asgd::step() {
+  // Fused as in Sgd::step: no grad clone, one sweep per parameter.
   for (std::size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
-    Tensor g = p.grad().clone();
-    if (weight_decay_ != 0.0) g.axpy_(weight_decay_, p.value());
-    p.value().axpy_(-lr_, g);
+    const auto g = p.grad().data();
+    auto w = p.value().data();
+    const std::size_t n = w.size();
+    for (std::size_t j = 0; j < n; ++j) {
+      Scalar gj = g[j];
+      if (weight_decay_ != 0.0) gj += weight_decay_ * w[j];
+      w[j] += -lr_ * gj;
+    }
   }
   ++steps_;
   if (steps_ > trigger_) {

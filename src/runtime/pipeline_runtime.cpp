@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "common/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace avgpipe::runtime {
@@ -84,6 +85,11 @@ PipelineRuntime::PipelineRuntime(nn::Sequential model,
     stage_start_.push_back(std::make_unique<Channel<std::size_t>>(4));
     stages_.push_back(std::move(stage));
   }
+  // Warm the intra-op pool before stage workers start issuing GEMMs, so the
+  // first micro-batch doesn't pay worker-thread spawn inside its critical
+  // path.
+  ThreadPool::global();
+
   for (auto& stage : stages_) {
     Stage* s = stage.get();
     s->thread = std::thread([this, s] { worker_loop(*s); });

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file arena.hpp
+/// Size-bucketed buffer recycling for tensor storage.
+///
+/// Training loops allocate the same handful of tensor shapes every step
+/// (activations, gradients, packed GEMM panels). Routing those buffers
+/// through `operator new` per op dominates small-model step time and
+/// fragments the heap. The arena keeps released buffers in per-thread
+/// free lists keyed by rounded capacity; a steady-state training step is
+/// served entirely from the cache, so the heap-allocation counter flat-lines
+/// after warm-up (the `allocs/op ~ 0` criterion in BENCH_kernels.json).
+///
+/// Design rules:
+///  - Buffers are raw 64-byte-aligned `Scalar` arrays, *uninitialized* on
+///    acquire. Callers that need zeros must fill explicitly (`Tensor(Shape)`
+///    still zero-fills; `Tensor::uninitialized` does not).
+///  - Free lists are `thread_local`; a buffer released on a different thread
+///    than it was acquired on simply migrates caches. No locks anywhere.
+///  - After a thread's cache is destroyed (thread exit / static teardown),
+///    acquire/release fall back to the plain heap, so tensors with static
+///    storage duration stay safe.
+///  - The per-thread cache is capped (AVGPIPE_ARENA_MAX_MB, default 256);
+///    releases beyond the cap free eagerly.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace avgpipe::tensor {
+using Scalar = double;
+}
+
+namespace avgpipe::tensor::arena {
+
+/// Monotonic counters. `acquires` = all acquire() calls; `hits` = served from
+/// a free list; `heap_allocs` = fell through to the heap. Process-wide
+/// (relaxed atomics) so benches can measure allocs/op across worker threads.
+struct Stats {
+  std::uint64_t acquires = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t heap_frees = 0;
+};
+
+/// Acquire an uninitialized buffer holding at least `n` scalars.
+/// n == 0 returns nullptr.
+Scalar* acquire(std::size_t n);
+
+/// Return a buffer previously obtained from acquire(n). `n` must be the
+/// same count passed to acquire.
+void release(Scalar* p, std::size_t n) noexcept;
+
+/// Rounded capacity (in scalars) a request of `n` scalars maps to; exposed
+/// so tests can assert bucketing behaviour.
+std::size_t bucket_capacity(std::size_t n);
+
+/// Process-wide counters since start (or last reset_stats()).
+Stats stats();
+void reset_stats();
+
+/// Drop every cached buffer owned by the calling thread.
+void clear_thread_cache();
+
+/// Globally enable/disable recycling (acquire/release still work, they just
+/// bypass the free lists). Used by tests; enabled by default.
+void set_enabled(bool enabled);
+bool enabled();
+
+}  // namespace avgpipe::tensor::arena

@@ -19,8 +19,12 @@ void VarData::accumulate_grad(const Tensor& g) {
                 "gradient numel mismatch: " << g.numel() << " vs "
                                             << value.numel());
   if (!grad_allocated) {
-    grad = Tensor(value.shape());
+    // First contribution: copy instead of zero-fill + add (one pass, and the
+    // arena hands back an uninitialized buffer).
+    grad = Tensor::uninitialized(value.shape());
+    grad.copy_from(g);
     grad_allocated = true;
+    return;
   }
   grad.axpy_(1.0, g);
 }

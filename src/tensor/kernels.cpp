@@ -1,0 +1,201 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "tensor/arena.hpp"
+
+namespace avgpipe::tensor {
+
+void gemm_reference(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
+                    std::size_t n, std::size_t k, bool trans_a, bool trans_b,
+                    bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0);
+  // Index helpers: a is m x k after op, b is k x n after op.
+  auto ai = [&](std::size_t i, std::size_t p) {
+    return trans_a ? a[p * m + i] : a[i * k + p];
+  };
+  auto bi = [&](std::size_t p, std::size_t j) {
+    return trans_b ? b[j * k + p] : b[p * n + j];
+  };
+  for (std::size_t i = 0; i < m; ++i) {
+    Scalar* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const Scalar av = ai(i, p);
+      if (av == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * bi(p, j);
+    }
+  }
+}
+
+namespace {
+
+// Register tile and cache-block sizes, tuned for doubles: the B micro-panel
+// (KC x NR = 16 KB) lives in L1, the packed A block (MC x KC = 128 KB) in
+// L2, and the packed B panel (KC x NC <= 2 MB) in L3.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kNc = 1024;
+
+// Pack buffers hold whole (zero-padded) micro-panels, so round the block
+// dims up to full panel multiples.
+constexpr std::size_t kAPackElems = ((kMc + kMr - 1) / kMr) * kMr * kKc;
+constexpr std::size_t kBPackElems = ((kNc + kNr - 1) / kNr) * kNr * kKc;
+
+/// Pack op(B)[pc:pc+kc, jc:jc+nc] into column panels of width kNr:
+/// dst[panel][p][0..kNr) with zero padding past nc.
+void pack_b(Scalar* dst, const Scalar* b, std::size_t pc, std::size_t jc,
+            std::size_t kc, std::size_t nc, std::size_t n, std::size_t k,
+            bool trans_b) {
+  for (std::size_t jr = 0; jr < nc; jr += kNr) {
+    const std::size_t width = std::min(kNr, nc - jr);
+    for (std::size_t p = 0; p < kc; ++p) {
+      Scalar* out = dst + jr * kc + p * kNr;
+      if (trans_b) {
+        // op(B)[p][j] = b[j*k + p]
+        const Scalar* src = b + (jc + jr) * k + (pc + p);
+        for (std::size_t j = 0; j < width; ++j) out[j] = src[j * k];
+      } else {
+        const Scalar* src = b + (pc + p) * n + jc + jr;
+        for (std::size_t j = 0; j < width; ++j) out[j] = src[j];
+      }
+      for (std::size_t j = width; j < kNr; ++j) out[j] = 0.0;
+    }
+  }
+}
+
+/// Pack op(A)[ic:ic+mc, pc:pc+kc] into row panels of height kMr:
+/// dst[panel][p][0..kMr) with zero padding past mc.
+void pack_a(Scalar* dst, const Scalar* a, std::size_t ic, std::size_t pc,
+            std::size_t mc, std::size_t kc, std::size_t m, std::size_t k,
+            bool trans_a) {
+  for (std::size_t ir = 0; ir < mc; ir += kMr) {
+    const std::size_t height = std::min(kMr, mc - ir);
+    for (std::size_t p = 0; p < kc; ++p) {
+      Scalar* out = dst + ir * kc + p * kMr;
+      if (trans_a) {
+        // op(A)[i][p] = a[p*m + i]
+        const Scalar* src = a + (pc + p) * m + ic + ir;
+        for (std::size_t i = 0; i < height; ++i) out[i] = src[i];
+      } else {
+        const Scalar* src = a + (ic + ir) * k + (pc + p);
+        for (std::size_t i = 0; i < height; ++i) out[i] = src[i * k];
+      }
+      for (std::size_t i = height; i < kMr; ++i) out[i] = 0.0;
+    }
+  }
+}
+
+/// kMr x kNr register-tiled core: C tile (+)= packed-A panel * packed-B
+/// panel. `mr`/`nr` bound the stores for edge tiles; the multiply loop
+/// always runs the full (zero-padded) tile so it stays branch-free and
+/// unrollable. The body is force-inlined into per-ISA wrappers below so the
+/// compiler can re-vectorize it for each target.
+__attribute__((always_inline)) inline void micro_kernel_body(
+    std::size_t kc, const Scalar* ap, const Scalar* bp, Scalar* c,
+    std::size_t ldc, std::size_t mr, std::size_t nr, bool overwrite) {
+  Scalar acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const Scalar* arow = ap + p * kMr;
+    const Scalar* brow = bp + p * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const Scalar av = arow[i];
+      for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  if (overwrite) {
+    for (std::size_t i = 0; i < mr; ++i) {
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] = acc[i][j];
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+    }
+  }
+}
+
+void micro_kernel_portable(std::size_t kc, const Scalar* ap, const Scalar* bp,
+                           Scalar* c, std::size_t ldc, std::size_t mr,
+                           std::size_t nr, bool overwrite) {
+  micro_kernel_body(kc, ap, bp, c, ldc, mr, nr, overwrite);
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define AVGPIPE_GEMM_AVX2 1
+/// Same body recompiled for AVX2+FMA: the 4x8 accumulator tile becomes 8
+/// ymm registers with broadcast-FMA inner ops, which is what lifts the
+/// kernel past the SSE2 baseline's 2-wide peak. Selected at runtime so the
+/// binary still runs (and stays bit-stable) on machines without AVX2.
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2(
+    std::size_t kc, const Scalar* ap, const Scalar* bp, Scalar* c,
+    std::size_t ldc, std::size_t mr, std::size_t nr, bool overwrite) {
+  micro_kernel_body(kc, ap, bp, c, ldc, mr, nr, overwrite);
+}
+#endif
+
+using MicroKernel = void (*)(std::size_t, const Scalar*, const Scalar*,
+                             Scalar*, std::size_t, std::size_t, std::size_t,
+                             bool);
+
+MicroKernel pick_micro_kernel() {
+#ifdef AVGPIPE_GEMM_AVX2
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return micro_kernel_avx2;
+  }
+#endif
+  return micro_kernel_portable;
+}
+
+const MicroKernel micro_kernel = pick_micro_kernel();
+
+}  // namespace
+
+void gemm_blocked(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
+                  std::size_t n, std::size_t k, bool trans_a, bool trans_b,
+                  bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::fill(c, c + m * n, 0.0);
+    return;
+  }
+
+  const std::size_t num_row_blocks = (m + kMc - 1) / kMc;
+  Scalar* bpack = arena::acquire(kBPackElems);
+
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      // The packed panel is shared read-only by every row-block task; the
+      // parallel_for dispatch orders the pack before the reads.
+      pack_b(bpack, b, pc, jc, kc, nc, n, k, trans_b);
+      const bool overwrite = (pc == 0) && !accumulate;
+
+      ThreadPool::global().parallel_for(
+          0, num_row_blocks,
+          [&](std::size_t blk_lo, std::size_t blk_hi) {
+            Scalar* apack = arena::acquire(kAPackElems);
+            for (std::size_t blk = blk_lo; blk < blk_hi; ++blk) {
+              const std::size_t ic = blk * kMc;
+              const std::size_t mc = std::min(kMc, m - ic);
+              pack_a(apack, a, ic, pc, mc, kc, m, k, trans_a);
+              for (std::size_t jr = 0; jr < nc; jr += kNr) {
+                const std::size_t nr = std::min(kNr, nc - jr);
+                for (std::size_t ir = 0; ir < mc; ir += kMr) {
+                  const std::size_t mr = std::min(kMr, mc - ir);
+                  micro_kernel(kc, apack + ir * kc, bpack + jr * kc,
+                               c + (ic + ir) * n + jc + jr, n, mr, nr,
+                               overwrite);
+                }
+              }
+            }
+            arena::release(apack, kAPackElems);
+          });
+    }
+  }
+  arena::release(bpack, kBPackElems);
+}
+
+}  // namespace avgpipe::tensor

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file kernels.hpp
+/// High-performance compute kernels under the autograd ops.
+///
+/// The centrepiece is a cache-blocked, panel-packed GEMM in the classic
+/// GotoBLAS/BLIS loop nest: op(B) is packed into KCxNR column panels and
+/// op(A) into MCxKC row panels (transposes are absorbed by the packing
+/// gathers, so the micro-kernel always streams contiguous memory), and an
+/// MRxNR register-tiled micro-kernel accumulates C tiles with fully
+/// unrolled inner loops the compiler auto-vectorizes. Row-panel blocks are
+/// fanned out over the process-wide ThreadPool; each worker writes a
+/// disjoint set of C rows, so results are bit-identical for any thread
+/// count.
+///
+/// `gemm_reference` keeps the original unblocked triple loop as the parity
+/// oracle (tests/kernel_test.cpp) and the baseline the micro-benchmarks
+/// measure speedups against.
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace avgpipe::tensor {
+
+/// The pre-optimisation scalar GEMM (unblocked i-p-j loops). Kept as the
+/// parity/benchmark reference. C (+)= op(A) * op(B).
+void gemm_reference(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
+                    std::size_t n, std::size_t k, bool trans_a, bool trans_b,
+                    bool accumulate);
+
+/// Cache-blocked packed GEMM, parallelised over row panels via
+/// ThreadPool::global(). Same contract as gemm_reference.
+void gemm_blocked(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
+                  std::size_t n, std::size_t k, bool trans_a, bool trans_b,
+                  bool accumulate);
+
+/// Problem-size threshold (in multiply-adds, m*n*k) below which the packing
+/// overhead of the blocked kernel is not worth it and `gemm` dispatches to
+/// the reference loop.
+inline constexpr std::size_t kGemmBlockedThreshold = 8192;
+
+}  // namespace avgpipe::tensor

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.hpp"
+
 namespace avgpipe::tensor {
 
 namespace {
@@ -16,6 +18,16 @@ void rows_cols(const Tensor& t, std::size_t& rows, std::size_t& cols) {
 
 using detail::VarData;
 
+/// In-place ops overwrite the value tensor of an existing op output. A
+/// grad-requiring leaf is a parameter; mutating it would corrupt training
+/// state, so reject that outright. (Producers whose backward reads their own
+/// output value — activations, softmax — must not feed in-place ops either;
+/// the call sites in nn/ only apply them to matmul/add outputs.)
+void check_inplace_ok(const Variable& x, const char* op) {
+  AVGPIPE_CHECK(!x.requires_grad() || x.data()->backward_fn != nullptr,
+                op << ": in-place op on a grad-requiring leaf (parameter)");
+}
+
 }  // namespace
 
 // -- raw GEMM -----------------------------------------------------------------
@@ -23,21 +35,10 @@ using detail::VarData;
 void gemm(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
           std::size_t n, std::size_t k, bool trans_a, bool trans_b,
           bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0);
-  // Index helpers: a is m x k after op, b is k x n after op.
-  auto ai = [&](std::size_t i, std::size_t p) {
-    return trans_a ? a[p * m + i] : a[i * k + p];
-  };
-  auto bi = [&](std::size_t p, std::size_t j) {
-    return trans_b ? b[j * k + p] : b[p * n + j];
-  };
-  for (std::size_t i = 0; i < m; ++i) {
-    Scalar* crow = c + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const Scalar av = ai(i, p);
-      if (av == 0.0) continue;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * bi(p, j);
-    }
+  if (m * n * k < kGemmBlockedThreshold) {
+    gemm_reference(a, b, c, m, n, k, trans_a, trans_b, accumulate);
+  } else {
+    gemm_blocked(a, b, c, m, n, k, trans_a, trans_b, accumulate);
   }
 }
 
@@ -47,8 +48,11 @@ Variable add(const Variable& a, const Variable& b) {
   AVGPIPE_CHECK(a.value().numel() == b.value().numel(),
                 "add: numel mismatch " << shape_to_string(a.shape()) << " vs "
                                        << shape_to_string(b.shape()));
-  Tensor out = a.value().clone();
-  out.axpy_(1.0, b.value());
+  Tensor out = Tensor::uninitialized(a.shape());
+  const auto av = a.value().data();
+  const auto bv = b.value().data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] + bv[i];
   auto pa = a.data();
   auto pb = b.data();
   return Variable::make_op(std::move(out), {a, b}, [pa, pb](VarData& o) {
@@ -59,15 +63,20 @@ Variable add(const Variable& a, const Variable& b) {
 
 Variable sub(const Variable& a, const Variable& b) {
   AVGPIPE_CHECK(a.value().numel() == b.value().numel(), "sub: numel mismatch");
-  Tensor out = a.value().clone();
-  out.axpy_(-1.0, b.value());
+  Tensor out = Tensor::uninitialized(a.shape());
+  const auto av = a.value().data();
+  const auto bv = b.value().data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] - bv[i];
   auto pa = a.data();
   auto pb = b.data();
   return Variable::make_op(std::move(out), {a, b}, [pa, pb](VarData& o) {
     if (pa->requires_grad) pa->accumulate_grad(o.grad);
     if (pb->requires_grad) {
-      Tensor g = o.grad.clone();
-      g.scale_(-1.0);
+      Tensor g = Tensor::uninitialized(pb->value.shape());
+      auto gv = g.data();
+      const auto og = o.grad.data();
+      for (std::size_t i = 0; i < gv.size(); ++i) gv[i] = -og[i];
       pb->accumulate_grad(g);
     }
   });
@@ -75,7 +84,7 @@ Variable sub(const Variable& a, const Variable& b) {
 
 Variable mul(const Variable& a, const Variable& b) {
   AVGPIPE_CHECK(a.value().numel() == b.value().numel(), "mul: numel mismatch");
-  Tensor out(a.shape());
+  Tensor out = Tensor::uninitialized(a.shape());
   const auto av = a.value().data();
   const auto bv = b.value().data();
   auto ov = out.data();
@@ -85,14 +94,14 @@ Variable mul(const Variable& a, const Variable& b) {
   return Variable::make_op(std::move(out), {a, b}, [pa, pb](VarData& o) {
     const auto g = o.grad.data();
     if (pa->requires_grad) {
-      Tensor ga(pa->value.shape());
+      Tensor ga = Tensor::uninitialized(pa->value.shape());
       auto gav = ga.data();
       const auto bv2 = pb->value.data();
       for (std::size_t i = 0; i < gav.size(); ++i) gav[i] = g[i] * bv2[i];
       pa->accumulate_grad(ga);
     }
     if (pb->requires_grad) {
-      Tensor gb(pb->value.shape());
+      Tensor gb = Tensor::uninitialized(pb->value.shape());
       auto gbv = gb.data();
       const auto av2 = pa->value.data();
       for (std::size_t i = 0; i < gbv.size(); ++i) gbv[i] = g[i] * av2[i];
@@ -104,27 +113,49 @@ Variable mul(const Variable& a, const Variable& b) {
 Variable neg(const Variable& a) { return scale(a, -1.0); }
 
 Variable scale(const Variable& a, Scalar s) {
-  Tensor out = a.value().clone();
-  out.scale_(s);
+  Tensor out = Tensor::uninitialized(a.shape());
+  const auto av = a.value().data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < ov.size(); ++i) ov[i] = av[i] * s;
   auto pa = a.data();
   return Variable::make_op(std::move(out), {a}, [pa, s](VarData& o) {
-    Tensor g = o.grad.clone();
-    g.scale_(s);
+    Tensor g = Tensor::uninitialized(pa->value.shape());
+    auto gv = g.data();
+    const auto og = o.grad.data();
+    for (std::size_t i = 0; i < gv.size(); ++i) gv[i] = og[i] * s;
     pa->accumulate_grad(g);
   });
 }
 
-Variable add_bias(const Variable& x, const Variable& bias) {
+Variable scale_(const Variable& a, Scalar s) {
+  check_inplace_ok(a, "scale_");
+  Tensor out = a.value();  // alias: scaled in place
+  auto ov = out.data();
+  for (std::size_t i = 0; i < ov.size(); ++i) ov[i] *= s;
+  auto pa = a.data();
+  return Variable::make_op(std::move(out), {a}, [pa, s](VarData& o) {
+    Tensor g = Tensor::uninitialized(pa->value.shape());
+    auto gv = g.data();
+    const auto og = o.grad.data();
+    for (std::size_t i = 0; i < gv.size(); ++i) gv[i] = og[i] * s;
+    pa->accumulate_grad(g);
+  });
+}
+
+namespace {
+Variable add_bias_impl(const Variable& x, const Variable& bias, Tensor out) {
   std::size_t rows = 0, cols = 0;
   rows_cols(x.value(), rows, cols);
   AVGPIPE_CHECK(bias.value().numel() == cols,
                 "add_bias: bias numel " << bias.value().numel()
                                         << " != last dim " << cols);
-  Tensor out = x.value().clone();
+  const auto xv = x.value().data();
   auto ov = out.data();
   const auto bv = bias.value().data();
   for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < cols; ++c) ov[r * cols + c] += bv[c];
+    for (std::size_t c = 0; c < cols; ++c) {
+      ov[r * cols + c] = xv[r * cols + c] + bv[c];
+    }
   }
   auto px = x.data();
   auto pb = bias.data();
@@ -142,22 +173,34 @@ Variable add_bias(const Variable& x, const Variable& bias) {
         }
       });
 }
+}  // namespace
+
+Variable add_bias(const Variable& x, const Variable& bias) {
+  return add_bias_impl(x, bias, Tensor::uninitialized(x.shape()));
+}
+
+Variable add_bias_(const Variable& x, const Variable& bias) {
+  check_inplace_ok(x, "add_bias_");
+  return add_bias_impl(x, bias, x.value());  // alias: bias added in place
+}
 
 // -- activations --------------------------------------------------------------
 
 namespace {
 /// Shared scaffold for unary elementwise ops with derivative expressed in
-/// terms of (input value, output value).
+/// terms of (input value, output value). When `in_place`, the output aliases
+/// (and overwrites) x's value, so `dydx` must not depend on the input value.
 Variable unary_op(const Variable& x, Scalar (*fwd)(Scalar),
-                  Scalar (*dydx)(Scalar /*x*/, Scalar /*y*/)) {
-  Tensor out(x.shape());
+                  Scalar (*dydx)(Scalar /*x*/, Scalar /*y*/),
+                  bool in_place = false) {
+  Tensor out = in_place ? x.value() : Tensor::uninitialized(x.shape());
   const auto xv = x.value().data();
   auto ov = out.data();
   for (std::size_t i = 0; i < ov.size(); ++i) ov[i] = fwd(xv[i]);
   auto px = x.data();
   Tensor saved = out;  // alias; safe because ops never mutate values
   return Variable::make_op(std::move(out), {x}, [px, saved, dydx](VarData& o) {
-    Tensor g(px->value.shape());
+    Tensor g = Tensor::uninitialized(px->value.shape());
     auto gv = g.data();
     const auto og = o.grad.data();
     const auto xv2 = px->value.data();
@@ -168,28 +211,41 @@ Variable unary_op(const Variable& x, Scalar (*fwd)(Scalar),
     px->accumulate_grad(g);
   });
 }
+
+Scalar relu_fwd(Scalar v) { return v > 0.0 ? v : 0.0; }
+Scalar relu_dy(Scalar, Scalar y) { return y > 0.0 ? 1.0 : 0.0; }
+Scalar tanh_fwd(Scalar v) { return std::tanh(v); }
+Scalar tanh_dy(Scalar, Scalar y) { return 1.0 - y * y; }
+Scalar sigmoid_fwd(Scalar v) { return 1.0 / (1.0 + std::exp(-v)); }
+Scalar sigmoid_dy(Scalar, Scalar y) { return y * (1.0 - y); }
 }  // namespace
 
-Variable relu(const Variable& x) {
-  return unary_op(
-      x, [](Scalar v) { return v > 0.0 ? v : 0.0; },
-      [](Scalar v, Scalar) { return v > 0.0 ? 1.0 : 0.0; });
+Variable relu(const Variable& x) { return unary_op(x, relu_fwd, relu_dy); }
+
+Variable relu_(const Variable& x) {
+  check_inplace_ok(x, "relu_");
+  return unary_op(x, relu_fwd, relu_dy, /*in_place=*/true);
 }
 
-Variable tanh_op(const Variable& x) {
-  return unary_op(
-      x, [](Scalar v) { return std::tanh(v); },
-      [](Scalar, Scalar y) { return 1.0 - y * y; });
+Variable tanh_op(const Variable& x) { return unary_op(x, tanh_fwd, tanh_dy); }
+
+Variable tanh_op_(const Variable& x) {
+  check_inplace_ok(x, "tanh_op_");
+  return unary_op(x, tanh_fwd, tanh_dy, /*in_place=*/true);
 }
 
 Variable sigmoid(const Variable& x) {
-  return unary_op(
-      x, [](Scalar v) { return 1.0 / (1.0 + std::exp(-v)); },
-      [](Scalar, Scalar y) { return y * (1.0 - y); });
+  return unary_op(x, sigmoid_fwd, sigmoid_dy);
+}
+
+Variable sigmoid_(const Variable& x) {
+  check_inplace_ok(x, "sigmoid_");
+  return unary_op(x, sigmoid_fwd, sigmoid_dy, /*in_place=*/true);
 }
 
 Variable gelu(const Variable& x) {
   // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
+  // Derivative needs the input value, so there is no in-place variant.
   return unary_op(
       x,
       [](Scalar v) {
@@ -215,7 +271,7 @@ Variable matmul(const Variable& a, const Variable& b) {
   const std::size_t m = a.value().dim(0), k = a.value().dim(1);
   const std::size_t k2 = b.value().dim(0), n = b.value().dim(1);
   AVGPIPE_CHECK(k == k2, "matmul inner dims mismatch: " << k << " vs " << k2);
-  Tensor out({m, n});
+  Tensor out = Tensor::uninitialized({m, n});
   gemm(a.value().data().data(), b.value().data().data(), out.data().data(), m,
        n, k, false, false, false);
   auto pa = a.data();
@@ -224,13 +280,13 @@ Variable matmul(const Variable& a, const Variable& b) {
       std::move(out), {a, b}, [pa, pb, m, n, k](VarData& o) {
         const Scalar* g = o.grad.data().data();
         if (pa->requires_grad) {
-          Tensor ga({m, k});  // dA = dC * B^T
+          Tensor ga = Tensor::uninitialized({m, k});  // dA = dC * B^T
           gemm(g, pb->value.data().data(), ga.data().data(), m, k, n, false,
                true, false);
           pa->accumulate_grad(ga);
         }
         if (pb->requires_grad) {
-          Tensor gb({k, n});  // dB = A^T * dC
+          Tensor gb = Tensor::uninitialized({k, n});  // dB = A^T * dC
           gemm(pa->value.data().data(), g, gb.data().data(), k, n, m, true,
                false, false);
           pb->accumulate_grad(gb);
@@ -247,7 +303,7 @@ Variable bmm(const Variable& a, const Variable& b) {
   AVGPIPE_CHECK(b.value().dim(0) == bs && b.value().dim(1) == k,
                 "bmm shape mismatch: " << shape_to_string(a.shape()) << " x "
                                        << shape_to_string(b.shape()));
-  Tensor out({bs, m, n});
+  Tensor out = Tensor::uninitialized({bs, m, n});
   for (std::size_t i = 0; i < bs; ++i) {
     gemm(a.value().data().data() + i * m * k,
          b.value().data().data() + i * k * n, out.data().data() + i * m * n, m,
@@ -259,7 +315,7 @@ Variable bmm(const Variable& a, const Variable& b) {
       std::move(out), {a, b}, [pa, pb, bs, m, n, k](VarData& o) {
         const Scalar* g = o.grad.data().data();
         if (pa->requires_grad) {
-          Tensor ga({bs, m, k});
+          Tensor ga = Tensor::uninitialized({bs, m, k});
           for (std::size_t i = 0; i < bs; ++i) {
             gemm(g + i * m * n, pb->value.data().data() + i * k * n,
                  ga.data().data() + i * m * k, m, k, n, false, true, false);
@@ -267,7 +323,7 @@ Variable bmm(const Variable& a, const Variable& b) {
           pa->accumulate_grad(ga);
         }
         if (pb->requires_grad) {
-          Tensor gb({bs, k, n});
+          Tensor gb = Tensor::uninitialized({bs, k, n});
           for (std::size_t i = 0; i < bs; ++i) {
             gemm(pa->value.data().data() + i * m * k, g + i * m * n,
                  gb.data().data() + i * k * n, k, n, m, true, false, false);
@@ -286,7 +342,7 @@ Tensor transpose_last2_tensor(const Tensor& x) {
   const std::size_t batches = x.numel() / (r * c);
   Shape out_shape = x.shape();
   std::swap(out_shape[nd - 2], out_shape[nd - 1]);
-  Tensor out(out_shape);
+  Tensor out = Tensor::uninitialized(std::move(out_shape));
   const auto xv = x.data();
   auto ov = out.data();
   for (std::size_t bidx = 0; bidx < batches; ++bidx) {
@@ -313,7 +369,7 @@ namespace {
 Tensor permute_0213_tensor(const Tensor& x) {
   AVGPIPE_CHECK(x.ndim() == 4, "permute_0213 needs a 4-D tensor");
   const std::size_t A = x.dim(0), B = x.dim(1), C = x.dim(2), D = x.dim(3);
-  Tensor out({A, C, B, D});
+  Tensor out = Tensor::uninitialized({A, C, B, D});
   const auto xv = x.data();
   auto ov = out.data();
   for (std::size_t a = 0; a < A; ++a) {
@@ -353,7 +409,7 @@ Variable slice_cols(const Variable& x, std::size_t lo, std::size_t hi) {
   AVGPIPE_CHECK(lo < hi && hi <= cols,
                 "slice_cols range [" << lo << "," << hi << ") out of " << cols);
   const std::size_t w = hi - lo;
-  Tensor out({rows, w});
+  Tensor out = Tensor::uninitialized({rows, w});
   const auto xv = x.value().data();
   auto ov = out.data();
   for (std::size_t r = 0; r < rows; ++r) {
@@ -362,7 +418,7 @@ Variable slice_cols(const Variable& x, std::size_t lo, std::size_t hi) {
   auto px = x.data();
   return Variable::make_op(
       std::move(out), {x}, [px, lo, rows, cols, w](VarData& o) {
-        Tensor g({rows, cols});
+        Tensor g({rows, cols});  // zeroed: only [lo, lo+w) columns written
         auto gv = g.data();
         const auto og = o.grad.data();
         for (std::size_t r = 0; r < rows; ++r) {
@@ -378,13 +434,13 @@ Variable slice_rows(const Variable& x, std::size_t lo, std::size_t hi) {
   AVGPIPE_CHECK(lo < hi && hi <= rows,
                 "slice_rows range [" << lo << "," << hi << ") out of " << rows);
   const std::size_t n = hi - lo;
-  Tensor out({n, cols});
+  Tensor out = Tensor::uninitialized({n, cols});
   const auto xv = x.value().data();
   std::copy(&xv[lo * cols], &xv[hi * cols], out.data().data());
   auto px = x.data();
   return Variable::make_op(
       std::move(out), {x}, [px, lo, rows, cols, n](VarData& o) {
-        Tensor g({rows, cols});
+        Tensor g({rows, cols});  // zeroed: only rows [lo, lo+n) written
         const auto og = o.grad.data();
         std::copy(og.data(), og.data() + n * cols,
                   g.data().data() + lo * cols);
@@ -401,7 +457,7 @@ Variable concat_rows(const std::vector<Variable>& xs) {
                   "concat_rows column mismatch");
     total_rows += x.value().numel() / cols;
   }
-  Tensor out({total_rows, cols});
+  Tensor out = Tensor::uninitialized({total_rows, cols});
   auto ov = out.data();
   std::size_t offset = 0;
   std::vector<std::size_t> offsets;
@@ -418,7 +474,7 @@ Variable concat_rows(const std::vector<Variable>& xs) {
         const auto og = o.grad.data();
         for (std::size_t i = 0; i < parents.size(); ++i) {
           if (!parents[i]->requires_grad) continue;
-          Tensor g(parents[i]->value.shape());
+          Tensor g = Tensor::uninitialized(parents[i]->value.shape());
           auto gv = g.data();
           std::copy(og.begin() + offsets[i], og.begin() + offsets[i] + gv.size(),
                     gv.begin());
@@ -432,7 +488,7 @@ Variable concat_rows(const std::vector<Variable>& xs) {
 Variable softmax_rows(const Variable& x) {
   std::size_t rows = 0, cols = 0;
   rows_cols(x.value(), rows, cols);
-  Tensor out(x.shape());
+  Tensor out = Tensor::uninitialized(x.shape());
   const auto xv = x.value().data();
   auto ov = out.data();
   for (std::size_t r = 0; r < rows; ++r) {
@@ -445,24 +501,28 @@ Variable softmax_rows(const Variable& x) {
       ov[r * cols + c] = e;
       z += e;
     }
-    for (std::size_t c = 0; c < cols; ++c) ov[r * cols + c] /= z;
+    const Scalar inv_z = 1.0 / z;
+    for (std::size_t c = 0; c < cols; ++c) ov[r * cols + c] *= inv_z;
   }
   auto px = x.data();
   Tensor saved = out;  // alias
   return Variable::make_op(
       std::move(out), {x}, [px, saved, rows, cols](VarData& o) {
-        Tensor g(px->value.shape());
+        Tensor g = Tensor::uninitialized(px->value.shape());
         auto gv = g.data();
         const auto og = o.grad.data();
         const auto yv = saved.data();
+        // Fused: one sweep stores t = y*dy into g while reducing dot(y, dy),
+        // one sweep finalises g = t - y*dot (no recomputed products).
         for (std::size_t r = 0; r < rows; ++r) {
           Scalar dotp = 0.0;
           for (std::size_t c = 0; c < cols; ++c) {
-            dotp += og[r * cols + c] * yv[r * cols + c];
+            const Scalar t = og[r * cols + c] * yv[r * cols + c];
+            gv[r * cols + c] = t;
+            dotp += t;
           }
           for (std::size_t c = 0; c < cols; ++c) {
-            gv[r * cols + c] =
-                yv[r * cols + c] * (og[r * cols + c] - dotp);
+            gv[r * cols + c] -= yv[r * cols + c] * dotp;
           }
         }
         px->accumulate_grad(g);
@@ -475,25 +535,26 @@ Variable layer_norm(const Variable& x, const Variable& gamma,
   rows_cols(x.value(), rows, cols);
   AVGPIPE_CHECK(gamma.value().numel() == cols && beta.value().numel() == cols,
                 "layer_norm affine params must match last dim " << cols);
-  Tensor out(x.shape());
-  Tensor xhat({rows, cols});
-  Tensor inv_std({rows});
+  Tensor out = Tensor::uninitialized(x.shape());
+  Tensor xhat = Tensor::uninitialized({rows, cols});
+  Tensor inv_std = Tensor::uninitialized({rows});
   const auto xv = x.value().data();
   auto ov = out.data();
   auto hv = xhat.data();
   auto sv = inv_std.data();
   const auto gv = gamma.value().data();
   const auto bv = beta.value().data();
+  const Scalar inv_cols = 1.0 / static_cast<Scalar>(cols);
   for (std::size_t r = 0; r < rows; ++r) {
-    Scalar mu = 0.0;
-    for (std::size_t c = 0; c < cols; ++c) mu += xv[r * cols + c];
-    mu /= static_cast<Scalar>(cols);
-    Scalar var = 0.0;
+    // Single fused sweep for both moments: var = E[x^2] - mu^2.
+    Scalar sum = 0.0, sumsq = 0.0;
     for (std::size_t c = 0; c < cols; ++c) {
-      const Scalar d = xv[r * cols + c] - mu;
-      var += d * d;
+      const Scalar v = xv[r * cols + c];
+      sum += v;
+      sumsq += v * v;
     }
-    var /= static_cast<Scalar>(cols);
+    const Scalar mu = sum * inv_cols;
+    const Scalar var = std::max(sumsq * inv_cols - mu * mu, Scalar(0));
     const Scalar is = 1.0 / std::sqrt(var + eps);
     sv[r] = is;
     for (std::size_t c = 0; c < cols; ++c) {
@@ -512,44 +573,47 @@ Variable layer_norm(const Variable& x, const Variable& gamma,
         const auto hv2 = xhat.data();
         const auto sv2 = inv_std.data();
         const auto gv2 = pg->value.data();
-        if (pg->requires_grad) {
-          Tensor ggamma(pg->value.shape());
-          auto gg = ggamma.data();
-          for (std::size_t r = 0; r < rows; ++r) {
-            for (std::size_t c = 0; c < cols; ++c) {
-              gg[c] += og[r * cols + c] * hv2[r * cols + c];
-            }
-          }
-          pg->accumulate_grad(ggamma);
-        }
-        if (pb->requires_grad) {
-          Tensor gbeta(pb->value.shape());
-          auto gb = gbeta.data();
-          for (std::size_t r = 0; r < rows; ++r) {
-            for (std::size_t c = 0; c < cols; ++c) gb[c] += og[r * cols + c];
-          }
-          pb->accumulate_grad(gbeta);
-        }
-        if (px->requires_grad) {
-          Tensor gx(px->value.shape());
-          auto gxv = gx.data();
-          const Scalar inv_n = 1.0 / static_cast<Scalar>(cols);
-          for (std::size_t r = 0; r < rows; ++r) {
-            Scalar sum_dy = 0.0, sum_dyh = 0.0;
-            for (std::size_t c = 0; c < cols; ++c) {
-              const Scalar dy = og[r * cols + c] * gv2[c];
+        const bool need_x = px->requires_grad;
+        const bool need_gamma = pg->requires_grad;
+        const bool need_beta = pb->requires_grad;
+        Tensor ggamma(need_gamma ? pg->value.shape() : Shape{0});  // zeroed
+        Tensor gbeta(need_beta ? pb->value.shape() : Shape{0});    // zeroed
+        Tensor gx = need_x ? Tensor::uninitialized(px->value.shape())
+                           : Tensor();
+        auto gg = ggamma.data();
+        auto gb = gbeta.data();
+        auto gxv = gx.data();
+        const Scalar inv_n = 1.0 / static_cast<Scalar>(cols);
+        // Fused: one sweep per row accumulates the gamma/beta reductions AND
+        // the two x-grad row sums, stashing dy = og*gamma into gx so the
+        // finalising sweep does not recompute it (2 sweeps total instead of
+        // 2-3 per output).
+        for (std::size_t r = 0; r < rows; ++r) {
+          Scalar sum_dy = 0.0, sum_dyh = 0.0;
+          for (std::size_t c = 0; c < cols; ++c) {
+            const Scalar go = og[r * cols + c];
+            const Scalar h = hv2[r * cols + c];
+            if (need_gamma) gg[c] += go * h;
+            if (need_beta) gb[c] += go;
+            if (need_x) {
+              const Scalar dy = go * gv2[c];
               sum_dy += dy;
-              sum_dyh += dy * hv2[r * cols + c];
+              sum_dyh += dy * h;
+              gxv[r * cols + c] = dy;
             }
+          }
+          if (need_x) {
             for (std::size_t c = 0; c < cols; ++c) {
-              const Scalar dy = og[r * cols + c] * gv2[c];
+              const Scalar dy = gxv[r * cols + c];
               gxv[r * cols + c] =
                   sv2[r] * (dy - inv_n * sum_dy -
                             hv2[r * cols + c] * inv_n * sum_dyh);
             }
           }
-          px->accumulate_grad(gx);
         }
+        if (need_gamma) pg->accumulate_grad(ggamma);
+        if (need_beta) pb->accumulate_grad(gbeta);
+        if (need_x) px->accumulate_grad(gx);
       });
 }
 
@@ -557,16 +621,16 @@ Variable dropout(const Variable& x, double p, Rng& rng, bool training) {
   AVGPIPE_CHECK(p >= 0.0 && p < 1.0, "dropout p must be in [0,1), got " << p);
   if (!training || p == 0.0) return x;
   const Scalar keep = 1.0 - p;
-  Tensor mask(x.shape());
+  Tensor mask = Tensor::uninitialized(x.shape());
   auto mv = mask.data();
   for (auto& m : mv) m = rng.bernoulli(keep) ? 1.0 / keep : 0.0;
-  Tensor out(x.shape());
+  Tensor out = Tensor::uninitialized(x.shape());
   const auto xv = x.value().data();
   auto ov = out.data();
   for (std::size_t i = 0; i < ov.size(); ++i) ov[i] = xv[i] * mv[i];
   auto px = x.data();
   return Variable::make_op(std::move(out), {x}, [px, mask](VarData& o) {
-    Tensor g(px->value.shape());
+    Tensor g = Tensor::uninitialized(px->value.shape());
     auto gv = g.data();
     const auto og = o.grad.data();
     const auto mv2 = mask.data();
@@ -580,7 +644,7 @@ Variable dropout(const Variable& x, double p, Rng& rng, bool training) {
 Variable embedding(const Variable& weight, const std::vector<int>& indices) {
   AVGPIPE_CHECK(weight.value().ndim() == 2, "embedding weight must be 2-D");
   const std::size_t v = weight.value().dim(0), d = weight.value().dim(1);
-  Tensor out({indices.size(), d});
+  Tensor out = Tensor::uninitialized({indices.size(), d});
   const auto wv = weight.value().data();
   auto ov = out.data();
   for (std::size_t i = 0; i < indices.size(); ++i) {
@@ -591,7 +655,7 @@ Variable embedding(const Variable& weight, const std::vector<int>& indices) {
   }
   auto pw = weight.data();
   return Variable::make_op(std::move(out), {weight}, [pw, indices, d](VarData& o) {
-    Tensor g(pw->value.shape());
+    Tensor g(pw->value.shape());  // zeroed: scatter-add target
     auto gv = g.data();
     const auto og = o.grad.data();
     for (std::size_t i = 0; i < indices.size(); ++i) {
@@ -624,7 +688,7 @@ Variable softmax_cross_entropy(const Variable& logits,
   const std::size_t n = logits.value().dim(0), c = logits.value().dim(1);
   AVGPIPE_CHECK(targets.size() == n,
                 "targets size " << targets.size() << " != rows " << n);
-  Tensor probs({n, c});
+  Tensor probs = Tensor::uninitialized({n, c});
   const auto lv = logits.value().data();
   auto pv = probs.data();
   Scalar loss = 0.0;
@@ -638,7 +702,8 @@ Variable softmax_cross_entropy(const Variable& logits,
       pv[r * c + j] = e;
       z += e;
     }
-    for (std::size_t j = 0; j < c; ++j) pv[r * c + j] /= z;
+    const Scalar inv_z = 1.0 / z;
+    for (std::size_t j = 0; j < c; ++j) pv[r * c + j] *= inv_z;
     const auto t = static_cast<std::size_t>(targets[r]);
     AVGPIPE_CHECK(targets[r] >= 0 && t < c,
                   "target " << targets[r] << " out of range " << c);
@@ -649,7 +714,7 @@ Variable softmax_cross_entropy(const Variable& logits,
   auto pl = logits.data();
   return Variable::make_op(
       std::move(out), {logits}, [pl, probs, targets, n, c](VarData& o) {
-        Tensor g({n, c});
+        Tensor g = Tensor::uninitialized({n, c});
         auto gv = g.data();
         const auto pv2 = probs.data();
         const Scalar s = o.grad[0] / static_cast<Scalar>(n);
@@ -678,7 +743,7 @@ Variable mse_loss(const Variable& pred, const Tensor& target) {
   out[0] = loss / static_cast<Scalar>(n);
   auto pp = pred.data();
   return Variable::make_op(std::move(out), {pred}, [pp, target, n](VarData& o) {
-    Tensor g(pp->value.shape());
+    Tensor g = Tensor::uninitialized(pp->value.shape());
     auto gv = g.data();
     const auto pv2 = pp->value.data();
     const auto tv2 = target.data();

@@ -24,6 +24,15 @@ Variable scale(const Variable& a, Scalar s);
 /// x + bias where bias has shape [C] and x's last dim is C.
 Variable add_bias(const Variable& x, const Variable& bias);
 
+// In-place variants (trailing underscore, torch-style): they overwrite the
+// value of `x` and return a node whose value aliases it, saving one
+// allocation + copy pass per call. Only legal when the caller owns `x` as a
+// freshly produced op output whose producer's backward does not read its own
+// output value (matmul/bmm/add qualify; activations and softmax do not).
+// Applying one to a grad-requiring leaf (i.e. a parameter) is checked fatal.
+Variable scale_(const Variable& a, Scalar s);
+Variable add_bias_(const Variable& x, const Variable& bias);
+
 // -- activations --------------------------------------------------------------
 
 Variable relu(const Variable& x);
@@ -31,6 +40,11 @@ Variable tanh_op(const Variable& x);
 Variable sigmoid(const Variable& x);
 /// Gaussian error linear unit (tanh approximation), used by BERT blocks.
 Variable gelu(const Variable& x);
+
+/// In-place activations (same ownership rules as scale_/add_bias_).
+Variable relu_(const Variable& x);
+Variable tanh_op_(const Variable& x);
+Variable sigmoid_(const Variable& x);
 
 // -- linear algebra -----------------------------------------------------------
 
@@ -85,7 +99,9 @@ Variable mse_loss(const Variable& pred, const Tensor& target);
 std::vector<int> argmax_rows(const Tensor& logits);
 /// Fraction of rows whose argmax equals the target.
 double accuracy(const Tensor& logits, const std::vector<int>& targets);
-/// Raw GEMM: C (+)= op(A) * op(B); op is optional transpose.
+/// Raw GEMM: C (+)= op(A) * op(B); op is optional transpose. Dispatches to
+/// the blocked/parallel kernel (kernels.hpp) above kGemmBlockedThreshold
+/// multiply-adds, else the reference loop.
 void gemm(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
           std::size_t n, std::size_t k, bool trans_a, bool trans_b,
           bool accumulate);

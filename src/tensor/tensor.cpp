@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <sstream>
 
 namespace avgpipe::tensor {
@@ -24,20 +23,26 @@ std::string shape_to_string(const Shape& shape) {
   return os.str();
 }
 
+const std::shared_ptr<detail::Storage>& Tensor::empty_storage() {
+  static const std::shared_ptr<detail::Storage> empty =
+      std::make_shared<detail::Storage>(0, false);
+  return empty;
+}
+
 Tensor Tensor::full(Shape shape, Scalar value) {
-  Tensor t(std::move(shape));
+  Tensor t = uninitialized(std::move(shape));
   t.fill_(value);
   return t;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, Scalar stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = uninitialized(std::move(shape));
   for (auto& x : t.data()) x = rng.normal(0.0, stddev);
   return t;
 }
 
 Tensor Tensor::rand_uniform(Shape shape, Rng& rng, Scalar lo, Scalar hi) {
-  Tensor t(std::move(shape));
+  Tensor t = uninitialized(std::move(shape));
   for (auto& x : t.data()) x = rng.uniform(lo, hi);
   return t;
 }
@@ -69,13 +74,14 @@ Tensor Tensor::reshape(Shape new_shape) const {
 }
 
 Tensor Tensor::clone() const {
-  Tensor copy(shape_);
-  std::copy(storage_->begin(), storage_->end(), copy.storage_->begin());
+  Tensor copy = uninitialized(shape_);
+  std::copy(storage_->data(), storage_->data() + storage_->size(),
+            copy.storage_->data());
   return copy;
 }
 
 void Tensor::fill_(Scalar value) {
-  std::fill(storage_->begin(), storage_->end(), value);
+  std::fill(storage_->data(), storage_->data() + storage_->size(), value);
 }
 
 void Tensor::axpy_(Scalar alpha, const Tensor& other) {
@@ -87,7 +93,9 @@ void Tensor::axpy_(Scalar alpha, const Tensor& other) {
 }
 
 void Tensor::scale_(Scalar alpha) {
-  for (auto& x : *storage_) x *= alpha;
+  Scalar* a = storage_->data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) a[i] *= alpha;
 }
 
 void Tensor::lerp_(const Tensor& other, Scalar t) {
@@ -100,11 +108,16 @@ void Tensor::lerp_(const Tensor& other, Scalar t) {
 
 void Tensor::copy_from(const Tensor& other) {
   AVGPIPE_CHECK(numel() == other.numel(), "copy_from numel mismatch");
-  std::copy(other.storage_->begin(), other.storage_->end(), storage_->begin());
+  std::copy(other.storage_->data(), other.storage_->data() + other.numel(),
+            storage_->data());
 }
 
 Scalar Tensor::sum() const {
-  return std::accumulate(storage_->begin(), storage_->end(), Scalar(0));
+  const Scalar* a = storage_->data();
+  const std::size_t n = numel();
+  Scalar acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i];
+  return acc;
 }
 
 Scalar Tensor::mean() const {
@@ -112,8 +125,10 @@ Scalar Tensor::mean() const {
 }
 
 Scalar Tensor::abs_max() const {
+  const Scalar* a = storage_->data();
+  const std::size_t n = numel();
   Scalar m = 0.0;
-  for (auto x : *storage_) m = std::max(m, std::fabs(x));
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(a[i]));
   return m;
 }
 
@@ -145,7 +160,7 @@ std::string Tensor::to_string(std::size_t max_elems) const {
   const std::size_t n = std::min(numel(), max_elems);
   for (std::size_t i = 0; i < n; ++i) {
     if (i) os << ", ";
-    os << (*storage_)[i];
+    os << storage_->data()[i];
   }
   if (numel() > max_elems) os << ", ...";
   os << '}';

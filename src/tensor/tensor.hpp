@@ -9,6 +9,12 @@
 /// row-major layout, views via reshape, and a small set of kernels. Scalars
 /// are double so numeric gradient checks and averaging-equivalence tests are
 /// robust.
+///
+/// Storage is a ref-counted, 64-byte-aligned buffer recycled through the
+/// size-bucketed arena (arena.hpp), so forward/backward over a micro-batch
+/// stops hitting `operator new` per op once shapes repeat. `Tensor(Shape)`
+/// zero-fills; `Tensor::uninitialized(Shape)` skips the fill for outputs
+/// that every kernel overwrites completely.
 
 #include <cstddef>
 #include <initializer_list>
@@ -19,10 +25,10 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "tensor/arena.hpp"
 
 namespace avgpipe::tensor {
 
-using Scalar = double;
 using Shape = std::vector<std::size_t>;
 
 /// Number of elements implied by a shape (empty shape = scalar = 1 element).
@@ -30,27 +36,65 @@ std::size_t shape_numel(const Shape& shape);
 /// "[2, 3, 4]"
 std::string shape_to_string(const Shape& shape);
 
+namespace detail {
+
+/// Ref-counted flat buffer; returns itself to the arena on destruction.
+class Storage {
+ public:
+  Storage(std::size_t n, bool zero_fill) : data_(arena::acquire(n)), size_(n) {
+    if (zero_fill && data_ != nullptr) {
+      for (std::size_t i = 0; i < size_; ++i) data_[i] = 0.0;
+    }
+  }
+  ~Storage() { arena::release(data_, size_); }
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  Scalar* data() { return data_; }
+  const Scalar* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  Scalar* data_;
+  std::size_t size_;
+};
+
+}  // namespace detail
+
 /// Reference-counted dense tensor. Copying a Tensor aliases storage
 /// (shallow); use clone() for a deep copy. All views are contiguous.
 class Tensor {
  public:
-  /// Empty 0-element tensor.
-  Tensor() : storage_(std::make_shared<std::vector<Scalar>>()), shape_{0} {}
+  /// Empty 0-element tensor (shares a process-wide empty storage).
+  Tensor() : storage_(empty_storage()), shape_{0} {}
 
-  /// Uninitialised (zeroed) tensor of the given shape.
+  /// Zeroed tensor of the given shape.
   explicit Tensor(Shape shape)
-      : storage_(std::make_shared<std::vector<Scalar>>(shape_numel(shape), 0.0)),
+      : storage_(
+            std::make_shared<detail::Storage>(shape_numel(shape), true)),
         shape_(std::move(shape)) {}
 
-  Tensor(Shape shape, std::vector<Scalar> values)
-      : storage_(std::make_shared<std::vector<Scalar>>(std::move(values))),
+  Tensor(Shape shape, const std::vector<Scalar>& values)
+      : storage_(
+            std::make_shared<detail::Storage>(shape_numel(shape), false)),
         shape_(std::move(shape)) {
-    AVGPIPE_CHECK(storage_->size() == shape_numel(shape_),
-                  "value count " << storage_->size() << " != shape "
+    AVGPIPE_CHECK(values.size() == storage_->size(),
+                  "value count " << values.size() << " != shape "
                                  << shape_to_string(shape_));
+    std::copy(values.begin(), values.end(), storage_->data());
   }
 
   // -- factories --------------------------------------------------------------
+
+  /// Arena-allocated tensor whose contents are NOT initialised. Only for
+  /// outputs the caller overwrites completely before any read.
+  static Tensor uninitialized(Shape shape) {
+    Tensor t;
+    t.storage_ = std::make_shared<detail::Storage>(shape_numel(shape), false);
+    t.shape_ = std::move(shape);
+    return t;
+  }
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor full(Shape shape, Scalar value);
@@ -84,14 +128,14 @@ class Tensor {
     return {storage_->data(), storage_->size()};
   }
 
-  Scalar& operator[](std::size_t i) { return (*storage_)[i]; }
-  Scalar operator[](std::size_t i) const { return (*storage_)[i]; }
+  Scalar& operator[](std::size_t i) { return storage_->data()[i]; }
+  Scalar operator[](std::size_t i) const { return storage_->data()[i]; }
 
   Scalar& at(std::size_t i, std::size_t j) {
-    return (*storage_)[i * shape_.at(1) + j];
+    return storage_->data()[i * shape_.at(1) + j];
   }
   Scalar at(std::size_t i, std::size_t j) const {
-    return (*storage_)[i * shape_.at(1) + j];
+    return storage_->data()[i * shape_.at(1) + j];
   }
 
   /// True if both tensors alias the same storage.
@@ -125,7 +169,9 @@ class Tensor {
   std::string to_string(std::size_t max_elems = 32) const;
 
  private:
-  std::shared_ptr<std::vector<Scalar>> storage_;
+  static const std::shared_ptr<detail::Storage>& empty_storage();
+
+  std::shared_ptr<detail::Storage> storage_;
   Shape shape_;
 };
 

@@ -1,0 +1,449 @@
+// Parity and correctness suite for the performance layer: blocked GEMM vs
+// the reference loop, fused elastic / optimizer kernels vs their unfused
+// formulations, in-place op variants vs the allocating ones, the arena
+// allocator's recycling behaviour, and thread-pool determinism.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/elastic.hpp"
+#include "optim/optimizer.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+
+namespace avgpipe {
+namespace {
+
+using tensor::Scalar;
+using tensor::Tensor;
+using tensor::Variable;
+
+std::vector<Scalar> random_vec(std::size_t n, Rng& rng) {
+  std::vector<Scalar> v(n);
+  for (auto& x : v) x = rng.normal(0.0, 1.0);
+  return v;
+}
+
+// -- GEMM parity ---------------------------------------------------------------
+
+struct GemmCase {
+  std::size_t m, n, k;
+};
+
+class GemmParity : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParity, MatchesReferenceForAllTransposeCombos) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(0xC0FFEE + m * 131 + n * 17 + k);
+  for (const bool trans_a : {false, true}) {
+    for (const bool trans_b : {false, true}) {
+      for (const bool accumulate : {false, true}) {
+        const auto a = random_vec(m * k, rng);
+        const auto b = random_vec(k * n, rng);
+        auto c_ref = random_vec(m * n, rng);
+        auto c_blk = c_ref;  // same starting C so accumulate paths match
+        tensor::gemm_reference(a.data(), b.data(), c_ref.data(), m, n, k,
+                               trans_a, trans_b, accumulate);
+        tensor::gemm_blocked(a.data(), b.data(), c_blk.data(), m, n, k,
+                             trans_a, trans_b, accumulate);
+        for (std::size_t i = 0; i < m * n; ++i) {
+          // FMA contraction in the blocked kernel shifts rounding by a few
+          // ulp per k-term; scale the tolerance by the reduction length.
+          const double tol =
+              1e-13 * static_cast<double>(k + 1) *
+              std::max(1.0, std::abs(c_ref[i]));
+          ASSERT_NEAR(c_blk[i], c_ref[i], tol)
+              << "m=" << m << " n=" << n << " k=" << k << " ta=" << trans_a
+              << " tb=" << trans_b << " acc=" << accumulate << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParity,
+    ::testing::Values(
+        GemmCase{1, 1, 1},      // degenerate
+        GemmCase{1, 8, 1},      // single row/col
+        GemmCase{3, 5, 7},      // tiny, all odd
+        GemmCase{4, 8, 16},     // exact tile multiples
+        GemmCase{5, 9, 17},     // one past the tile edges
+        GemmCase{63, 65, 33},   // straddles MC and NR boundaries
+        GemmCase{64, 8, 300},   // multiple KC panels
+        GemmCase{128, 96, 64},  // rectangular, several row blocks
+        GemmCase{1, 1030, 5},   // wide: multiple NC panels
+        GemmCase{200, 3, 2}));  // tall and skinny
+
+TEST(GemmParity, ZeroSizedDims) {
+  std::vector<Scalar> a(12, 1.0), b(12, 2.0), c(6, 7.0);
+  // k == 0 must clear C when not accumulating and leave it when accumulating.
+  tensor::gemm_blocked(a.data(), b.data(), c.data(), 2, 3, 0, false, false,
+                       true);
+  EXPECT_EQ(c[0], 7.0);
+  tensor::gemm_blocked(a.data(), b.data(), c.data(), 2, 3, 0, false, false,
+                       false);
+  EXPECT_EQ(c[0], 0.0);
+}
+
+TEST(GemmDispatch, SmallProblemsStayExact) {
+  // Below the dispatch threshold gemm() runs the reference loop, so results
+  // must be bit-identical to gemm_reference.
+  Rng rng(42);
+  const std::size_t m = 4, n = 4, k = 4;
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<Scalar> c1(m * n, 0.0), c2(m * n, 0.0);
+  tensor::gemm(a.data(), b.data(), c1.data(), m, n, k, false, false, false);
+  tensor::gemm_reference(a.data(), b.data(), c2.data(), m, n, k, false, false,
+                         false);
+  EXPECT_EQ(c1, c2);
+}
+
+// -- fused elastic kernels ------------------------------------------------------
+
+std::vector<Variable> make_params(Rng& rng) {
+  std::vector<Variable> params;
+  for (const std::size_t n : {7u, 64u, 129u}) {
+    Tensor t({n});
+    for (auto& v : t.data()) v = rng.normal(0.0, 1.0);
+    params.emplace_back(std::move(t), /*requires_grad=*/true);
+  }
+  return params;
+}
+
+core::ParamSet clone_all(const std::vector<Variable>& params) {
+  core::ParamSet out;
+  for (const auto& p : params) out.push_back(p.value().clone());
+  return out;
+}
+
+TEST(FusedElastic, PullPushMatchesUnfused) {
+  Rng rng(7);
+  auto fused_params = make_params(rng);
+  auto unfused_params = fused_params;  // shallow copies; deep-clone below
+  std::vector<Variable> unfused;
+  for (auto& p : fused_params) {
+    unfused.emplace_back(p.value().clone(), true);
+  }
+  core::ParamSet reference;
+  for (const auto& p : fused_params) {
+    Tensor r(p.value().shape());
+    for (auto& v : r.data()) v = rng.normal(0.0, 1.0);
+    reference.push_back(std::move(r));
+  }
+  const double alpha = 0.25;
+
+  const core::ParamSet fused_update =
+      core::elastic_pull_push(fused_params, reference, alpha);
+
+  core::elastic_pull(unfused, reference, alpha);
+  const core::ParamSet unfused_update = core::difference(unfused, reference);
+
+  for (std::size_t i = 0; i < fused_params.size(); ++i) {
+    EXPECT_LE(fused_params[i].value().max_abs_diff(unfused[i].value()), 1e-12);
+    EXPECT_LE(fused_update[i].max_abs_diff(unfused_update[i]), 1e-12);
+  }
+}
+
+TEST(FusedElastic, PullAndAccumulateMatchesSnapshotPath) {
+  Rng rng(11);
+  auto params_a = make_params(rng);
+  std::vector<Variable> params_b;
+  for (auto& p : params_a) params_b.emplace_back(p.value().clone(), true);
+
+  core::ReferenceModel ref_a(clone_all(params_a));
+  core::ReferenceModel ref_b(clone_all(params_b));
+  const double alpha = 0.5;
+
+  // Fused path: pull directly against the live reference.
+  ref_a.pull_and_accumulate(params_a, alpha);
+  ref_a.apply_accumulated(1);
+
+  // Unfused path: snapshot, pull, diff, accumulate.
+  const core::ParamSet snap = ref_b.snapshot();
+  core::elastic_pull(params_b, snap, alpha);
+  ref_b.accumulate(core::difference(params_b, snap));
+  ref_b.apply_accumulated(1);
+
+  for (std::size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_LE(params_a[i].value().max_abs_diff(params_b[i].value()), 1e-12);
+    EXPECT_LE(ref_a.params()[i].max_abs_diff(ref_b.params()[i]), 1e-12);
+  }
+}
+
+// -- fused optimizer kernels ----------------------------------------------------
+
+TEST(FusedOptim, SgdMomentumWeightDecayMatchesUnfused) {
+  Rng rng(13);
+  auto params = make_params(rng);
+  std::vector<Variable> ref_params;
+  for (auto& p : params) ref_params.emplace_back(p.value().clone(), true);
+
+  const Scalar lr = 0.1, momentum = 0.9, wd = 0.01;
+  optim::Sgd sgd(params, lr, momentum, wd);
+
+  // Unfused reference state.
+  std::vector<Tensor> velocity;
+  for (auto& p : ref_params) velocity.emplace_back(p.value().shape());
+
+  for (int step = 0; step < 3; ++step) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      Tensor g(params[i].value().shape());
+      for (auto& v : g.data()) v = rng.normal(0.0, 1.0);
+      params[i].mutable_grad().copy_from(g);
+      ref_params[i].mutable_grad().copy_from(g);
+    }
+    sgd.step();
+    for (std::size_t i = 0; i < ref_params.size(); ++i) {
+      Tensor g = ref_params[i].grad().clone();
+      g.axpy_(wd, ref_params[i].value());
+      velocity[i].scale_(momentum);
+      velocity[i].axpy_(1.0, g);
+      ref_params[i].value().axpy_(-lr, velocity[i]);
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      EXPECT_LE(params[i].value().max_abs_diff(ref_params[i].value()), 1e-12)
+          << "step " << step << " param " << i;
+    }
+  }
+}
+
+TEST(FusedOptim, AsgdMatchesUnfused) {
+  Rng rng(17);
+  auto params = make_params(rng);
+  std::vector<Variable> ref_params;
+  for (auto& p : params) ref_params.emplace_back(p.value().clone(), true);
+
+  const Scalar lr = 0.05, wd = 0.02;
+  optim::Asgd asgd(params, lr, /*trigger=*/0, wd);
+
+  for (int step = 0; step < 2; ++step) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      Tensor g(params[i].value().shape());
+      for (auto& v : g.data()) v = rng.normal(0.0, 1.0);
+      params[i].mutable_grad().copy_from(g);
+      ref_params[i].mutable_grad().copy_from(g);
+    }
+    asgd.step();
+    for (std::size_t i = 0; i < ref_params.size(); ++i) {
+      Tensor g = ref_params[i].grad().clone();
+      g.axpy_(wd, ref_params[i].value());
+      ref_params[i].value().axpy_(-lr, g);
+      EXPECT_LE(params[i].value().max_abs_diff(ref_params[i].value()), 1e-12);
+    }
+  }
+}
+
+// -- in-place op variants -------------------------------------------------------
+
+TEST(InplaceOps, MatchOutOfPlaceForwardAndBackward) {
+  Rng rng(19);
+  const std::size_t rows = 5, cols = 9;
+
+  auto run = [&](bool in_place) {
+    Rng local(23);
+    Tensor xt({rows, cols}), bt({cols});
+    for (auto& v : xt.data()) v = local.normal(0.0, 1.0);
+    for (auto& v : bt.data()) v = local.normal(0.0, 1.0);
+    Variable x(std::move(xt), true);
+    Variable bias(std::move(bt), true);
+    // Feed through a producer op first so the in-place guard passes.
+    Variable h = tensor::scale(x, 1.5);
+    Variable y = in_place ? tensor::add_bias_(h, bias)
+                          : tensor::add_bias(h, bias);
+    y = in_place ? tensor::scale_(y, 0.5) : tensor::scale(y, 0.5);
+    Variable loss = tensor::sum_all(y);
+    loss.backward();
+    return std::make_tuple(y.value().clone(), x.grad().clone(),
+                           bias.grad().clone());
+  };
+
+  const auto [y1, gx1, gb1] = run(false);
+  const auto [y2, gx2, gb2] = run(true);
+  EXPECT_LE(y1.max_abs_diff(y2), 1e-12);
+  EXPECT_LE(gx1.max_abs_diff(gx2), 1e-12);
+  EXPECT_LE(gb1.max_abs_diff(gb2), 1e-12);
+  (void)rng;
+}
+
+TEST(InplaceOps, ActivationsMatchOutOfPlace) {
+  auto run = [&](bool in_place) {
+    Rng local(29);
+    Tensor xt({4, 6});
+    for (auto& v : xt.data()) v = local.normal(0.0, 1.0);
+    Variable x(std::move(xt), true);
+    Variable h = tensor::scale(x, 1.0);  // fresh op output to mutate
+    Variable y = in_place ? tensor::relu_(h) : tensor::relu(h);
+    Variable h2 = tensor::scale(y, 2.0);
+    Variable z = in_place ? tensor::tanh_op_(h2) : tensor::tanh_op(h2);
+    Variable h3 = tensor::scale(z, 1.0);
+    Variable w = in_place ? tensor::sigmoid_(h3) : tensor::sigmoid(h3);
+    Variable loss = tensor::sum_all(w);
+    loss.backward();
+    return std::make_pair(w.value().clone(), x.grad().clone());
+  };
+  const auto [v1, g1] = run(false);
+  const auto [v2, g2] = run(true);
+  EXPECT_LE(v1.max_abs_diff(v2), 1e-12);
+  EXPECT_LE(g1.max_abs_diff(g2), 1e-12);
+}
+
+TEST(InplaceOps, RejectsGradRequiringLeaf) {
+  Variable param(Tensor::ones({3}), /*requires_grad=*/true);
+  Variable bias(Tensor::ones({3}), /*requires_grad=*/true);
+  EXPECT_THROW(tensor::add_bias_(param, bias), std::runtime_error);
+  EXPECT_THROW(tensor::relu_(param), std::runtime_error);
+}
+
+// -- arena allocator ------------------------------------------------------------
+
+TEST(Arena, RecyclesBuffersWithinBucket) {
+  tensor::arena::clear_thread_cache();
+  tensor::arena::reset_stats();
+  Scalar* p = tensor::arena::acquire(100);
+  ASSERT_NE(p, nullptr);
+  tensor::arena::release(p, 100);
+  // A same-bucket request must be served from the free list, not the heap.
+  Scalar* q = tensor::arena::acquire(
+      tensor::arena::bucket_capacity(100));
+  EXPECT_EQ(q, p);
+  tensor::arena::release(q, tensor::arena::bucket_capacity(100));
+  const auto s = tensor::arena::stats();
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.heap_allocs, 1u);
+}
+
+TEST(Arena, SteadyStateTrainingStepHitsCache) {
+  // Two identical forward/backward/step rounds: the second must be served
+  // entirely from the free lists (zero new heap allocations).
+  auto round = [](unsigned seed) {
+    Rng rng(seed);
+    Tensor xt({8, 16}), wt({16, 4});
+    for (auto& v : xt.data()) v = rng.normal(0.0, 1.0);
+    for (auto& v : wt.data()) v = rng.normal(0.0, 1.0);
+    Variable x(std::move(xt), false);
+    Variable w(std::move(wt), true);
+    Variable y = tensor::matmul(x, w);
+    Variable loss = tensor::mean_all(tensor::relu(y));
+    loss.backward();
+    optim::Sgd sgd({w}, 0.01, 0.9);
+    sgd.step();
+  };
+  round(1);  // warm-up populates the caches
+  tensor::arena::reset_stats();
+  round(1);
+  const auto s = tensor::arena::stats();
+  EXPECT_GT(s.acquires, 0u);
+  EXPECT_EQ(s.heap_allocs, 0u)
+      << "steady-state step should not touch the heap";
+}
+
+TEST(Arena, DisabledFallsThroughToHeap) {
+  tensor::arena::clear_thread_cache();
+  tensor::arena::set_enabled(false);
+  tensor::arena::reset_stats();
+  Scalar* p = tensor::arena::acquire(64);
+  tensor::arena::release(p, 64);
+  Scalar* q = tensor::arena::acquire(64);
+  tensor::arena::release(q, 64);
+  const auto s = tensor::arena::stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.heap_allocs, 2u);
+  tensor::arena::set_enabled(true);
+}
+
+TEST(Arena, UninitializedTensorSkipsZeroFill) {
+  tensor::arena::clear_thread_cache();
+  // Acquire, poison, release; the recycled uninitialized tensor must see the
+  // poison (proving no zero-fill), while Tensor(Shape) must see zeros.
+  Scalar* p = tensor::arena::acquire(tensor::arena::bucket_capacity(16));
+  for (std::size_t i = 0; i < 16; ++i) p[i] = 123.0;
+  tensor::arena::release(p, tensor::arena::bucket_capacity(16));
+  Tensor u = Tensor::uninitialized({16});
+  EXPECT_EQ(u.data().data(), p);
+  EXPECT_EQ(u[0], 123.0);
+  { Tensor drop = std::move(u); }  // release back
+  Tensor z({16});
+  EXPECT_EQ(z[0], 0.0);
+  EXPECT_EQ(z.sum(), 0.0);
+}
+
+// -- thread pool ----------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(0, counts.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) counts[i].fetch_add(1);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, GrainLimitsChunkCount) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(
+      0, 100,
+      [&](std::size_t lo, std::size_t hi) {
+        EXPECT_GE(hi - lo, 50u);
+        chunks.fetch_add(1);
+      },
+      /*grain=*/50);
+  EXPECT_LE(chunks.load(), 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Caller-runs chunking means this inner call cannot starve even with
+      // every pool worker already busy in the outer loop.
+      ThreadPool::global().parallel_for(
+          0, 8, [&](std::size_t l2, std::size_t h2) {
+            total.fetch_add(static_cast<int>(h2 - l2));
+          });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, GemmDeterministicAcrossRepeats) {
+  // Row-block ownership is disjoint, so repeated runs (arbitrary thread
+  // interleavings) must produce bit-identical output.
+  Rng rng(31);
+  const std::size_t m = 96, n = 64, k = 48;
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<Scalar> first(m * n, 0.0);
+  tensor::gemm_blocked(a.data(), b.data(), first.data(), m, n, k, false,
+                       false, false);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<Scalar> c(m * n, 0.0);
+    tensor::gemm_blocked(a.data(), b.data(), c.data(), m, n, k, false, false,
+                         false);
+    ASSERT_EQ(c, first) << "rep " << rep;
+  }
+}
+
+TEST(ThreadPoolTest, ParseNumThreads) {
+  EXPECT_EQ(parse_num_threads(nullptr, 3), 3u);
+  EXPECT_EQ(parse_num_threads("", 3), 3u);
+  EXPECT_EQ(parse_num_threads("junk", 3), 3u);
+  EXPECT_EQ(parse_num_threads("0", 3), 3u);
+  EXPECT_EQ(parse_num_threads("-2", 3), 3u);
+  EXPECT_EQ(parse_num_threads("5", 3), 5u);
+}
+
+}  // namespace
+}  // namespace avgpipe
