@@ -1,21 +1,33 @@
 #pragma once
 
 /// \file queue.hpp
-/// Bounded, closable multi-producer/multi-consumer channel.
+/// Bounded, closable channels: an MPMC `Channel` and an SPSC specialization.
 ///
-/// This is the message-passing primitive AvgPipe's runtime is built on: stage
-/// workers exchange activations/gradients through channels, and parallel
-/// pipelines ship local updates to the reference-model process through them
-/// (paper §3.2, steps ❸–❹). The design mirrors MPI-style cooperative
-/// send/recv: a bounded buffer provides back-pressure, and `close()` gives a
-/// clean end-of-stream so pipelines can drain and join deterministically.
+/// These are the message-passing primitives AvgPipe's runtime is built on:
+/// stage workers exchange activations/gradients through channels, and
+/// parallel pipelines ship local updates to the reference-model process
+/// through them (paper §3.2, steps ❸–❹). The design mirrors MPI-style
+/// cooperative send/recv: a bounded buffer provides back-pressure, and
+/// `close()` gives a clean end-of-stream so pipelines can drain and join
+/// deterministically.
+///
+/// Latency model: a condvar wakeup costs ~5–20µs — comparable to an entire
+/// micro-batch forward on the small stages the runtime drives, so parking on
+/// every recv would serialise the pipeline on scheduler latency. Both
+/// channels therefore spin briefly before parking (`detail::SpinPolicy`, a
+/// bounded budget that adapts to whether spinning has been paying off), and
+/// the stage-to-stage links use `SpscChannel`, whose fast path is two atomic
+/// loads and one store — no mutex, no syscall.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
@@ -29,6 +41,66 @@ enum class ChannelStatus {
   kClosed,   ///< channel closed (and, for recv, drained)
 };
 
+namespace detail {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Whether busy-waiting can ever pay off: on a uniprocessor the peer cannot
+/// run while we pause-spin, so every iteration only delays it (the same SMP
+/// gate adaptive mutexes use). Uniprocessors instead yield — donating the
+/// quantum lets the peer publish, and because the waiter never registers on
+/// the condvar the peer's notify syscall is skipped too.
+inline bool spin_profitable() {
+  static const bool multi = std::thread::hardware_concurrency() > 1;
+  return multi;
+}
+
+/// Bounded adaptive spin: the budget doubles (up to a cap) when the awaited
+/// condition turns true inside the spin window and halves when the waiter
+/// ends up parking anyway, so a channel whose peer responds in
+/// sub-microsecond time converges to spinning and a genuinely idle channel
+/// converges to parking almost immediately.
+class SpinPolicy {
+ public:
+  /// Spin until `pred()` holds or the budget runs out; returns the final
+  /// `pred()` value and adapts the budget for the next wait.
+  template <typename Pred>
+  bool spin(Pred&& pred) {
+    const bool smp = spin_profitable();
+    std::uint32_t budget = budget_.load(std::memory_order_relaxed);
+    // A yield donates a whole scheduler quantum, so a handful suffices where
+    // thousands of pause iterations would on SMP.
+    if (!smp) budget = std::min(budget, kMaxYield);
+    for (std::uint32_t i = 0; i < budget; ++i) {
+      if (pred()) {
+        budget_.store(std::min(kMaxSpin, budget * 2 + 16),
+                      std::memory_order_relaxed);
+        return true;
+      }
+      if (smp) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    budget_.store(budget / 2, std::memory_order_relaxed);
+    return pred();
+  }
+
+ private:
+  static constexpr std::uint32_t kMaxSpin = 4096;
+  static constexpr std::uint32_t kMaxYield = 32;
+  std::atomic<std::uint32_t> budget_{256};
+};
+
+}  // namespace detail
+
 /// Bounded MPMC channel. All methods are thread-safe.
 ///
 /// Semantics:
@@ -41,6 +113,10 @@ enum class ChannelStatus {
 ///    tolerant runtime: they give the caller back control after a timeout so
 ///    a worker can back off, record a health signal, and eventually declare
 ///    a silent peer dead rather than blocking forever.
+///
+/// Blocking ops spin briefly on lock-free occupancy hints before taking the
+/// mutex + condvar slow path, so a peer that responds quickly is observed
+/// without a scheduler round-trip.
 template <typename T>
 class Channel {
  public:
@@ -54,10 +130,15 @@ class Channel {
 
   /// Blocking send. Returns false (and drops `value`) if closed.
   bool send(T value) {
+    spin_not_full_.spin([&] {
+      return closed_hint_.load(std::memory_order_acquire) ||
+             size_hint_.load(std::memory_order_acquire) < capacity_;
+    });
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(value));
+    size_hint_.store(items_.size(), std::memory_order_release);
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -73,6 +154,7 @@ class Channel {
     if (closed_) return ChannelStatus::kClosed;
     if (!ready) return ChannelStatus::kTimeout;
     items_.push_back(std::move(value));
+    size_hint_.store(items_.size(), std::memory_order_release);
     lock.unlock();
     not_empty_.notify_one();
     return ChannelStatus::kOk;
@@ -84,6 +166,7 @@ class Channel {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
+      size_hint_.store(items_.size(), std::memory_order_release);
     }
     not_empty_.notify_one();
     return true;
@@ -91,11 +174,16 @@ class Channel {
 
   /// Blocking receive. Returns nullopt when the channel is closed and empty.
   std::optional<T> recv() {
+    spin_not_empty_.spin([&] {
+      return closed_hint_.load(std::memory_order_acquire) ||
+             size_hint_.load(std::memory_order_acquire) > 0;
+    });
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
+    size_hint_.store(items_.size(), std::memory_order_release);
     lock.unlock();
     not_full_.notify_one();
     return value;
@@ -112,6 +200,7 @@ class Channel {
     }
     *out = std::move(items_.front());
     items_.pop_front();
+    size_hint_.store(items_.size(), std::memory_order_release);
     lock.unlock();
     not_full_.notify_one();
     return ChannelStatus::kOk;
@@ -123,6 +212,7 @@ class Channel {
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
+    size_hint_.store(items_.size(), std::memory_order_release);
     lock.unlock();
     not_full_.notify_one();
     return value;
@@ -140,6 +230,7 @@ class Channel {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return;
     closed_ = true;
+    closed_hint_.store(true, std::memory_order_release);
     not_full_.notify_all();
     not_empty_.notify_all();
   }
@@ -163,6 +254,226 @@ class Channel {
   std::condition_variable not_empty_;
   std::deque<T> items_;
   bool closed_ = false;
+  // Lock-free occupancy hints driving the pre-park spin. Written only under
+  // the mutex; the slow path re-checks the authoritative state, so a stale
+  // hint costs at most one wasted spin window, never correctness.
+  std::atomic<std::size_t> size_hint_{0};
+  std::atomic<bool> closed_hint_{false};
+  detail::SpinPolicy spin_not_full_;
+  detail::SpinPolicy spin_not_empty_;
+};
+
+/// Bounded single-producer/single-consumer channel.
+///
+/// The stage-to-stage links of the pipeline runtime are strictly SPSC (one
+/// upstream producer, one downstream consumer), so the MPMC mutex is pure
+/// overhead there. This ring buffer transfers an item with two atomic loads
+/// and one store on the fast path; waiters spin briefly (SpinPolicy) and
+/// then park on a shared condvar. The parking handshake is the classic
+/// Dekker store-buffer pattern — publish index then load the peer's waiter
+/// count, versus increment waiter count then load the index, all seq_cst —
+/// so a wakeup can never be missed.
+///
+/// Contract: exactly one thread performs send-side ops and one thread
+/// recv-side ops. `close()`/`closed()`/`size()` may be called from any
+/// thread. As with `Channel`, items pending at close() remain receivable.
+/// One deliberate difference: a send *racing* with close() may be dropped
+/// even though it returned true — close is a shutdown/failure signal here,
+/// and every runtime path that closes a live link also abandons the batch,
+/// so both ends already treat the stream as dead. Producers that need clean
+/// drain semantics must quiesce before close (the runtime's normal
+/// end-of-batch barrier guarantees exactly that).
+template <typename T>
+class SpscChannel {
+ public:
+  /// \param capacity maximum buffered items; must be >= 1. `T` must be
+  /// default-constructible (ring slots) and movable.
+  explicit SpscChannel(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    AVGPIPE_CHECK(capacity >= 1, "channel capacity must be positive");
+  }
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  /// Blocking send. Returns false (and drops `value`) if closed.
+  bool send(T value) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (wait_for_space(t, kForever) != ChannelStatus::kOk) return false;
+    slots_[t % capacity_] = std::move(value);
+    publish_tail(t);
+    return true;
+  }
+
+  /// Timed send: blocks up to `timeout` seconds for space. On kTimeout and
+  /// kClosed the value is dropped.
+  ChannelStatus send_for(T value, Seconds timeout) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const ChannelStatus st = wait_for_space(t, timeout);
+    if (st != ChannelStatus::kOk) return st;
+    slots_[t % capacity_] = std::move(value);
+    publish_tail(t);
+    return ChannelStatus::kOk;
+  }
+
+  /// Non-blocking send. Returns false if full or closed.
+  bool try_send(T value) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (closed_.load(std::memory_order_acquire) || !have_space(t)) {
+      return false;
+    }
+    slots_[t % capacity_] = std::move(value);
+    publish_tail(t);
+    return true;
+  }
+
+  /// Blocking receive. Returns nullopt when the channel is closed and
+  /// drained.
+  std::optional<T> recv() {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (wait_for_item(h, kForever) != ChannelStatus::kOk) return std::nullopt;
+    T value = std::move(slots_[h % capacity_]);
+    consume_head(h);
+    return value;
+  }
+
+  /// Timed receive: pending items are still delivered after close (kOk).
+  ChannelStatus recv_for(T* out, Seconds timeout) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const ChannelStatus st = wait_for_item(h, timeout);
+    if (st != ChannelStatus::kOk) return st;
+    *out = std::move(slots_[h % capacity_]);
+    consume_head(h);
+    return ChannelStatus::kOk;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (!item_ready(h)) return std::nullopt;
+    T value = std::move(slots_[h % capacity_]);
+    consume_head(h);
+    return value;
+  }
+
+  /// Close the channel; wakes all parked waiters. Idempotent. See the class
+  /// comment for the in-flight-send caveat.
+  void close() {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    closed_.store(true, std::memory_order_seq_cst);
+    park_cv_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Buffered item count. Exact when the channel is quiesced; during
+  /// concurrent traffic it is a consistent snapshot of one end's progress.
+  std::size_t size() const {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return t >= h ? t - h : 0;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr Seconds kForever = -1.0;
+
+  bool have_space(std::size_t t) const {
+    return t - head_.load(std::memory_order_acquire) < capacity_;
+  }
+  bool item_ready(std::size_t h) const {
+    return tail_.load(std::memory_order_acquire) != h;
+  }
+
+  void publish_tail(std::size_t t) {
+    tail_.store(t + 1, std::memory_order_seq_cst);
+    if (recv_waiters_.load(std::memory_order_seq_cst) != 0) {
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      park_cv_.notify_all();
+    }
+  }
+
+  void consume_head(std::size_t h) {
+    head_.store(h + 1, std::memory_order_seq_cst);
+    if (send_waiters_.load(std::memory_order_seq_cst) != 0) {
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      park_cv_.notify_all();
+    }
+  }
+
+  ChannelStatus wait_for_space(std::size_t t, Seconds timeout) {
+    if (closed_.load(std::memory_order_acquire)) return ChannelStatus::kClosed;
+    if (have_space(t)) return ChannelStatus::kOk;
+    spin_send_.spin([&] {
+      return have_space(t) || closed_.load(std::memory_order_acquire);
+    });
+    if (closed_.load(std::memory_order_acquire)) return ChannelStatus::kClosed;
+    if (have_space(t)) return ChannelStatus::kOk;
+    const ChannelStatus st = park(send_waiters_, timeout, [&] {
+      // seq_cst head load: pairs with consume_head's store for the Dekker
+      // handshake (see class comment).
+      return t - head_.load(std::memory_order_seq_cst) < capacity_;
+    });
+    // Close wins over freed-up space: a send must fail once closed even if
+    // the consumer drained while we were parked (mirrors Channel::send).
+    if (closed_.load(std::memory_order_acquire)) return ChannelStatus::kClosed;
+    return st;
+  }
+
+  ChannelStatus wait_for_item(std::size_t h, Seconds timeout) {
+    if (item_ready(h)) return ChannelStatus::kOk;
+    if (closed_.load(std::memory_order_acquire)) {
+      // Re-check after the closed read: pending items drain after close.
+      return item_ready(h) ? ChannelStatus::kOk : ChannelStatus::kClosed;
+    }
+    spin_recv_.spin([&] {
+      return item_ready(h) || closed_.load(std::memory_order_acquire);
+    });
+    if (item_ready(h)) return ChannelStatus::kOk;
+    if (closed_.load(std::memory_order_acquire)) return ChannelStatus::kClosed;
+    const ChannelStatus st = park(recv_waiters_, timeout, [&] {
+      return tail_.load(std::memory_order_seq_cst) != h;
+    });
+    // A close that raced the park still delivers a ready item first.
+    if (item_ready(h)) return ChannelStatus::kOk;
+    return st;
+  }
+
+  /// Shared park slow path: register as a waiter, wait on the condvar until
+  /// `ready()` or closed (or the timeout elapses), and report the outcome.
+  template <typename Ready>
+  ChannelStatus park(std::atomic<std::uint32_t>& waiters, Seconds timeout,
+                     Ready&& ready) {
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    waiters.fetch_add(1, std::memory_order_seq_cst);
+    const auto pred = [&] {
+      return ready() || closed_.load(std::memory_order_seq_cst);
+    };
+    if (timeout < 0) {
+      park_cv_.wait(lock, pred);
+    } else {
+      park_cv_.wait_for(lock, std::chrono::duration<double>(timeout), pred);
+    }
+    waiters.fetch_sub(1, std::memory_order_relaxed);
+    if (ready()) return ChannelStatus::kOk;
+    return closed_.load(std::memory_order_acquire) ? ChannelStatus::kClosed
+                                                   : ChannelStatus::kTimeout;
+  }
+
+  const std::size_t capacity_;
+  std::vector<T> slots_;
+  // Monotone positions; slot index = position % capacity. tail_ written only
+  // by the producer, head_ only by the consumer.
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint32_t> send_waiters_{0};
+  std::atomic<std::uint32_t> recv_waiters_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  detail::SpinPolicy spin_send_;
+  detail::SpinPolicy spin_recv_;
 };
 
 }  // namespace avgpipe

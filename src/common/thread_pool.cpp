@@ -43,8 +43,13 @@ void ThreadPool::parallel_for(
   const std::size_t n = end - begin;
   if (grain == 0) grain = 1;
   // Caller counts as an execution slot, so even a 0-worker pool or a
-  // parallel_for issued from inside a pool task makes progress.
-  const std::size_t max_chunks = workers_.size() + 1;
+  // parallel_for issued from inside a pool task makes progress. Cap at the
+  // CPU count: chunks beyond it cannot run concurrently, so splitting only
+  // buys cross-thread handoffs (on a uniprocessor, a condvar round trip per
+  // call for zero parallelism).
+  static const std::size_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t max_chunks = std::min(workers_.size() + 1, hw);
   const std::size_t chunks =
       std::min(max_chunks, (n + grain - 1) / grain);
   if (chunks <= 1) {

@@ -23,7 +23,6 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
   alpha_ = config_.alpha > 0.0 ? config_.alpha
                                : default_alpha(config_.num_pipelines);
   health_.resize(config_.num_pipelines);
-  expected_updates_ = config_.num_pipelines;
 
   // Build replicas with identical initial weights: replica 0's init is the
   // source of truth, copied into every other replica and the eval model.
@@ -40,8 +39,10 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
 
   auto params0 = replicas_[0]->model.parameters();
   reference_ = std::make_unique<ReferenceModel>(clone_values(params0));
+  latest_snapshot_ = std::make_shared<const ParamSet>(reference_->snapshot());
 
-  // Each replica gets its own pipeline runtime over its own parameters.
+  // Each replica gets its own pipeline runtime over its own parameters and a
+  // persistent worker thread driving it.
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     replicas_[i]->runtime = make_runtime(i);
   }
@@ -49,6 +50,7 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
     driver_trace_ = config_.tracer->create_buffer();
     reference_trace_ = config_.tracer->create_buffer();
   }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) start_worker(i);
 
   reference_thread_ = std::thread([this] { reference_loop(); });
 }
@@ -64,19 +66,79 @@ std::unique_ptr<runtime::PipelineRuntime> AvgPipe::make_runtime(
 }
 
 AvgPipe::~AvgPipe() {
+  // Stop the replica workers first (no further rounds can be produced), then
+  // let the reference thread drain any in-flight rounds over the closed
+  // queue before joining it.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) stop_worker(i);
   update_queue_.close();
   applied_queue_.close();
   if (reference_thread_.joinable()) reference_thread_.join();
 }
 
+void AvgPipe::start_worker(std::size_t i) {
+  auto& r = *replicas_[i];
+  r.jobs = std::make_unique<SpscChannel<ReplicaJob>>(2);
+  r.results = std::make_unique<SpscChannel<ReplicaResult>>(2);
+  r.thread = std::thread([this, i] { replica_loop(i); });
+}
+
+void AvgPipe::stop_worker(std::size_t i) {
+  auto& r = *replicas_[i];
+  if (r.jobs != nullptr) r.jobs->close();
+  if (r.thread.joinable()) r.thread.join();
+}
+
+void AvgPipe::replica_loop(std::size_t i) {
+  auto& r = *replicas_[i];
+  while (auto job = r.jobs->recv()) {
+    ReplicaResult res;
+    try {
+      res.loss =
+          r.runtime->train_batch(*job->batch, config_.micro_batches).loss;
+      res.ok = true;
+    } catch (const std::exception& e) {
+      res.error = e.what();
+    }
+    if (res.ok && job->do_pull) {
+      // Steps ❷–❸ on the replica's own thread, against the latest snapshot
+      // the reference process has published — possibly stale by up to
+      // sync_lag applies, never blocking on one.
+      if (config_.tracer != nullptr && r.trace_buf == nullptr) {
+        r.trace_buf = config_.tracer->create_buffer();
+      }
+      const Seconds t0 =
+          r.trace_buf != nullptr ? config_.tracer->wall_now() : 0;
+      const std::shared_ptr<const ParamSet> snap = snapshot_handle();
+      auto params = r.model.parameters();
+      res.update = elastic_pull_push(params, *snap, job->alpha);
+      if (r.trace_buf != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::EventKind::kElasticPull;
+        ev.pipeline = static_cast<std::uint32_t>(i);
+        ev.t_begin = t0;
+        ev.t_end = config_.tracer->wall_now();
+        r.trace_buf->record(ev);
+      }
+    }
+    r.results->send(std::move(res));
+  }
+}
+
+std::shared_ptr<const ParamSet> AvgPipe::snapshot_handle() {
+  std::lock_guard<std::mutex> lock(reference_mutex_);
+  return latest_snapshot_;
+}
+
 void AvgPipe::reference_loop() {
-  // The reference process (paper §3.2): receive local updates through the
-  // message queue; after all N arrive, normalise and apply.
-  std::size_t received = 0;
-  while (auto update = update_queue_.recv()) {
-    {
-      std::lock_guard<std::mutex> lock(reference_mutex_);
-      reference_->accumulate(*update);
+  // The reference process (paper §3.2): one message per iteration carries
+  // the round of local updates from every surviving pipeline; normalise by
+  // the round size (N_alive) and apply, keeping the reference at the mean of
+  // the survivors.
+  while (auto round = update_queue_.recv()) {
+    std::lock_guard<std::mutex> lock(reference_mutex_);
+    std::size_t received = 0;
+    for (const auto& update : *round) {
+      reference_->accumulate(update);
       ++received;
       if (reference_trace_ != nullptr) {
         // Staleness: local updates folded into the accumulator but not yet
@@ -88,23 +150,19 @@ void AvgPipe::reference_loop() {
         ev.value = static_cast<double>(received);
         reference_trace_->record(ev);
       }
-      if (received >= expected_updates_) {
-        const Seconds t0 =
-            reference_trace_ != nullptr ? config_.tracer->wall_now() : 0;
-        // Normalise by the updates actually folded in: after a crash this is
-        // N_alive, which makes the reference the mean of the survivors.
-        reference_->apply_accumulated(received);
-        received = 0;
-        if (reference_trace_ != nullptr) {
-          trace::TraceEvent ev;
-          ev.kind = trace::EventKind::kReferenceApply;
-          ev.t_begin = t0;
-          ev.t_end = config_.tracer->wall_now();
-          reference_trace_->record(ev);
-        }
-        applied_queue_.send(1);
-      }
     }
+    const Seconds t0 =
+        reference_trace_ != nullptr ? config_.tracer->wall_now() : 0;
+    reference_->apply_accumulated(received);
+    latest_snapshot_ = std::make_shared<const ParamSet>(reference_->snapshot());
+    if (reference_trace_ != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kReferenceApply;
+      ev.t_begin = t0;
+      ev.t_end = config_.tracer->wall_now();
+      reference_trace_->record(ev);
+    }
+    applied_queue_.send(1);
   }
 }
 
@@ -153,9 +211,10 @@ void AvgPipe::detach_pipeline(std::size_t i, const std::string& reason) {
   health_[i].alive = false;
   ++health_[i].failures;
   health_[i].last_error = reason;
-  // Tear the runtime down (worker threads join) — the "process" is gone.
-  // The reference model simply keeps averaging over the survivors: the
-  // mean-of-replicas invariant re-establishes at the next apply.
+  // Tear the worker and runtime down (threads join) — the "process" is
+  // gone. The reference model simply keeps averaging over the survivors:
+  // the mean-of-replicas invariant re-establishes at the next apply.
+  stop_worker(i);
   replicas_[i]->runtime.reset();
   rebalance_alpha();
   record_membership_event(trace::EventKind::kPipelineCrash, i);
@@ -175,6 +234,7 @@ void AvgPipe::rejoin_pipeline(std::size_t i) {
     params[j].zero_grad();  // drop partial sums from the crashed batch
   }
   replicas_[i]->runtime = make_runtime(i);
+  start_worker(i);
   health_[i].alive = true;
   health_[i].last_error.clear();
   rebalance_alpha();
@@ -203,31 +263,36 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
   AVGPIPE_CHECK(alive_pipelines() >= 1, "no pipeline left alive");
   const long step = iteration_++;
 
-  // Step ❶: each alive pipeline trains on its batch (its runtime is
-  // internally threaded; replicas run concurrently). A runtime failure is
-  // contained to its pipeline: the worker records it and the driver detaches
-  // the pipeline below instead of propagating.
+  // Step ❶: each alive pipeline trains on its batch on its persistent
+  // worker thread (its runtime is internally threaded; replicas run
+  // concurrently). In async mode the worker also runs its own elastic
+  // pull/push (❷–❸) before reporting back. A runtime failure is contained
+  // to its pipeline: the worker reports it and the driver detaches the
+  // pipeline below instead of propagating.
   std::vector<double> losses(replicas_.size(), 0.0);
   std::vector<std::string> errors(replicas_.size());
   std::vector<char> completed(replicas_.size(), 0);
-  {
-    std::vector<std::thread> workers;
-    workers.reserve(replicas_.size());
-    for (std::size_t i = 0; i < replicas_.size(); ++i) {
-      if (!health_[i].alive) continue;
-      workers.emplace_back([this, i, &batches, &losses, &errors, &completed] {
-        try {
-          losses[i] = replicas_[i]
-                          ->runtime->train_batch(batches[i],
-                                                 config_.micro_batches)
-                          .loss;
-          completed[i] = 1;
-        } catch (const std::exception& e) {
-          errors[i] = e.what();
-        }
-      });
+  std::vector<ParamSet> round;
+  round.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!health_[i].alive) continue;
+    ReplicaJob job;
+    job.batch = &batches[i];
+    job.alpha = alpha_;
+    job.do_pull = config_.async_sync;
+    replicas_[i]->jobs->send(std::move(job));
+  }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!health_[i].alive) continue;
+    auto res = replicas_[i]->results->recv();
+    AVGPIPE_CHECK(res.has_value(), "replica worker stopped");
+    if (res->ok) {
+      losses[i] = res->loss;
+      completed[i] = 1;
+      if (config_.async_sync) round.push_back(std::move(res->update));
+    } else {
+      errors[i] = std::move(res->error);
     }
-    for (auto& w : workers) w.join();
   }
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (!health_[i].alive) continue;
@@ -246,33 +311,41 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
     AVGPIPE_THROW("every pipeline failed at step " << step << ": " << first);
   }
 
-  // Steps ❷–❸ over the survivors: pull each replica toward the reference
-  // snapshot, ship the local updates to the reference process.
-  ParamSet ref_snapshot;
-  {
-    std::lock_guard<std::mutex> lock(reference_mutex_);
-    ref_snapshot = reference_->snapshot();
-    expected_updates_ = alive;
-  }
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (!health_[i].alive) continue;
-    const Seconds t0 =
-        driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
-    auto params = replicas_[i]->model.parameters();
-    update_queue_.send(elastic_pull_push(params, ref_snapshot, alpha_));
-    if (driver_trace_ != nullptr) {
-      trace::TraceEvent ev;
-      ev.kind = trace::EventKind::kElasticPull;
-      ev.pipeline = static_cast<std::uint32_t>(i);
-      ev.t_begin = t0;
-      ev.t_end = config_.tracer->wall_now();
-      driver_trace_->record(ev);
+  if (!config_.async_sync) {
+    // Synchronous steps ❷–❸ over the survivors: pull each replica toward
+    // the published reference snapshot (identical to the live reference
+    // here — the previous apply was waited for below), ship the round.
+    const std::shared_ptr<const ParamSet> snap = snapshot_handle();
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (!health_[i].alive) continue;
+      const Seconds t0 =
+          driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
+      auto params = replicas_[i]->model.parameters();
+      round.push_back(elastic_pull_push(params, *snap, alpha_));
+      if (driver_trace_ != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::EventKind::kElasticPull;
+        ev.pipeline = static_cast<std::uint32_t>(i);
+        ev.t_begin = t0;
+        ev.t_end = config_.tracer->wall_now();
+        driver_trace_->record(ev);
+      }
     }
   }
-  // Wait for the reference process to fold in this iteration (steps ❹–❺) so
-  // the next iteration pulls against fresh weights.
-  auto applied = applied_queue_.recv();
-  AVGPIPE_CHECK(applied.has_value(), "reference process stopped");
+  update_queue_.send(std::move(round));
+  ++outstanding_applies_;
+  // Steps ❹–❺ bounded-lag handshake: synchronous mode waits for this
+  // iteration's apply so the next pull sees fresh weights; async mode lets
+  // up to sync_lag applies trail behind training.
+  wait_applies(config_.async_sync ? config_.sync_lag : 0);
+  if (driver_trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kCounter;
+    ev.counter = trace::CounterId::kSyncLag;
+    ev.t_begin = ev.t_end = config_.tracer->wall_now();
+    ev.value = static_cast<double>(outstanding_applies_);
+    driver_trace_->record(ev);
+  }
 
   double total = 0;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
@@ -280,6 +353,16 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
   }
   return total / static_cast<double>(alive);
 }
+
+void AvgPipe::wait_applies(std::size_t limit) {
+  while (outstanding_applies_ > limit) {
+    auto applied = applied_queue_.recv();
+    AVGPIPE_CHECK(applied.has_value(), "reference process stopped");
+    --outstanding_applies_;
+  }
+}
+
+void AvgPipe::synchronize() { wait_applies(0); }
 
 nn::Sequential& AvgPipe::eval_model() {
   const ParamSet ref = reference_snapshot();
@@ -292,6 +375,7 @@ nn::Sequential& AvgPipe::eval_model() {
 }
 
 ParamSet AvgPipe::reference_snapshot() {
+  synchronize();  // observe every completed iteration's apply
   std::lock_guard<std::mutex> lock(reference_mutex_);
   return reference_->snapshot();
 }

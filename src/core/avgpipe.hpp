@@ -34,6 +34,19 @@ struct AvgPipeConfig {
   std::vector<std::size_t> boundaries;
   schedule::Kind kind = schedule::Kind::kAdvanceForward;
   std::size_t advance_num = 0;  ///< 0 -> K-1
+  /// Asynchronous elastic sync (paper §3.2's message-queue design taken off
+  /// the critical path): each replica's elastic pull/push runs on that
+  /// replica's persistent worker thread against the latest *published*
+  /// reference snapshot, and the driver no longer waits for the reference
+  /// apply every iteration — it only blocks once more than `sync_lag`
+  /// reference applies are in flight. With sync_lag = 0 the schedule of
+  /// pulls and applies is identical to synchronous mode, so the parameter
+  /// trajectory is bit-identical; sync_lag >= 1 trades bounded staleness
+  /// (replicas may pull against a reference that is up to sync_lag applies
+  /// old) for overlap of the reference process with the next iteration's
+  /// training.
+  bool async_sync = false;
+  std::size_t sync_lag = 1;  ///< max reference applies in flight (async)
   /// Optional tracer (non-owning, must outlive the AvgPipe): every stage
   /// worker of every replica records wall-clock spans tagged with its
   /// pipeline index, the driver records the elastic pulls (❷–❸), and the
@@ -96,18 +109,49 @@ class AvgPipe {
   void rejoin_pipeline(std::size_t i);
 
   /// Copy the reference weights into the evaluation model and return it.
+  /// In async mode this first synchronize()s so the evaluation weights
+  /// include every completed iteration.
   nn::Sequential& eval_model();
 
-  /// Current reference parameters (snapshot).
+  /// Current reference parameters (snapshot; synchronize()d first).
   ParamSet reference_snapshot();
 
+  /// Drain all in-flight reference applies (no-op in sync mode, where the
+  /// driver never runs ahead). Driver thread only.
+  void synchronize();
+
  private:
+  /// One iteration's work order for a replica worker thread.
+  struct ReplicaJob {
+    const data::Batch* batch = nullptr;
+    double alpha = 0;
+    bool do_pull = false;  ///< async mode: run elastic_pull_push on-thread
+  };
+  struct ReplicaResult {
+    bool ok = false;
+    double loss = 0;
+    std::string error;
+    ParamSet update;  ///< filled when the job asked for the pull
+  };
   struct Replica {
     nn::Sequential model;
     std::unique_ptr<runtime::PipelineRuntime> runtime;
+    // Persistent worker thread (replaces a thread spawn per iteration):
+    // consumes ReplicaJobs, trains, optionally runs the elastic pull/push.
+    std::unique_ptr<SpscChannel<ReplicaJob>> jobs;
+    std::unique_ptr<SpscChannel<ReplicaResult>> results;
+    std::thread thread;
+    trace::TraceBuffer* trace_buf = nullptr;  ///< worker-side elastic spans
   };
 
   void reference_loop();
+  void replica_loop(std::size_t i);
+  void start_worker(std::size_t i);
+  void stop_worker(std::size_t i);
+  /// The most recent reference snapshot published by the reference process.
+  std::shared_ptr<const ParamSet> snapshot_handle();
+  /// Block until at most `limit` reference applies remain in flight.
+  void wait_applies(std::size_t limit);
   std::unique_ptr<runtime::PipelineRuntime> make_runtime(std::size_t i);
   void rebalance_alpha();
   /// Crash/rejoin marker plus an alive-pipelines counter sample.
@@ -130,16 +174,19 @@ class AvgPipe {
   trace::TraceBuffer* driver_trace_ = nullptr;
   trace::TraceBuffer* reference_trace_ = nullptr;
 
-  // Reference process: updates arrive over a queue, are accumulated, and
-  // applied once all *alive* pipelines have reported (steps ❹–❺). The
-  // expected count follows membership: normalising by N_alive keeps the
-  // reference at the mean of the surviving replicas (the invariant
-  // re-establishes after a single apply regardless of history).
+  // Reference process: one message per iteration carries the whole round of
+  // local updates (steps ❹–❺) — batching the round into a single message
+  // keeps membership bookkeeping with the driver and lets rounds queue up
+  // behind each other under sync_lag without an expected-count handshake.
+  // After every apply the reference thread publishes a fresh snapshot
+  // (latest_snapshot_) that replica pulls read without blocking on the
+  // apply itself.
   std::unique_ptr<ReferenceModel> reference_;
-  std::mutex reference_mutex_;  ///< guards reference_ and expected_updates_
-  std::size_t expected_updates_ = 0;
-  Channel<ParamSet> update_queue_{64};
+  std::mutex reference_mutex_;  ///< guards reference_ and latest_snapshot_
+  std::shared_ptr<const ParamSet> latest_snapshot_;
+  Channel<std::vector<ParamSet>> update_queue_{64};
   Channel<int> applied_queue_{64};
+  std::size_t outstanding_applies_ = 0;  ///< driver-side in-flight rounds
   std::thread reference_thread_;
 };
 

@@ -1,6 +1,7 @@
 #include "runtime/pipeline_runtime.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/thread_pool.hpp"
@@ -9,9 +10,9 @@
 namespace avgpipe::runtime {
 
 namespace {
-/// Generous capacity so bounded back-pressure can never deadlock the
-/// act/grad cycle between adjacent stages.
-constexpr std::size_t kChannelCapacity = 4096;
+/// A batch dispatch and its done barrier never overlap, so at most one start
+/// token per stage is ever in flight (+1 slack).
+constexpr std::size_t kStartCapacity = 2;
 
 /// Resilient-recv budget under an active fault plan: first poll quantum,
 /// per-attempt cap, and the overall wall deadline after which a silent peer
@@ -28,6 +29,15 @@ constexpr int kMaxSendAttempts = 5;
 Seconds elapsed_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+std::size_t env_channel_capacity() {
+  const char* v = std::getenv("AVGPIPE_CHANNEL_CAPACITY");
+  if (v == nullptr || *v == '\0') return 0;
+  const long parsed = std::strtol(v, nullptr, 10);
+  AVGPIPE_CHECK(parsed >= 1, "AVGPIPE_CHANNEL_CAPACITY must be >= 1, got '"
+                                 << v << "'");
+  return static_cast<std::size_t>(parsed);
 }
 }  // namespace
 
@@ -69,22 +79,23 @@ PipelineRuntime::PipelineRuntime(nn::Sequential model,
 
   faults_ = fault::env_plan();
   faults_active_ = faults_ != nullptr && !faults_->empty();
+  capacity_override_ = env_channel_capacity();
 
-  input_ = std::make_unique<Channel<ActMessage>>(kChannelCapacity);
-  done_ = std::make_unique<Channel<int>>(kChannelCapacity);
-  for (std::size_t i = 0; i + 1 < k; ++i) {
-    acts_.push_back(std::make_unique<Channel<ActMessage>>(kChannelCapacity));
-    grads_.push_back(std::make_unique<Channel<GradMessage>>(kChannelCapacity));
-  }
+  done_ = std::make_unique<Channel<int>>(k);
 
   for (std::size_t i = 0; i < k; ++i) {
     auto stage = std::make_unique<Stage>();
     stage->index = i;
     stage->module = std::move(views[i]);
     stage->optimizer = make_optimizer(stage->module.parameters());
-    stage_start_.push_back(std::make_unique<Channel<std::size_t>>(4));
+    stage_start_.push_back(
+        std::make_unique<Channel<std::size_t>>(kStartCapacity));
     stages_.push_back(std::move(stage));
   }
+  // Payload links are built for a provisional one-micro-batch batch here so
+  // close_all() can always walk them; the first train_batch resizes them to
+  // the real schedule depth before any worker touches a link.
+  ensure_channels(1);
   // Warm the intra-op pool before stage workers start issuing GEMMs, so the
   // first micro-batch doesn't pay worker-thread spawn inside its critical
   // path.
@@ -97,6 +108,7 @@ PipelineRuntime::PipelineRuntime(nn::Sequential model,
 }
 
 PipelineRuntime::~PipelineRuntime() {
+  stopping_ = true;
   close_all();
   for (auto& stage : stages_) {
     if (stage->thread.joinable()) stage->thread.join();
@@ -109,6 +121,39 @@ void PipelineRuntime::close_all() {
   for (auto& ch : acts_) ch->close();
   for (auto& ch : grads_) ch->close();
   done_->close();
+}
+
+std::size_t PipelineRuntime::link_capacity(std::size_t micro_batches) const {
+  if (capacity_override_ > 0) return capacity_override_;
+  const std::size_t k = stages_.size();
+  // The deepest a stage-to-stage queue can grow is the producer's forward
+  // run-ahead over its consumer: all M micro-batches under AFAB, the advance
+  // depth (>= the K-1 1F1B warmup) under the flushed 1F1B/AFP family — the
+  // stream order caps how many sends a stage can issue before it must block
+  // on a gradient from its peer.
+  const std::size_t run_ahead =
+      kind_ == schedule::Kind::kAfab
+          ? micro_batches
+          : std::min(micro_batches,
+                     std::max(advance_num_, k > 0 ? k - 1 : std::size_t{0}) +
+                         1);
+  return run_ahead + 1;  // slack: a send at the exact bound must not park
+}
+
+void PipelineRuntime::ensure_channels(std::size_t micro_batches) {
+  if (input_ != nullptr && micro_batches <= channel_micro_batches_) return;
+  channel_micro_batches_ = std::max(channel_micro_batches_, micro_batches);
+  const std::size_t link_cap = link_capacity(channel_micro_batches_);
+  // The driver enqueues the whole batch up front; sizing the feed channel to
+  // M keeps train_batch from parking mid-dispatch.
+  const std::size_t input_cap = std::max(channel_micro_batches_, link_cap);
+  input_ = std::make_unique<SpscChannel<ActMessage>>(input_cap);
+  acts_.clear();
+  grads_.clear();
+  for (std::size_t i = 0; i + 1 < stages_.size(); ++i) {
+    acts_.push_back(std::make_unique<SpscChannel<ActMessage>>(link_cap));
+    grads_.push_back(std::make_unique<SpscChannel<GradMessage>>(link_cap));
+  }
 }
 
 void PipelineRuntime::fail(const std::string& what) {
@@ -169,15 +214,15 @@ void PipelineRuntime::record_queue_depth(Stage& stage, std::size_t depth) {
                  static_cast<double>(depth));
 }
 
-template <typename T>
-std::optional<T> PipelineRuntime::robust_recv(Stage& stage, Channel<T>& ch,
-                                              const char* what) {
+template <typename Ch>
+auto PipelineRuntime::robust_recv(Stage& stage, Ch& ch, const char* what)
+    -> decltype(ch.recv()) {
   if (!faults_active_) return ch.recv();
   fault::Backoff backoff(kRecvInitialWait, kRecvMaxWait, kRecvDeadline);
-  T out;
+  typename decltype(ch.recv())::value_type out;
   while (backoff.can_retry()) {
     switch (ch.recv_for(&out, backoff.next_timeout())) {
-      case ChannelStatus::kOk: return out;
+      case ChannelStatus::kOk: return out;  // implicit move (local object)
       case ChannelStatus::kClosed: return std::nullopt;
       case ChannelStatus::kTimeout:
         record_counter(stage, trace::CounterId::kRecvRetry,
@@ -190,8 +235,8 @@ std::optional<T> PipelineRuntime::robust_recv(Stage& stage, Channel<T>& ch,
                          << " attempts (deadline " << kRecvDeadline << "s)");
 }
 
-template <typename T>
-void PipelineRuntime::faulty_send(Stage& stage, Channel<T>& ch, T msg,
+template <typename Ch, typename T>
+void PipelineRuntime::faulty_send(Stage& stage, Ch& ch, T msg,
                                   const schedule::Instr& instr, long step,
                                   fault::LinkDir dir) {
   if (faults_active_) {
@@ -300,7 +345,7 @@ void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr,
   const bool first = stage.index == 0;
   const bool last = stage.index + 1 == stages_.size();
 
-  Channel<ActMessage>& in_ch = first ? *input_ : *acts_[stage.index - 1];
+  SpscChannel<ActMessage>& in_ch = first ? *input_ : *acts_[stage.index - 1];
   const Seconds t_wait = stage.trace_buf ? tracer_->wall_now() : 0;
   auto msg = robust_recv(stage, in_ch, "activation");
   record_span(stage, trace::EventKind::kWaitBubble, instr, t_wait);
@@ -348,7 +393,7 @@ void PipelineRuntime::run_backward(Stage& stage,
   if (last) {
     stash.output.backward();  // loss scalar, seed = 1
   } else {
-    Channel<GradMessage>& grad_ch = *grads_[stage.index];
+    SpscChannel<GradMessage>& grad_ch = *grads_[stage.index];
     const Seconds t_wait = t0;
     auto grad = robust_recv(stage, grad_ch, "gradient");
     record_span(stage, trace::EventKind::kWaitBubble, instr, t_wait);
@@ -362,8 +407,13 @@ void PipelineRuntime::run_backward(Stage& stage,
     stash.output.backward(grad->payload);
   }
   if (!first) {
+    // Ownership transfer, not a clone: the stash entry dies at end of scope
+    // and the receiver's accumulate_grad deep-copies the seed into its own
+    // grad buffer on first contribution, so the storage is never shared
+    // across the link after the send.
     faulty_send(stage, *grads_[stage.index - 1],
-                GradMessage{instr.micro_batch, stash.input.grad().clone()},
+                GradMessage{instr.micro_batch,
+                            std::move(stash.input.mutable_grad())},
                 instr, step, fault::LinkDir::kGradient);
   }
   record_span(stage, trace::EventKind::kBackward, instr, t0);
@@ -389,6 +439,9 @@ BatchStats PipelineRuntime::train_batch(const data::Batch& batch,
   }
   auto micro = data::slice_micro_batches(batch, micro_batches);
   step_.fetch_add(1, std::memory_order_release);
+  // Safe here: no batch is in flight, so every payload channel is empty and
+  // every worker is parked on its start channel.
+  ensure_channels(micro_batches);
 
   for (auto& ch : stage_start_) {
     if (!ch->send(micro_batches)) {

@@ -103,15 +103,41 @@ class PipelineRuntime {
   void set_faults(const fault::FaultPlan* plan);
   const fault::FaultPlan* faults() const { return faults_; }
 
+  /// Bounded per-link capacity of the stage-to-stage channels for a batch of
+  /// `micro_batches` (schedule-derived: the producer's maximum forward
+  /// run-ahead over its consumer, plus one slot of slack). Overridable via
+  /// AVGPIPE_CHANNEL_CAPACITY for experiments. Exposed for tests.
+  std::size_t link_capacity(std::size_t micro_batches) const;
+
  private:
+  /// Inter-stage messages are move-only: the send path transfers buffer
+  /// ownership (activation values and boundary gradients are shared-storage
+  /// tensors; a deep copy would double the steady-state traffic). The
+  /// deleted copy operations make an accidental clone a compile error.
   struct ActMessage {
-    int micro_batch;
+    int micro_batch = -1;
     tensor::Tensor payload;
     std::vector<int> targets;  ///< forwarded to the loss head
+
+    ActMessage() = default;
+    ActMessage(int mb, tensor::Tensor p, std::vector<int> t)
+        : micro_batch(mb), payload(std::move(p)), targets(std::move(t)) {}
+    ActMessage(ActMessage&&) = default;
+    ActMessage& operator=(ActMessage&&) = default;
+    ActMessage(const ActMessage&) = delete;
+    ActMessage& operator=(const ActMessage&) = delete;
   };
   struct GradMessage {
-    int micro_batch;
+    int micro_batch = -1;
     tensor::Tensor payload;
+
+    GradMessage() = default;
+    GradMessage(int mb, tensor::Tensor p)
+        : micro_batch(mb), payload(std::move(p)) {}
+    GradMessage(GradMessage&&) = default;
+    GradMessage& operator=(GradMessage&&) = default;
+    GradMessage(const GradMessage&) = delete;
+    GradMessage& operator=(const GradMessage&) = delete;
   };
   struct Stash {
     tensor::Variable input;   ///< boundary input (grad receiver)
@@ -134,19 +160,25 @@ class PipelineRuntime {
   void fail(const std::string& what);
   void close_all();
 
+  /// (Re)build the inter-stage channels so every link can hold a batch of
+  /// `micro_batches` without deadlocking on back-pressure. Only legal when
+  /// no batch is in flight (all payload channels empty, workers parked on
+  /// their start channels); grows capacities monotonically.
+  void ensure_channels(std::size_t micro_batches);
+
   /// recv with fault-plan resilience: timeout + exponential backoff, a
   /// kRecvRetry counter per timeout, and an overall deadline after which the
   /// peer is declared unresponsive (throws). Plain blocking recv when no
-  /// plan is active.
-  template <typename T>
-  std::optional<T> robust_recv(Stage& stage, Channel<T>& ch,
-                               const char* what);
+  /// plan is active. Templated over the channel type (MPMC Channel or the
+  /// SPSC stage links), which share the recv/recv_for surface.
+  template <typename Ch>
+  auto robust_recv(Stage& stage, Ch& ch, const char* what)
+      -> decltype(ch.recv());
   /// send through the drop/delay shim; throws after too many consecutive
   /// injected drops (link declared dead) or when the channel is closed.
-  template <typename T>
-  void faulty_send(Stage& stage, Channel<T>& ch, T msg,
-                   const schedule::Instr& instr, long step,
-                   fault::LinkDir dir);
+  template <typename Ch, typename T>
+  void faulty_send(Stage& stage, Ch& ch, T msg, const schedule::Instr& instr,
+                   long step, fault::LinkDir dir);
 
   nn::Sequential model_;
   LossFn loss_;
@@ -168,13 +200,18 @@ class PipelineRuntime {
   std::vector<std::unique_ptr<Stage>> stages_;
 
   // Channels: acts_[k] carries stage k -> k+1, grads_[k] carries k+1 -> k.
-  std::vector<std::unique_ptr<Channel<ActMessage>>> acts_;
-  std::vector<std::unique_ptr<Channel<GradMessage>>> grads_;
-  // Per-batch coordination.
-  std::unique_ptr<Channel<ActMessage>> input_;   // feeds stage 0
-  std::unique_ptr<Channel<int>> done_;           // stages report batch done
-  std::unique_ptr<Channel<std::size_t>> start_;  // broadcast micro count
+  // Every payload link is strictly single-producer/single-consumer (one
+  // upstream worker, one downstream worker; input_ is driver -> stage 0),
+  // so they use the lock-free SPSC specialization. Capacities are derived
+  // from the schedule in ensure_channels(), not a blanket constant.
+  std::vector<std::unique_ptr<SpscChannel<ActMessage>>> acts_;
+  std::vector<std::unique_ptr<SpscChannel<GradMessage>>> grads_;
+  std::unique_ptr<SpscChannel<ActMessage>> input_;  // feeds stage 0
+  // Per-batch coordination (done_ is many-producers -> driver, so MPMC).
+  std::unique_ptr<Channel<int>> done_;  // stages report batch done
   std::vector<std::unique_ptr<Channel<std::size_t>>> stage_start_;
+  std::size_t channel_micro_batches_ = 0;  ///< capacity ensure_channels saw
+  std::size_t capacity_override_ = 0;      ///< AVGPIPE_CHANNEL_CAPACITY
   bool stopping_ = false;
 
   // Tracing (optional): written before the first batch, read by workers

@@ -34,6 +34,7 @@ const char* to_string(CounterId id) {
     case CounterId::kStaleness: return "staleness";
     case CounterId::kAlivePipelines: return "alive_pipelines";
     case CounterId::kRecvRetry: return "recv_retry";
+    case CounterId::kSyncLag: return "sync_lag";
   }
   return "?";
 }

@@ -71,6 +71,7 @@ enum class CounterId : std::uint8_t {
   kStaleness,    ///< reference-model updates accumulated but not yet applied
   kAlivePipelines,  ///< pipelines attached to the elastic group
   kRecvRetry,    ///< bounded-pop timeouts survived before a message arrived
+  kSyncLag,      ///< reference applies in flight behind training (async)
 };
 
 const char* to_string(EventKind kind);

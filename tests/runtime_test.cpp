@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
 #include "runtime/semantics.hpp"
+#include "tensor/arena.hpp"
 
 namespace avgpipe::runtime {
 namespace {
@@ -132,6 +135,84 @@ TEST(PipelineRuntimeTest, RejectsFlushFreeKinds) {
                                cross_entropy_loss(),
                                schedule::Kind::kPipeDream),
                Error);
+}
+
+// -- communication: capacities and zero-copy ----------------------------------------
+
+TEST(PipelineRuntimeChannelTest, LinkCapacityDerivesFromSchedule) {
+  // Capacity = max in-flight micro-batches per link + 1 slot of slack, so a
+  // send at the exact schedule bound never parks. AFAB admits all M at once;
+  // 1F1B/AFP are bounded by the warm-up depth max(advance_num, K-1) + 1.
+  Sequential model = nn::make_mlp(4, 6, 3, 2, 1);  // K = 3 stages
+  PipelineRuntime afab(model, {2, 4}, sgd_factory(0.1), cross_entropy_loss(),
+                       schedule::Kind::kAfab);
+  EXPECT_EQ(afab.link_capacity(6), 7u);   // M + 1
+  EXPECT_EQ(afab.link_capacity(2), 3u);
+
+  Sequential m2 = nn::make_mlp(4, 6, 3, 2, 1);
+  PipelineRuntime f1b(m2, {2, 4}, sgd_factory(0.1), cross_entropy_loss(),
+                      schedule::Kind::kOneFOneB);
+  EXPECT_EQ(f1b.link_capacity(6), 4u);    // min(6, (K-1)+1) + 1
+  EXPECT_EQ(f1b.link_capacity(2), 3u);    // min(2, 3) + 1
+
+  Sequential m3 = nn::make_mlp(4, 6, 3, 2, 1);
+  PipelineRuntime afp(m3, {2, 4}, sgd_factory(0.1), cross_entropy_loss(),
+                      schedule::Kind::kAdvanceForward, /*advance_num=*/3);
+  EXPECT_EQ(afp.link_capacity(6), 5u);    // min(6, max(3, K-1)+1) + 1
+  EXPECT_EQ(afp.link_capacity(2), 3u);    // min(2, 4) + 1
+}
+
+TEST(PipelineRuntimeChannelTest, EnvOverrideWinsOverDerivation) {
+  ASSERT_EQ(setenv("AVGPIPE_CHANNEL_CAPACITY", "9", 1), 0);
+  Sequential model = nn::make_mlp(4, 6, 3, 2, 1);
+  PipelineRuntime runtime(model, {2, 4}, sgd_factory(0.1),
+                          cross_entropy_loss(), schedule::Kind::kOneFOneB);
+  unsetenv("AVGPIPE_CHANNEL_CAPACITY");
+  EXPECT_EQ(runtime.link_capacity(2), 9u);
+  EXPECT_EQ(runtime.link_capacity(64), 9u);
+  // The override must not break execution semantics.
+  SyntheticFeatures ds(16, 4, 2, 3);
+  DataLoader loader(ds, 8, 1);
+  const BatchStats stats = runtime.train_batch(loader.batch(0, 0), 2);
+  EXPECT_TRUE(std::isfinite(stats.loss));
+}
+
+TEST(PipelineRuntimeChannelTest, SteadyStateSendsAreZeroCopy) {
+  // The send path transfers tensor ownership instead of cloning, so a
+  // steady-state step performs a fixed number of arena acquires (any added
+  // deep copy shows up as extra acquires) and is served from the free lists
+  // (heap allocations flat-line after warm-up).
+  SyntheticFeatures ds(48, 6, 3, 21);
+  DataLoader loader(ds, 12, 1);
+  Sequential model = nn::make_mlp(6, 8, 3, 3, 77);
+  PipelineRuntime runtime(model, {2, 4}, sgd_factory(0.1),
+                          cross_entropy_loss(),
+                          schedule::Kind::kAdvanceForward, /*advance_num=*/3);
+  const Batch batch = loader.batch(0, 0);
+  for (int i = 0; i < 4; ++i) runtime.train_batch(batch, 4);  // warm up
+
+  std::vector<std::uint64_t> acquires, heap_allocs;
+  for (int i = 0; i < 4; ++i) {
+    tensor::arena::reset_stats();
+    runtime.train_batch(batch, 4);
+    const auto s = tensor::arena::stats();
+    acquires.push_back(s.acquires);
+    heap_allocs.push_back(s.heap_allocs);
+  }
+  for (std::size_t i = 1; i < acquires.size(); ++i) {
+    EXPECT_EQ(acquires[i], acquires[0]) << "step " << i;
+  }
+  // The arena's free lists are thread-local, so a buffer handed across a
+  // stage link dies on the consumer's thread and the producer re-allocates:
+  // a small constant per-step heap cost. It must be flat (not growing) and
+  // a small fraction of total acquires — a deep copy per micro-batch would
+  // multiply it.
+  EXPECT_LE(heap_allocs.back(), heap_allocs.front())
+      << "heap allocations growing across steady-state steps";
+  for (std::size_t i = 0; i < heap_allocs.size(); ++i) {
+    EXPECT_LE(heap_allocs[i], acquires[0] / 10)
+        << "step " << i << " heap-allocating: send path copies?";
+  }
 }
 
 // -- semantic trainers ------------------------------------------------------------------
