@@ -93,7 +93,8 @@ std::size_t parse_num_threads(const char* value, std::size_t fallback) {
 
 std::size_t configured_num_threads() {
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  return parse_num_threads(std::getenv("AVGPIPE_NUM_THREADS"), hw);
+  // Read before the pool spawns its workers; nothing calls setenv.
+  return parse_num_threads(std::getenv("AVGPIPE_NUM_THREADS"), hw);  // NOLINT(concurrency-mt-unsafe)
 }
 
 }  // namespace avgpipe

@@ -315,7 +315,7 @@ const FaultPlan* env_plan() {
   static FaultPlan plan;
   static const FaultPlan* result = nullptr;
   std::call_once(once, [] {
-    const char* path = std::getenv("AVGPIPE_FAULT_PLAN");
+    const char* path = std::getenv("AVGPIPE_FAULT_PLAN");  // NOLINT(concurrency-mt-unsafe): call_once-guarded
     if (path == nullptr || path[0] == '\0') return;
     plan = FaultPlan::load_file(path);
     result = &plan;

@@ -32,12 +32,27 @@ Seconds elapsed_since(std::chrono::steady_clock::time_point t0) {
 }
 
 std::size_t env_channel_capacity() {
-  const char* v = std::getenv("AVGPIPE_CHANNEL_CAPACITY");
+  // Construction-time read, before any worker thread exists.
+  const char* v = std::getenv("AVGPIPE_CHANNEL_CAPACITY");  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return 0;
   const long parsed = std::strtol(v, nullptr, 10);
   AVGPIPE_CHECK(parsed >= 1, "AVGPIPE_CHANNEL_CAPACITY must be >= 1, got '"
                                  << v << "'");
   return static_cast<std::size_t>(parsed);
+}
+
+/// Whether to assert the "+1 slack" link-capacity contract on every send.
+/// On by default in debug builds; AVGPIPE_ASSERT_CHANNEL_SLACK=1/0 forces it
+/// either way (CI arms it in release tier-1 runs).
+bool env_assert_link_slack() {
+  // Construction-time read, before any worker thread exists.
+  const char* v = std::getenv("AVGPIPE_ASSERT_CHANNEL_SLACK");  // NOLINT(concurrency-mt-unsafe)
+  if (v != nullptr && *v != '\0') return *v != '0';
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
 }
 }  // namespace
 
@@ -80,6 +95,9 @@ PipelineRuntime::PipelineRuntime(nn::Sequential model,
   faults_ = fault::env_plan();
   faults_active_ = faults_ != nullptr && !faults_->empty();
   capacity_override_ = env_channel_capacity();
+  // Only meaningful against the schedule-derived capacity: an override can
+  // legitimately park sends (that is the point of the experiment knob).
+  assert_link_slack_ = capacity_override_ == 0 && env_assert_link_slack();
 
   done_ = std::make_unique<Channel<int>>(k);
 
@@ -125,19 +143,14 @@ void PipelineRuntime::close_all() {
 
 std::size_t PipelineRuntime::link_capacity(std::size_t micro_batches) const {
   if (capacity_override_ > 0) return capacity_override_;
-  const std::size_t k = stages_.size();
-  // The deepest a stage-to-stage queue can grow is the producer's forward
-  // run-ahead over its consumer: all M micro-batches under AFAB, the advance
-  // depth (>= the K-1 1F1B warmup) under the flushed 1F1B/AFP family — the
-  // stream order caps how many sends a stage can issue before it must block
-  // on a gradient from its peer.
-  const std::size_t run_ahead =
-      kind_ == schedule::Kind::kAfab
-          ? micro_batches
-          : std::min(micro_batches,
-                     std::max(advance_num_, k > 0 ? k - 1 : std::size_t{0}) +
-                         1);
-  return run_ahead + 1;  // slack: a send at the exact bound must not park
+  // Schedule-derived bound (see schedule::max_send_run_ahead; the verify::
+  // model checker proves the run-ahead is exact for every reachable
+  // interleaving), plus one slot of slack so a send at the exact bound
+  // never parks — faulty_send() asserts that contract when
+  // assert_link_slack_ is armed.
+  return schedule::max_send_run_ahead(kind_, stages_.size(), micro_batches,
+                                      advance_num_) +
+         1;
 }
 
 void PipelineRuntime::ensure_channels(std::size_t micro_batches) {
@@ -264,6 +277,18 @@ void PipelineRuntime::faulty_send(Stage& stage, Ch& ch, T msg,
                          ? static_cast<int>(stage.index)
                          : static_cast<int>(stage.index) - 1;
     fault::sleep_for(faults_->send_delay(link, step));
+  }
+  if (assert_link_slack_ && !faults_active_) {
+    // The producer-side size() read is conservative: head is monotone, so an
+    // observed-full channel really did hold capacity() messages at the
+    // moment our previous send completed — a genuine violation of the
+    // run-ahead + 1 provisioning, never a transient artifact.
+    AVGPIPE_CHECK(ch.size() < ch.capacity(),
+                  "stage " << stage.index << ": steady-state send parked ("
+                           << ch.size() << "/" << ch.capacity()
+                           << " slots used) — link_capacity() slack violated "
+                              "for micro-batch "
+                           << instr.micro_batch);
   }
   const bool ok = ch.send(std::move(msg));
   AVGPIPE_CHECK(ok, "stage " << stage.index

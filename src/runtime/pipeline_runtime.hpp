@@ -212,6 +212,12 @@ class PipelineRuntime {
   std::vector<std::unique_ptr<Channel<std::size_t>>> stage_start_;
   std::size_t channel_micro_batches_ = 0;  ///< capacity ensure_channels saw
   std::size_t capacity_override_ = 0;      ///< AVGPIPE_CHANNEL_CAPACITY
+  /// Assert on every stage-link send that the "+1 slack" holds (a
+  /// steady-state send must never find its channel full). Debug default,
+  /// AVGPIPE_ASSERT_CHANNEL_SLACK override; disarmed under a capacity
+  /// override and skipped while a fault plan is active (a crashed peer
+  /// legitimately leaves links full).
+  bool assert_link_slack_ = false;
   bool stopping_ = false;
 
   // Tracing (optional): written before the first batch, read by workers

@@ -48,6 +48,20 @@ std::size_t weight_versions(Kind kind, std::size_t stage,
   }
 }
 
+std::size_t max_send_run_ahead(Kind kind, std::size_t num_stages,
+                               std::size_t micro_batches,
+                               std::size_t advance_num) {
+  AVGPIPE_CHECK(kind == Kind::kAfab || kind == Kind::kOneFOneB ||
+                    kind == Kind::kAdvanceForward,
+                "run-ahead bound is defined for the flushed schedules; got "
+                    << to_string(kind));
+  if (kind == Kind::kAfab) return micro_batches;
+  // 1F1B is AFP at the minimum advance (K-1); a larger advance lets the
+  // producer push up to advance+1 forwards before its first backward recv.
+  const std::size_t floor = num_stages > 0 ? num_stages - 1 : 0;
+  return std::min(micro_batches, std::max(advance_num, floor) + 1);
+}
+
 namespace {
 
 /// Streams for the flushed schedules (AFAB / 1F1B / AFP): every batch fills

@@ -97,6 +97,18 @@ std::size_t warmup_for_stage(std::size_t advance_num, std::size_t stage,
 std::size_t weight_versions(Kind kind, std::size_t stage,
                             std::size_t num_stages);
 
+/// The deepest any stage-to-stage queue can grow under a flushed schedule:
+/// the producer's maximum forward run-ahead over its consumer. All M
+/// micro-batches under AFAB; the advance depth (>= the K-1 1F1B warmup)
+/// under the 1F1B/AFP family — the stream order caps how many sends a stage
+/// can issue before it must block on a gradient from its peer. This is the
+/// single source of truth behind PipelineRuntime::link_capacity() (which
+/// adds one slot of slack) and the verify:: model checker's cross-check.
+/// Only defined for the flushed kinds (kAfab / kOneFOneB / kAdvanceForward).
+std::size_t max_send_run_ahead(Kind kind, std::size_t num_stages,
+                               std::size_t micro_batches,
+                               std::size_t advance_num);
+
 // -- validity -------------------------------------------------------------------
 
 /// Result of schedule validation (see check_schedule).

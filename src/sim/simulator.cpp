@@ -80,6 +80,14 @@ class Execution {
           engine_, spec.bandwidth_bytes_per_s, spec.latency));
     }
 
+    if (!is_dp_ && K_ > 1) {
+      const std::size_t n_links = job.num_pipelines * (K_ - 1);
+      act_link_occ_.assign(n_links, 0);
+      grad_link_occ_.assign(n_links, 0);
+      act_link_hw_.assign(n_links, 0);
+      grad_link_hw_.assign(n_links, 0);
+    }
+
     allocate_static_memory();
     build_streams();
     if (job.tracer != nullptr) tb_ = job.tracer->create_buffer();
@@ -377,6 +385,7 @@ class Execution {
       const Seconds t_enq = engine_.now();
       const bool act = dir == fault::LinkDir::kActivation;
       (act ? act_enqueued_ : grad_enqueued_)[dst] = t_enq;
+      bump_link_occupancy(pipeline, link, act);
       const Seconds wire = links_[link]->transfer(
           bytes, [this, dst, to, bytes, pipeline, in, t_enq, act] {
             if (act) {
@@ -399,6 +408,28 @@ class Execution {
     } else {
       start();
     }
+  }
+
+  /// Channel-occupancy accounting mirroring the runtime's bounded SPSC
+  /// links: a message occupies its link from send-enqueue until the
+  /// consuming instruction issues (the runtime recvs at instruction start).
+  /// The high-water marks are the measured counterpart of the verify::
+  /// model checker's proved per-link peaks.
+  void bump_link_occupancy(std::size_t pipeline, std::size_t link, bool act) {
+    if (act_link_occ_.empty()) return;
+    const std::size_t i = pipeline * (K_ - 1) + link;
+    auto& occ = act ? act_link_occ_ : grad_link_occ_;
+    auto& hw = act ? act_link_hw_ : grad_link_hw_;
+    hw[i] = std::max(hw[i], ++occ[i]);
+  }
+
+  void drop_link_occupancy(std::size_t pipeline, std::size_t link, bool act) {
+    if (act_link_occ_.empty()) return;
+    const std::size_t i = pipeline * (K_ - 1) + link;
+    auto& occ = act ? act_link_occ_ : grad_link_occ_;
+    // Saturating: a crash fast-forward marks dependencies ready without a
+    // matching send, so a rejoined stream can consume an unsent message.
+    if (occ[i] > 0) --occ[i];
   }
 
   /// Attribute the just-finished wait of `s` to comm vs bubble using the
@@ -469,6 +500,9 @@ class Execution {
   }
 
   void issue_forward(Stream& s, Instr in) {
+    if (!is_dp_ && s.stage > 0) {
+      drop_link_occupancy(s.pipeline, s.stage - 1, /*act=*/true);
+    }
     const auto& st = job_.stages[s.stage];
     memory_[s.stage]->alloc(stash_bytes(s.stage), MemCategory::kActivations);
     const Seconds t0 = engine_.now();
@@ -499,6 +533,9 @@ class Execution {
   }
 
   void issue_backward(Stream& s, Instr in) {
+    if (!is_dp_ && s.stage + 1 < K_) {
+      drop_link_occupancy(s.pipeline, s.stage, /*act=*/false);
+    }
     const auto& st = job_.stages[s.stage];
     // Recomputation replays the forward before the backward (+1x fwd work).
     const double factor = job_.activation_recompute ? 3.0 : 2.0;
@@ -611,6 +648,19 @@ class Execution {
       }
     }
     r.mean_utilization = util_sum / static_cast<double>(K_);
+    if (!act_link_hw_.empty()) {
+      r.act_link_high_water.assign(K_ - 1, 0);
+      r.grad_link_high_water.assign(K_ - 1, 0);
+      for (std::size_t p = 0; p < job_.num_pipelines; ++p) {
+        for (std::size_t l = 0; l + 1 < K_; ++l) {
+          const std::size_t i = p * (K_ - 1) + l;
+          r.act_link_high_water[l] =
+              std::max(r.act_link_high_water[l], act_link_hw_[i]);
+          r.grad_link_high_water[l] =
+              std::max(r.grad_link_high_water[l], grad_link_hw_[i]);
+        }
+      }
+    }
     return r;
   }
 
@@ -629,6 +679,12 @@ class Execution {
   std::unordered_set<std::uint64_t> grad_ready_;
   std::unordered_map<std::uint64_t, Seconds> act_enqueued_;
   std::unordered_map<std::uint64_t, Seconds> grad_enqueued_;
+  // Per (pipeline, link) sent-but-unconsumed message counts and their highs
+  // (index p * (K-1) + link); empty under data parallelism.
+  std::vector<std::size_t> act_link_occ_;
+  std::vector<std::size_t> grad_link_occ_;
+  std::vector<std::size_t> act_link_hw_;
+  std::vector<std::size_t> grad_link_hw_;
   std::unordered_map<int, std::vector<Stream*>> allreduce_barrier_;
   std::unordered_map<std::size_t, Seconds> stats_comm_;
   trace::TraceBuffer* tb_ = nullptr;  ///< owned by job_.tracer

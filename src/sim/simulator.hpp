@@ -110,6 +110,14 @@ struct SimResult {
   bool oom = false;
   double mean_utilization = 0;  ///< mean over GPUs of ∫φ / makespan
   double peak_utilization = 0;  ///< max over GPUs of max φ
+  /// Measured stage-link channel high-water marks, max over pipelines: the
+  /// most messages simultaneously sent-but-not-yet-consumed on the k -> k+1
+  /// activation link / the k+1 -> k gradient link (index k, size K-1; empty
+  /// for data parallelism). One realized interleaving's occupancy — always
+  /// <= the verify:: model checker's proved peak over all interleavings,
+  /// which is how the property tests cross-validate the two.
+  std::vector<std::size_t> act_link_high_water;
+  std::vector<std::size_t> grad_link_high_water;
 };
 
 /// Run one job to completion.

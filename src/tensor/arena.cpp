@@ -22,7 +22,8 @@ std::atomic<bool> g_enabled{true};
 
 std::size_t max_cached_bytes() {
   static const std::size_t limit = [] {
-    if (const char* env = std::getenv("AVGPIPE_ARENA_MAX_MB")) {
+    // Once-guarded read; nothing calls setenv.
+    if (const char* env = std::getenv("AVGPIPE_ARENA_MAX_MB")) {  // NOLINT(concurrency-mt-unsafe)
       const long mb = std::atol(env);
       if (mb >= 0) return static_cast<std::size_t>(mb) << 20;
     }

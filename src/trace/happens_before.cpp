@@ -1,0 +1,399 @@
+#include "trace/happens_before.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace avgpipe::trace {
+
+namespace {
+
+/// (pipeline, stage, scope, batch, micro_batch) -> dense lookup key. `scope`
+/// disambiguates reused batch tags: the threaded runtime numbers batches per
+/// train_batch call, so every flushed iteration replays tag 0 — a stage's
+/// optimizer update for a tag closes that tag's scope there, and the next
+/// span reusing it belongs to scope + 1.
+std::uint64_t mb_key(std::uint32_t pipeline, std::uint32_t stage,
+                     std::uint32_t scope, int batch, int micro_batch) {
+  return (static_cast<std::uint64_t>(pipeline & 0xfffu) << 52) |
+         (static_cast<std::uint64_t>(stage & 0xffu) << 44) |
+         (static_cast<std::uint64_t>(scope & 0xfffu) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(batch) &
+                                     0xffffu)
+          << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(micro_batch) &
+                                    0xffffu);
+}
+
+const char* kind_tag(EventKind kind) {
+  switch (kind) {
+    case EventKind::kForward: return "F";
+    case EventKind::kBackward: return "B";
+    case EventKind::kUpdate: return "U";
+    case EventKind::kElasticPull: return "pull";
+    default: return to_string(kind);
+  }
+}
+
+std::string describe(const TraceEvent& e) {
+  std::ostringstream os;
+  os << kind_tag(e.kind) << " p" << e.pipeline;
+  if (e.kind != EventKind::kElasticPull) os << "/s" << e.stage;
+  if (e.batch >= 0) os << " b" << e.batch << ".m" << e.micro_batch;
+  os << " @[" << e.t_begin << ", " << e.t_end << "]";
+  return os.str();
+}
+
+std::string format_clock(const std::vector<std::uint32_t>& vc) {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t i = 0; i < vc.size(); ++i) {
+    if (i) os << ',';
+    os << vc[i];
+  }
+  os << '>';
+  return os.str();
+}
+
+}  // namespace
+
+std::string HbReport::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "VIOLATIONS") << ": " << events_checked
+     << " events over " << processes << " processes (" << pipelines
+     << " pipelines), " << edges << " happens-before edges";
+  if (max_sync_lag > 0) os << ", max sync lag " << max_sync_lag;
+  if (!ok) os << ", " << violations_total << " violations";
+  return os.str();
+}
+
+HbReport check_happens_before(const std::vector<TraceEvent>& events,
+                              const HbOptions& options) {
+  HbReport report;
+  const double eps = options.epsilon;
+
+  auto violate = [&](const std::string& what) {
+    ++report.violations_total;
+    if (report.violations.size() < options.max_violations) {
+      report.violations.push_back({what});
+    }
+  };
+
+  // ---- partition the trace into protocol events and processes ------------
+  // A "process" is one vector-clock component: a (pipeline, stage) worker,
+  // or a pipeline's elastic-pull context.
+  std::vector<std::size_t> idx;  // indices of protocol events, trace order
+  std::unordered_map<std::uint64_t, std::size_t> proc_of;  // key -> proc id
+  std::unordered_set<std::uint32_t> pipelines;
+  std::vector<std::string> proc_names;
+
+  auto proc_key = [](std::uint32_t pipeline, std::uint32_t stage, bool pull) {
+    return (static_cast<std::uint64_t>(pull) << 63) |
+           (static_cast<std::uint64_t>(pipeline) << 32) | stage;
+  };
+  auto intern_proc = [&](std::uint32_t pipeline, std::uint32_t stage,
+                         bool pull) {
+    const auto key = proc_key(pipeline, stage, pull);
+    const auto [it, inserted] = proc_of.try_emplace(key, proc_names.size());
+    if (inserted) {
+      std::ostringstream os;
+      if (pull) {
+        os << "pull(p" << pipeline << ")";
+      } else {
+        os << "p" << pipeline << "/s" << stage;
+      }
+      proc_names.push_back(os.str());
+    }
+    return it->second;
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    switch (e.kind) {
+      case EventKind::kForward:
+      case EventKind::kBackward:
+      case EventKind::kUpdate:
+        if (e.batch < 0) break;  // not batch-scoped: not a protocol event
+        idx.push_back(i);
+        intern_proc(e.pipeline, e.stage, false);
+        pipelines.insert(e.pipeline);
+        break;
+      case EventKind::kElasticPull:
+        idx.push_back(i);
+        intern_proc(e.pipeline, 0, true);
+        pipelines.insert(e.pipeline);
+        break;
+      case EventKind::kCounter:
+        if (e.counter == CounterId::kSyncLag) {
+          report.max_sync_lag = std::max(report.max_sync_lag, e.value);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  report.events_checked = idx.size();
+  report.processes = proc_names.size();
+  report.pipelines = pipelines.size();
+
+  // ---- per-process event lists (trace order == t_begin order) ------------
+  std::vector<std::vector<std::size_t>> by_proc(proc_names.size());
+  for (const auto i : idx) {
+    const TraceEvent& e = events[i];
+    const bool pull = e.kind == EventKind::kElasticPull;
+    by_proc[intern_proc(e.pipeline, pull ? 0 : e.stage, pull)].push_back(i);
+  }
+
+  // ---- batch-tag scopes ---------------------------------------------------
+  // A stage's kUpdate for tag b closes b's scope on that process; later
+  // spans reusing the tag are a new flushed iteration. Flushed schedules
+  // commit exactly one update per (stage, batch), so the scope counters
+  // advance in lockstep across stages and the same physical micro-batch
+  // gets the same (scope, batch, mb) key on both ends of a link.
+  std::unordered_map<std::size_t, std::uint32_t> scope_of;
+  for (const auto& plist : by_proc) {
+    std::unordered_map<int, std::uint32_t> closed;  // batch tag -> updates
+    for (const auto i : plist) {
+      const TraceEvent& e = events[i];
+      if (e.kind == EventKind::kElasticPull) continue;
+      scope_of[i] = closed[e.batch];
+      if (e.kind == EventKind::kUpdate) ++closed[e.batch];
+    }
+  }
+
+  // ---- 1. no micro-batch reordering within a stage -----------------------
+  // Per (stage process, batch): forwards strictly in micro-batch order,
+  // backwards likewise, and every backward after its own forward.
+  for (std::size_t p = 0; p < by_proc.size(); ++p) {
+    struct BatchState {
+      int last_fwd = -1;
+      int last_bwd = -1;
+      std::unordered_set<int> forwarded;
+    };
+    std::unordered_map<std::uint64_t, BatchState> batches;  // scoped tag
+    auto scoped = [&](std::size_t i, int batch) {
+      return (static_cast<std::uint64_t>(scope_of[i]) << 32) |
+             static_cast<std::uint32_t>(batch);
+    };
+    for (const auto i : by_proc[p]) {
+      const TraceEvent& e = events[i];
+      if (e.kind == EventKind::kForward) {
+        auto& b = batches[scoped(i, e.batch)];
+        if (e.micro_batch <= b.last_fwd) {
+          violate("micro-batch reorder on " + proc_names[p] + ": " +
+                  describe(e) + " forwarded after micro-batch " +
+                  std::to_string(b.last_fwd));
+        }
+        b.last_fwd = std::max(b.last_fwd, e.micro_batch);
+        b.forwarded.insert(e.micro_batch);
+      } else if (e.kind == EventKind::kBackward) {
+        auto& b = batches[scoped(i, e.batch)];
+        if (e.micro_batch <= b.last_bwd) {
+          violate("micro-batch reorder on " + proc_names[p] + ": " +
+                  describe(e) + " backwarded after micro-batch " +
+                  std::to_string(b.last_bwd));
+        }
+        b.last_bwd = std::max(b.last_bwd, e.micro_batch);
+        if (b.forwarded.count(e.micro_batch) == 0) {
+          violate("backward before forward on " + proc_names[p] + ": " +
+                  describe(e));
+        }
+      }
+    }
+  }
+
+  // ---- 2. FIFO delivery per link -----------------------------------------
+  // The order stage k produced messages must be the order stage k+1 (acts)
+  // / stage k (grads) consumed them: each consumer-side sequence, mapped to
+  // producer-side positions, must be increasing.
+  {
+    // Producer position of each forward/backward, per (p, stage, b, mb).
+    std::unordered_map<std::uint64_t, std::size_t> f_pos;
+    std::unordered_map<std::uint64_t, std::size_t> b_pos;
+    for (std::size_t p = 0; p < by_proc.size(); ++p) {
+      std::size_t nf = 0;
+      std::size_t nb = 0;
+      for (const auto i : by_proc[p]) {
+        const TraceEvent& e = events[i];
+        if (e.kind == EventKind::kForward) {
+          f_pos.emplace(mb_key(e.pipeline, e.stage, scope_of[i], e.batch,
+                               e.micro_batch),
+                        nf++);
+        } else if (e.kind == EventKind::kBackward) {
+          b_pos.emplace(mb_key(e.pipeline, e.stage, scope_of[i], e.batch,
+                               e.micro_batch),
+                        nb++);
+        }
+      }
+    }
+    for (std::size_t p = 0; p < by_proc.size(); ++p) {
+      // Consumer side: forwards consume from stage-1, backwards from
+      // stage+1. Walk each consumer sequence and require the producer
+      // positions to increase.
+      long last_f_src = -1;
+      long last_b_src = -1;
+      for (const auto i : by_proc[p]) {
+        const TraceEvent& e = events[i];
+        if (e.kind == EventKind::kForward && e.stage > 0) {
+          const auto it = f_pos.find(mb_key(e.pipeline, e.stage - 1,
+                                            scope_of[i], e.batch,
+                                            e.micro_batch));
+          if (it == f_pos.end()) continue;  // upstream span missing
+          const auto src = static_cast<long>(it->second);
+          if (src < last_f_src) {
+            violate("FIFO violation on acts[" + std::to_string(e.stage - 1) +
+                    "] of pipeline " + std::to_string(e.pipeline) + ": " +
+                    describe(e) + " consumed out of production order");
+          }
+          last_f_src = std::max(last_f_src, src);
+        } else if (e.kind == EventKind::kBackward) {
+          const auto it = b_pos.find(mb_key(e.pipeline, e.stage + 1,
+                                            scope_of[i], e.batch,
+                                            e.micro_batch));
+          if (it == b_pos.end()) continue;  // last stage / span missing
+          const auto src = static_cast<long>(it->second);
+          if (src < last_b_src) {
+            violate("FIFO violation on grads[" + std::to_string(e.stage) +
+                    "] of pipeline " + std::to_string(e.pipeline) + ": " +
+                    describe(e) + " consumed out of production order");
+          }
+          last_b_src = std::max(last_b_src, src);
+        }
+      }
+    }
+  }
+
+  // ---- 3. message edges: vector clocks + causal timestamps ---------------
+  // First occurrence index of each span, for cross-stage edge lookup.
+  std::unordered_map<std::uint64_t, std::size_t> f_ev;
+  std::unordered_map<std::uint64_t, std::size_t> b_ev;
+  for (const auto i : idx) {
+    const TraceEvent& e = events[i];
+    if (e.kind == EventKind::kForward) {
+      f_ev.emplace(
+          mb_key(e.pipeline, e.stage, scope_of[i], e.batch, e.micro_batch),
+          i);
+    } else if (e.kind == EventKind::kBackward) {
+      b_ev.emplace(
+          mb_key(e.pipeline, e.stage, scope_of[i], e.batch, e.micro_batch),
+          i);
+    }
+  }
+
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> clock_of;
+  std::vector<std::vector<std::uint32_t>> proc_clock(
+      proc_names.size(), std::vector<std::uint32_t>(proc_names.size(), 0));
+
+  // The sender's span bound a receive must respect: its end under virtual
+  // (simulated) clocks, only its begin under wall clocks (see header).
+  auto send_bound = [&](const TraceEvent& pred) {
+    return options.strict ? pred.t_end : pred.t_begin;
+  };
+  auto check_edge = [&](const TraceEvent& pred, const TraceEvent& succ,
+                        const char* link, const std::size_t pred_i) {
+    ++report.edges;
+    if (succ.t_begin + eps < send_bound(pred)) {
+      std::ostringstream os;
+      os << "causality inversion over " << link << ": " << describe(succ)
+         << " begins before its " << (options.strict ? "strict" : "weak")
+         << " happens-before bound from " << describe(pred);
+      const auto it = clock_of.find(pred_i);
+      if (it != clock_of.end()) os << " vc=" << format_clock(it->second);
+      violate(os.str());
+    }
+  };
+  auto join = [](std::vector<std::uint32_t>& into,
+                 const std::vector<std::uint32_t>& other) {
+    for (std::size_t c = 0; c < into.size(); ++c) {
+      into[c] = std::max(into[c], other[c]);
+    }
+  };
+
+  for (const auto i : idx) {
+    const TraceEvent& e = events[i];
+    const bool pull = e.kind == EventKind::kElasticPull;
+    const std::size_t p = intern_proc(e.pipeline, pull ? 0 : e.stage, pull);
+    auto& vc = proc_clock[p];
+    if (e.kind == EventKind::kForward && e.stage > 0) {
+      const auto it =
+          f_ev.find(mb_key(e.pipeline, e.stage - 1, scope_of[i], e.batch,
+                           e.micro_batch));
+      if (it != f_ev.end()) {
+        check_edge(events[it->second], e, "activation link", it->second);
+        const auto cit = clock_of.find(it->second);
+        if (cit != clock_of.end()) join(vc, cit->second);
+      }
+    } else if (e.kind == EventKind::kBackward) {
+      const auto it =
+          b_ev.find(mb_key(e.pipeline, e.stage + 1, scope_of[i], e.batch,
+                           e.micro_batch));
+      if (it != b_ev.end()) {
+        check_edge(events[it->second], e, "gradient link", it->second);
+        const auto cit = clock_of.find(it->second);
+        if (cit != clock_of.end()) join(vc, cit->second);
+      }
+    }
+    ++vc[p];
+    clock_of.emplace(i, vc);
+  }
+
+  // ---- 4. grad applied before elastic pull -------------------------------
+  // The pipeline's j-th pull must follow the j-th optimizer update of every
+  // one of its stages (paper §3.2 ❷: push/pull happens on batch
+  // boundaries, after the local commit). Pull spans carry no batch tag, so
+  // the pairing is by occurrence index.
+  {
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> pulls;
+    std::unordered_map<std::uint32_t,
+                       std::unordered_map<std::uint32_t,
+                                          std::vector<std::size_t>>>
+        updates;  // pipeline -> stage -> event indices, trace order
+    for (const auto i : idx) {
+      const TraceEvent& e = events[i];
+      if (e.kind == EventKind::kElasticPull) {
+        pulls[e.pipeline].push_back(i);
+      } else if (e.kind == EventKind::kUpdate) {
+        updates[e.pipeline][e.stage].push_back(i);
+      }
+    }
+    for (const auto& [pipeline, plist] : pulls) {
+      const auto uit = updates.find(pipeline);
+      for (std::size_t j = 0; j < plist.size(); ++j) {
+        const TraceEvent& pe = events[plist[j]];
+        if (uit == updates.end()) {
+          violate("elastic pull without any optimizer update on pipeline " +
+                  std::to_string(pipeline) + ": " + describe(pe));
+          continue;
+        }
+        const std::size_t p =
+            intern_proc(pe.pipeline, 0, /*pull=*/true);
+        for (const auto& [stage, ulist] : uit->second) {
+          if (ulist.size() <= j) {
+            violate("elastic pull " + std::to_string(j) + " of pipeline " +
+                    std::to_string(pipeline) + " has no matching update on s" +
+                    std::to_string(stage) + ": " + describe(pe));
+            continue;
+          }
+          check_edge(events[ulist[j]], pe, "elastic round", ulist[j]);
+          const auto cit = clock_of.find(ulist[j]);
+          if (cit != clock_of.end()) join(proc_clock[p], cit->second);
+        }
+      }
+    }
+  }
+
+  // ---- 5. sync lag bound -------------------------------------------------
+  if (options.sync_lag >= 0 &&
+      report.max_sync_lag > static_cast<double>(options.sync_lag) + 0.5) {
+    std::ostringstream os;
+    os << "sync_lag exceeded: counter reached " << report.max_sync_lag
+       << " against a bound of " << options.sync_lag;
+    violate(os.str());
+  }
+
+  report.ok = report.violations_total == 0;
+  return report;
+}
+
+}  // namespace avgpipe::trace

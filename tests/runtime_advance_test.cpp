@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
 #include "runtime/pipeline_runtime.hpp"
@@ -93,6 +95,35 @@ TEST(AdvanceRuntimeTest, BelowMinimumThrowsAtConstruction) {
   EXPECT_THROW(PipelineRuntime(model, {2, 4}, sgd(0.1), cross_entropy_loss(),
                                schedule::Kind::kAdvanceForward, 1),
                Error);
+}
+
+TEST(AdvanceRuntimeTest, LinkCapacityTracksAdvanceBeyondWarmup) {
+  // advance_num > K-1: the derived capacity is min(M, advance+1) + 1 — the
+  // advance depth caps the producer's run-ahead once M outgrows it.
+  Sequential model = nn::make_mlp(5, 8, 3, 3, 42);
+  PipelineRuntime runtime(model, {2, 4}, sgd(0.1), cross_entropy_loss(),
+                          schedule::Kind::kAdvanceForward, 5);
+  EXPECT_EQ(runtime.link_capacity(3), 4u);   // min(3, 6) + 1
+  EXPECT_EQ(runtime.link_capacity(6), 7u);   // min(6, 6) + 1
+  EXPECT_EQ(runtime.link_capacity(12), 7u);  // advance caps the run-ahead
+}
+
+TEST(AdvanceRuntimeTest, ChannelRegrowAcrossBatchesKeepsSlackContract) {
+  // Growing M across batches rebuilds the stage links at the larger derived
+  // capacity. With the slack assertion armed, a steady-state send that finds
+  // its link full aborts the batch loudly — so three green batches prove the
+  // "+1 slack" contract held through the regrow, not just that nothing hung.
+  ::setenv("AVGPIPE_ASSERT_CHANNEL_SLACK", "1", 1);
+  data::SyntheticFeatures ds(48, 5, 3, 11);
+  DataLoader loader(ds, 12, 2);
+  Sequential model = nn::make_mlp(5, 8, 3, 3, 42);
+  PipelineRuntime runtime(model, {2, 4}, sgd(0.1), cross_entropy_loss(),
+                          schedule::Kind::kAdvanceForward, 4);
+  EXPECT_NO_THROW(runtime.train_batch(loader.batch(0, 0), 2));
+  EXPECT_NO_THROW(runtime.train_batch(loader.batch(0, 1), 6));  // regrow
+  EXPECT_NO_THROW(runtime.train_batch(loader.batch(1, 0), 4));  // keep larger
+  EXPECT_FALSE(runtime.failed());
+  ::unsetenv("AVGPIPE_ASSERT_CHANNEL_SLACK");
 }
 
 }  // namespace

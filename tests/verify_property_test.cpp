@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "verify/verifier.hpp"
+
+namespace avgpipe::verify {
+namespace {
+
+/// Randomized cross-validation of the model checker: (1) every sampled
+/// flushed configuration at the derived capacity is deadlock-free with the
+/// closed-form peak, and (2) the simulator's *measured* channel high-water
+/// marks — one realized interleaving — never exceed the verifier's *proved*
+/// peak over all interleavings.
+
+schedule::Kind pick_kind(Rng& rng) {
+  switch (rng.uniform_int(0, 2)) {
+    case 0: return schedule::Kind::kAfab;
+    case 1: return schedule::Kind::kOneFOneB;
+    default: return schedule::Kind::kAdvanceForward;
+  }
+}
+
+TEST(VerifyPropertyTest, RandomConfigsAreDeadlockFreeWithClosedFormPeak) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 40; ++trial) {
+    const schedule::Kind kind = pick_kind(rng);
+    const auto k = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    const auto m = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    std::size_t advance = 0;
+    if (kind == schedule::Kind::kAdvanceForward) {
+      advance = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(k) - 1,
+                          static_cast<std::int64_t>(m + k)));
+    }
+    ModelConfig cfg;
+    cfg.kind = kind;
+    cfg.num_stages = k;
+    cfg.micro_batches = m;
+    cfg.advance_num = advance;
+    const Report r = verify(cfg);
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": " << schedule::to_string(kind)
+                 << " K=" << k << " M=" << m << " advance=" << advance);
+    ASSERT_EQ(r.verdict, Verdict::kOk) << r.diagnosis;
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.peak_link_occupancy, r.derived_link_capacity - 1);
+    EXPECT_EQ(r.peak_link_occupancy,
+              schedule::max_send_run_ahead(kind, k, m,
+                                           advance == 0 ? k - 1 : advance));
+  }
+}
+
+std::size_t channel_peak(const Report& r, const std::string& name) {
+  for (const auto& ch : r.channels) {
+    if (ch.name == name) return ch.peak;
+  }
+  ADD_FAILURE() << "no channel named " << name;
+  return 0;
+}
+
+TEST(VerifyPropertyTest, SimHighWaterNeverExceedsProvedPeak) {
+  const auto w = workloads::awd_profile();
+  const auto cluster = workloads::v100_cluster(w.num_gpus);
+  const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+  const std::size_t k = w.num_gpus;
+
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const schedule::Kind kind = pick_kind(rng);
+    const auto m = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 2));
+    std::size_t advance = 0;
+    if (kind == schedule::Kind::kAdvanceForward) {
+      advance = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(k) - 1,
+                          static_cast<std::int64_t>(m + k)));
+    }
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": " << schedule::to_string(kind)
+                 << " K=" << k << " M=" << m << " N=" << n
+                 << " advance=" << advance);
+
+    sim::SystemConfig sys;
+    sys.kind = kind;
+    sys.micro_batches = m;
+    sys.num_pipelines = n;
+    sys.elastic_averaging = n > 1;
+    sys.advance_num = advance;
+    auto job = sim::build_job(w, cluster, part, sys, w.batch_size, 3);
+    job.memory_limit = 1e18;
+    const sim::SimResult sr = sim::simulate(job);
+    ASSERT_EQ(sr.act_link_high_water.size(), k - 1);
+    ASSERT_EQ(sr.grad_link_high_water.size(), k - 1);
+
+    ModelConfig cfg;
+    cfg.kind = kind;
+    cfg.num_stages = k;
+    cfg.micro_batches = m;
+    cfg.advance_num = advance;
+    cfg.num_batches = 2;  // covers steady-state inter-batch overlap
+    const Report r = verify(cfg);
+    ASSERT_EQ(r.verdict, Verdict::kOk) << r.diagnosis;
+
+    for (std::size_t link = 0; link + 1 < k; ++link) {
+      const std::string acts = "acts[" + std::to_string(link) + "]";
+      const std::string grads = "grads[" + std::to_string(link) + "]";
+      EXPECT_LE(sr.act_link_high_water[link], channel_peak(r, acts))
+          << acts << " measured above the proved peak";
+      EXPECT_LE(sr.grad_link_high_water[link], channel_peak(r, grads))
+          << grads << " measured above the proved peak";
+      EXPECT_LE(sr.act_link_high_water[link], r.peak_link_occupancy);
+      EXPECT_LE(sr.grad_link_high_water[link], r.peak_link_occupancy);
+    }
+    const auto measured_max = std::max(
+        *std::max_element(sr.act_link_high_water.begin(),
+                          sr.act_link_high_water.end()),
+        *std::max_element(sr.grad_link_high_water.begin(),
+                          sr.grad_link_high_water.end()));
+    EXPECT_LE(measured_max, r.derived_link_capacity - 1);
+    EXPECT_GT(measured_max, 0u);
+  }
+}
+
+TEST(VerifyPropertyTest, SimHighWaterIsDeterministic) {
+  const auto w = workloads::toy_two_stage_profile();
+  const auto cluster = workloads::v100_cluster(w.num_gpus);
+  const auto part = partition::pipedream_partition(w, cluster, w.num_gpus);
+  sim::SystemConfig sys;
+  sys.kind = schedule::Kind::kOneFOneB;
+  sys.micro_batches = 4;
+  auto job = sim::build_job(w, cluster, part, sys, w.batch_size, 2);
+  job.memory_limit = 1e18;
+  const auto a = sim::simulate(job);
+  const auto b = sim::simulate(job);
+  EXPECT_EQ(a.act_link_high_water, b.act_link_high_water);
+  EXPECT_EQ(a.grad_link_high_water, b.grad_link_high_water);
+}
+
+}  // namespace
+}  // namespace avgpipe::verify

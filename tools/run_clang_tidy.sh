@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Changed-files clang-tidy driver for the CI analysis job (and local use).
+#
+#   tools/run_clang_tidy.sh [base-ref] [build-dir]
+#
+# Diffs the working tree against base-ref (default: origin/main, falling
+# back to HEAD~1), keeps the .cpp files under src/ tools/ bench/ tests/,
+# and runs clang-tidy against the compile database in build-dir (default:
+# build — configure with CMAKE_EXPORT_COMPILE_COMMANDS, which the top-level
+# CMakeLists.txt always sets). Exits non-zero on any finding; prints and
+# exits 0 when nothing relevant changed.
+set -euo pipefail
+
+base_ref="${1:-}"
+build_dir="${2:-build}"
+
+if [[ -z "${base_ref}" ]]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    base_ref=origin/main
+  else
+    base_ref=HEAD~1
+  fi
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json not found — configure cmake first" >&2
+  exit 1
+fi
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy_bin}" >/dev/null; then
+  echo "error: ${tidy_bin} not found (set CLANG_TIDY to override)" >&2
+  exit 1
+fi
+
+mapfile -t changed < <(git diff --name-only --diff-filter=d "${base_ref}" -- \
+  'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'tests/*.cpp')
+
+if [[ ${#changed[@]} -eq 0 ]]; then
+  echo "clang-tidy: no changed C++ sources against ${base_ref}"
+  exit 0
+fi
+
+echo "clang-tidy (${tidy_bin}) over ${#changed[@]} files changed since ${base_ref}:"
+printf '  %s\n' "${changed[@]}"
+"${tidy_bin}" -p "${build_dir}" --quiet --warnings-as-errors='' "${changed[@]}"
