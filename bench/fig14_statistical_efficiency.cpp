@@ -97,6 +97,20 @@ void run_workload(const Workload& w) {
     core::AvgPipeTrainer trainer(w.model, w.optimizer, /*pipelines=*/2);
     report("AvgPipe (elastic averaging, N=2)", epochs_to_target(trainer, w));
   }
+  {
+    core::SyncPolicyConfig sync;
+    sync.kind = core::SyncPolicyKind::kBsp;
+    core::AvgPipeTrainer trainer(w.model, w.optimizer, /*pipelines=*/2, sync);
+    report("AvgPipe[bsp] (model averaging, N=2)",
+           epochs_to_target(trainer, w));
+  }
+  {
+    core::SyncPolicyConfig sync;
+    sync.kind = core::SyncPolicyKind::kBmuf;
+    core::AvgPipeTrainer trainer(w.model, w.optimizer, /*pipelines=*/2, sync);
+    report("AvgPipe[bmuf] (block momentum, N=2)",
+           epochs_to_target(trainer, w));
+  }
 
   table.print();
   std::printf("\n");

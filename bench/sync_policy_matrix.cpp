@@ -1,0 +1,84 @@
+/// \file sync_policy_matrix.cpp
+/// Sync-policy × fault-scenario statistical-efficiency matrix (CLI over
+/// core::run_matrix).
+///
+/// Usage:
+///   sync_policy_matrix [--json=BENCH_sync_policies.json] [--steps=N]
+///                      [--pipelines=N] [--seed=S]
+///
+/// Prints a table of epochs-to-target-loss and wall-clock per (policy,
+/// scenario) cell plus the degenerate-config bit-parity gate. Exit codes:
+/// 0 ok, 2 parity gate failed (some policy at N = 1 diverged from serial
+/// pipelined SGD), 1 bad usage. Perf numbers are informational — CI treats
+/// them warn-only — but the parity gate is a hard failure.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/scenario_matrix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace avgpipe;
+  core::MatrixSpec spec;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--steps=", 8) == 0) {
+      spec.steps = static_cast<std::size_t>(std::atol(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--pipelines=", 12) == 0) {
+      spec.pipelines = static_cast<std::size_t>(std::atol(argv[i] + 12));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      spec.seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    } else {
+      std::fprintf(stderr, "unknown arg %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  const core::MatrixResult result = core::run_matrix(spec);
+
+  std::printf("sync-policy scenario matrix (pipelines=%zu steps=%zu "
+              "target_loss=%.2f seed=%llu)\n",
+              spec.pipelines, spec.steps, spec.target_loss,
+              static_cast<unsigned long long>(spec.seed));
+  std::printf("%-10s %-15s %12s %12s %10s %10s %7s\n", "policy", "scenario",
+              "final_loss", "best_loss", "epochs2tgt", "wall_s", "finite");
+  for (const core::CellResult& c : result.cells) {
+    char epochs[32];
+    if (c.epochs_to_target >= 0) {
+      std::snprintf(epochs, sizeof(epochs), "%.2f", c.epochs_to_target);
+    } else {
+      std::snprintf(epochs, sizeof(epochs), "-");
+    }
+    std::printf("%-10s %-15s %12.4f %12.4f %10s %10.3f %7s\n",
+                core::to_string(c.policy).c_str(),
+                fault::to_string(c.scenario), c.final_loss, c.best_loss,
+                epochs, c.wall_seconds, c.finite ? "yes" : "NO");
+  }
+  std::printf("\nparity gate (N=1 degenerate config vs serial pipelined "
+              "SGD, bit-exact):\n");
+  for (const core::PolicyParity& p : result.parity) {
+    std::printf("  %-10s param_delta=%.3g loss_delta=%.3g %s\n",
+                core::to_string(p.policy).c_str(), p.param_delta,
+                p.loss_delta, p.ok ? "OK" : "FAIL");
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    core::write_matrix_json(result, out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!result.parity_ok) {
+    std::fprintf(stderr, "PARITY GATE FAILED (max delta %.3g)\n",
+                 result.parity_delta);
+    return 2;
+  }
+  return 0;
+}

@@ -39,7 +39,9 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
 
   auto params0 = replicas_[0]->model.parameters();
   reference_ = std::make_unique<ReferenceModel>(clone_values(params0));
-  latest_snapshot_ = std::make_shared<const ParamSet>(reference_->snapshot());
+  policy_ = make_sync_policy(config_.sync);
+  latest_snapshot_ =
+      std::make_shared<const ParamSet>(policy_->make_broadcast(*reference_));
 
   // Each replica gets its own pipeline runtime over its own parameters and a
   // persistent worker thread driving it.
@@ -62,6 +64,13 @@ std::unique_ptr<runtime::PipelineRuntime> AvgPipe::make_runtime(
       runtime::cross_entropy_loss(), config_.kind, config_.advance_num);
   if (config_.tracer != nullptr) rt->set_tracer(config_.tracer, i);
   rt->set_faults(faults_);
+  if (config_.sync.kind == SyncPolicyKind::kXPipe &&
+      config_.sync.prediction_lookahead != 0.0) {
+    runtime::PredictionConfig pc;
+    pc.lookahead = config_.sync.prediction_lookahead;
+    pc.beta = config_.sync.prediction_beta;
+    rt->set_weight_prediction(pc);
+  }
   return rt;
 }
 
@@ -91,7 +100,29 @@ void AvgPipe::stop_worker(std::size_t i) {
 void AvgPipe::replica_loop(std::size_t i) {
   auto& r = *replicas_[i];
   while (auto job = r.jobs->recv()) {
+    if (config_.tracer != nullptr && r.trace_buf == nullptr) {
+      r.trace_buf = config_.tracer->create_buffer();
+    }
     ReplicaResult res;
+    if (job->do_begin) {
+      // BSP/BMUF round start: reset this replica from the latest broadcast
+      // the reference process has published (fresh in sync mode — the driver
+      // waited for the previous apply — and up to sync_lag applies stale in
+      // async mode, the only staleness the BSP family admits).
+      const Seconds t0 =
+          r.trace_buf != nullptr ? config_.tracer->wall_now() : 0;
+      const std::shared_ptr<const ParamSet> snap = snapshot_handle();
+      auto params = r.model.parameters();
+      policy_->begin_round(params, *snap);
+      if (r.trace_buf != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::EventKind::kPolicyBroadcast;
+        ev.pipeline = static_cast<std::uint32_t>(i);
+        ev.t_begin = t0;
+        ev.t_end = config_.tracer->wall_now();
+        r.trace_buf->record(ev);
+      }
+    }
     try {
       res.loss =
           r.runtime->train_batch(*job->batch, config_.micro_batches).loss;
@@ -100,17 +131,15 @@ void AvgPipe::replica_loop(std::size_t i) {
       res.error = e.what();
     }
     if (res.ok && job->do_pull) {
-      // Steps ❷–❸ on the replica's own thread, against the latest snapshot
-      // the reference process has published — possibly stale by up to
-      // sync_lag applies, never blocking on one.
-      if (config_.tracer != nullptr && r.trace_buf == nullptr) {
-        r.trace_buf = config_.tracer->create_buffer();
-      }
+      // Policy local sync (elastic's steps ❷–❸, or a BSP-family weight
+      // clone) on the replica's own thread, against the latest snapshot the
+      // reference process has published — possibly stale by up to sync_lag
+      // applies, never blocking on one.
       const Seconds t0 =
           r.trace_buf != nullptr ? config_.tracer->wall_now() : 0;
       const std::shared_ptr<const ParamSet> snap = snapshot_handle();
       auto params = r.model.parameters();
-      res.update = elastic_pull_push(params, *snap, job->alpha);
+      res.update = policy_->local_sync(params, *snap, job->alpha);
       if (r.trace_buf != nullptr) {
         trace::TraceEvent ev;
         ev.kind = trace::EventKind::kElasticPull;
@@ -136,13 +165,10 @@ void AvgPipe::reference_loop() {
   // the survivors.
   while (auto round = update_queue_.recv()) {
     std::lock_guard<std::mutex> lock(reference_mutex_);
-    std::size_t received = 0;
-    for (const auto& update : *round) {
-      reference_->accumulate(update);
-      ++received;
-      if (reference_trace_ != nullptr) {
-        // Staleness: local updates folded into the accumulator but not yet
-        // visible to the pipelines through an apply.
+    if (reference_trace_ != nullptr) {
+      // Staleness: local updates received for this round but not yet visible
+      // to the pipelines through an apply.
+      for (std::size_t received = 1; received <= round->size(); ++received) {
         trace::TraceEvent ev;
         ev.kind = trace::EventKind::kCounter;
         ev.counter = trace::CounterId::kStaleness;
@@ -153,8 +179,9 @@ void AvgPipe::reference_loop() {
     }
     const Seconds t0 =
         reference_trace_ != nullptr ? config_.tracer->wall_now() : 0;
-    reference_->apply_accumulated(received);
-    latest_snapshot_ = std::make_shared<const ParamSet>(reference_->snapshot());
+    policy_->apply_round(*reference_, *round);
+    latest_snapshot_ =
+        std::make_shared<const ParamSet>(policy_->make_broadcast(*reference_));
     if (reference_trace_ != nullptr) {
       trace::TraceEvent ev;
       ev.kind = trace::EventKind::kReferenceApply;
@@ -223,10 +250,13 @@ void AvgPipe::detach_pipeline(std::size_t i, const std::string& reason) {
 void AvgPipe::rejoin_pipeline(std::size_t i) {
   AVGPIPE_CHECK(i < replicas_.size(), "pipeline out of range");
   if (health_[i].alive) return;
-  // Re-initialise from the reference: the paper's pull mechanism doubles as
-  // recovery — a restarted replica starts at the averaged model, and the
-  // fresh runtime brings fresh optimizer state (a real process restart).
-  const ParamSet ref = reference_snapshot();
+  // Re-initialise from the *policy's* reconstruction of state — the paper's
+  // pull mechanism doubling as recovery, generalised: elastic/BSP restore
+  // the averaged model, BMUF the Nesterov restart point W + η·Δ (restoring
+  // raw weights would silently drop the block momentum a rejoiner's first
+  // round must see). The fresh runtime brings fresh optimizer state (a real
+  // process restart).
+  const ParamSet ref = broadcast_snapshot();
   auto params = replicas_[i]->model.parameters();
   AVGPIPE_CHECK(params.size() == ref.size(), "replica/reference mismatch");
   for (std::size_t j = 0; j < params.size(); ++j) {
@@ -280,6 +310,7 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
     job.batch = &batches[i];
     job.alpha = alpha_;
     job.do_pull = config_.async_sync;
+    job.do_begin = policy_->needs_begin();
     replicas_[i]->jobs->send(std::move(job));
   }
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
@@ -312,16 +343,17 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
   }
 
   if (!config_.async_sync) {
-    // Synchronous steps ❷–❸ over the survivors: pull each replica toward
-    // the published reference snapshot (identical to the live reference
-    // here — the previous apply was waited for below), ship the round.
+    // Synchronous policy local sync over the survivors: pull each replica
+    // toward the published broadcast snapshot (identical to the live
+    // reference state here — the previous apply was waited for below), ship
+    // the round.
     const std::shared_ptr<const ParamSet> snap = snapshot_handle();
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
       if (!health_[i].alive) continue;
       const Seconds t0 =
           driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
       auto params = replicas_[i]->model.parameters();
-      round.push_back(elastic_pull_push(params, *snap, alpha_));
+      round.push_back(policy_->local_sync(params, *snap, alpha_));
       if (driver_trace_ != nullptr) {
         trace::TraceEvent ev;
         ev.kind = trace::EventKind::kElasticPull;
@@ -380,15 +412,37 @@ ParamSet AvgPipe::reference_snapshot() {
   return reference_->snapshot();
 }
 
+ParamSet AvgPipe::broadcast_snapshot() {
+  synchronize();
+  std::lock_guard<std::mutex> lock(reference_mutex_);
+  return policy_->make_broadcast(*reference_);
+}
+
+ParamSet AvgPipe::replica_snapshot(std::size_t i) const {
+  AVGPIPE_CHECK(i < replicas_.size(), "pipeline out of range");
+  AVGPIPE_CHECK(health_[i].alive, "pipeline " << i << " is detached");
+  auto params = replicas_[i]->model.parameters();
+  return clone_values(params);
+}
+
 // -- AvgPipeTrainer (update semantics only) -----------------------------------------
 
 AvgPipeTrainer::AvgPipeTrainer(const nn::ModelFactory& factory,
                                const runtime::OptimizerFactory& make_optimizer,
                                std::size_t num_pipelines, double alpha,
                                std::string name)
+    : AvgPipeTrainer(factory, make_optimizer, num_pipelines,
+                     SyncPolicyConfig{}, alpha, std::move(name)) {}
+
+AvgPipeTrainer::AvgPipeTrainer(const nn::ModelFactory& factory,
+                               const runtime::OptimizerFactory& make_optimizer,
+                               std::size_t num_pipelines, SyncPolicyConfig sync,
+                               double alpha, std::string name)
     : alpha_(alpha > 0.0 ? alpha : default_alpha(num_pipelines)),
       name_(std::move(name)) {
   AVGPIPE_CHECK(num_pipelines >= 1, "need at least one pipeline");
+  policy_ = make_sync_policy(sync);
+  if (name_.empty()) name_ = "AvgPipe[" + policy_->name() + "]";
   for (std::size_t i = 0; i < num_pipelines; ++i) {
     auto replica = std::make_unique<Replica>();
     replica->model = factory(1234);
@@ -404,11 +458,19 @@ AvgPipeTrainer::AvgPipeTrainer(const nn::ModelFactory& factory,
   }
   reference_ = std::make_unique<ReferenceModel>(
       clone_values(replicas_[0]->model.parameters()));
+  broadcast_ = policy_->make_broadcast(*reference_);
 }
 
 double AvgPipeTrainer::train_iteration(const std::vector<data::Batch>& batches) {
   AVGPIPE_CHECK(batches.size() == replicas_.size(),
                 "need one batch per pipeline");
+  if (policy_->needs_begin()) {
+    // BSP/BMUF round start: every replica restarts from the broadcast.
+    for (auto& replica : replicas_) {
+      auto params = replica->model.parameters();
+      policy_->begin_round(params, broadcast_);
+    }
+  }
   double loss_sum = 0;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     auto& replica = *replicas_[i];
@@ -427,14 +489,19 @@ double AvgPipeTrainer::train_iteration(const std::vector<data::Batch>& batches) 
     loss_sum += loss.value()[0];
   }
 
-  // Fused pull+push straight against the live reference: accumulate only
-  // writes accum_, so every replica still sees identical reference values —
-  // no snapshot clone needed in this serial trainer.
+  // Policy round: elastic's override runs the fused pull+push straight
+  // against the live reference (accumulate only writes accum_, so every
+  // replica still sees identical reference values — no snapshot clone); the
+  // BSP family clones trained weights and replaces/filters the reference.
+  std::vector<std::vector<tensor::Variable>> param_sets;
+  param_sets.reserve(replicas_.size());
   for (auto& replica : replicas_) {
-    auto params = replica->model.parameters();
-    reference_->pull_and_accumulate(params, alpha_);
+    param_sets.push_back(replica->model.parameters());
   }
-  reference_->apply_accumulated(replicas_.size());
+  policy_->serial_round(*reference_, param_sets, alpha_);
+  if (policy_->needs_begin()) {
+    broadcast_ = policy_->make_broadcast(*reference_);
+  }
   return loss_sum / static_cast<double>(replicas_.size());
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/queue.hpp"
 #include "core/elastic.hpp"
+#include "core/sync_policy.hpp"
 #include "runtime/pipeline_runtime.hpp"
 #include "runtime/semantics.hpp"
 
@@ -58,6 +59,11 @@ struct AvgPipeConfig {
   /// runtime; the driver itself consumes the step-windowed crash records
   /// (crash_at_step / rejoin_at_step).
   const fault::FaultPlan* faults = nullptr;
+  /// The model-coupling rule (sync_policy.hpp). Defaults to the paper's
+  /// elastic averaging; BSP/BMUF additionally reset replicas from the
+  /// broadcast at round start, XPipe wires weight prediction into every
+  /// replica runtime. `alpha` above only affects the elastic-family policies.
+  SyncPolicyConfig sync;
 };
 
 /// The full threaded system.
@@ -87,6 +93,7 @@ class AvgPipe {
 
   std::size_t num_pipelines() const { return replicas_.size(); }
   double alpha() const { return alpha_; }
+  const SyncPolicy& policy() const { return *policy_; }
 
   // -- elastic membership (fault tolerance) ----------------------------------
 
@@ -116,6 +123,15 @@ class AvgPipe {
   /// Current reference parameters (snapshot; synchronize()d first).
   ParamSet reference_snapshot();
 
+  /// The policy's broadcast reconstruction of state (synchronize()d first):
+  /// what a replica would restore from right now — for BMUF the Nesterov
+  /// restart point W + η·Δ, for everything else the reference weights.
+  ParamSet broadcast_snapshot();
+
+  /// Snapshot of replica `i`'s live weights. Driver thread only, between
+  /// iterations (workers are parked then); the replica must be alive.
+  ParamSet replica_snapshot(std::size_t i) const;
+
   /// Drain all in-flight reference applies (no-op in sync mode, where the
   /// driver never runs ahead). Driver thread only.
   void synchronize();
@@ -125,7 +141,8 @@ class AvgPipe {
   struct ReplicaJob {
     const data::Batch* batch = nullptr;
     double alpha = 0;
-    bool do_pull = false;  ///< async mode: run elastic_pull_push on-thread
+    bool do_pull = false;   ///< async mode: run the policy local_sync on-thread
+    bool do_begin = false;  ///< BSP/BMUF: reset from the broadcast pre-train
   };
   struct ReplicaResult {
     bool ok = false;
@@ -161,6 +178,7 @@ class AvgPipe {
   void apply_scheduled_faults();
 
   AvgPipeConfig config_;
+  std::unique_ptr<SyncPolicy> policy_;
   const fault::FaultPlan* faults_ = nullptr;
   double alpha_ = 0.5;
   long iteration_ = 0;  ///< driver step index (train_iteration count)
@@ -197,6 +215,13 @@ class AvgPipeTrainer : public runtime::TrainerBase {
                  const runtime::OptimizerFactory& make_optimizer,
                  std::size_t num_pipelines, double alpha = 0.0,
                  std::string name = "AvgPipe");
+  /// Same update semantics under an arbitrary sync policy. Note XPipe's
+  /// weight prediction is a pipeline-runtime feature; this single-threaded
+  /// trainer runs its elastic coupling only.
+  AvgPipeTrainer(const nn::ModelFactory& factory,
+                 const runtime::OptimizerFactory& make_optimizer,
+                 std::size_t num_pipelines, SyncPolicyConfig sync,
+                 double alpha = 0.0, std::string name = "");
 
   std::size_t batches_per_iteration() const override { return replicas_.size(); }
   double train_iteration(const std::vector<data::Batch>& batches) override;
@@ -207,6 +232,7 @@ class AvgPipeTrainer : public runtime::TrainerBase {
   /// Direct access for invariant tests.
   const ReferenceModel& reference() const { return *reference_; }
   nn::Sequential& replica(std::size_t i) { return replicas_.at(i)->model; }
+  const SyncPolicy& policy() const { return *policy_; }
 
  private:
   struct Replica {
@@ -215,6 +241,8 @@ class AvgPipeTrainer : public runtime::TrainerBase {
   };
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::unique_ptr<ReferenceModel> reference_;
+  std::unique_ptr<SyncPolicy> policy_;
+  ParamSet broadcast_;  ///< round-start reset point (needs_begin policies)
   nn::Sequential eval_model_;
   double alpha_;
   std::string name_;

@@ -74,6 +74,11 @@ class ReferenceModel {
   std::size_t apply_accumulated(std::size_t n);
 
   const ParamSet& params() const { return params_; }
+  /// Direct mutable access for sync policies that replace (rather than
+  /// increment) the reference — BSP/BMUF write the block mean / filtered
+  /// update straight into the weights. Same serialisation rules as the
+  /// accumulate/apply path.
+  ParamSet& mutable_params() { return params_; }
   ParamSet snapshot() const;
   std::size_t pending() const { return pending_; }
 

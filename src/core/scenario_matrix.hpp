@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file scenario_matrix.hpp
+/// Sync-policy × fault-scenario statistical-efficiency matrix.
+///
+/// The ROADMAP's accuracy-under-adversity story: every `SyncPolicyKind`
+/// trains the same seeded workload on the full threaded system under every
+/// canonical `fault::ScenarioKind` (clean, stragglers, crash+rejoin,
+/// degraded links), and each cell reports epochs-to-target-loss plus
+/// wall-clock. None of those numbers mean anything unless the policies are
+/// provably equivalent in their degenerate configurations, so the matrix
+/// carries its own *parity gate*: each policy at N = 1 in
+/// `degenerate_config` must track a bare `runtime::PipelineRuntime` (serial
+/// pipelined SGD, identical micro-batching) bit-for-bit — `parity_ok`
+/// requires max-abs-delta exactly 0.0, not merely small.
+///
+/// This lives in src/core (not bench/) so the tier-1 smoke test can drive
+/// `run_matrix` directly; bench/sync_policy_matrix.cpp is a thin CLI over it.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sync_policy.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace avgpipe::core {
+
+struct MatrixSpec {
+  std::vector<SyncPolicyKind> policies = all_sync_policies();
+  std::vector<fault::ScenarioKind> scenarios = fault::all_scenarios();
+  // System shape.
+  std::size_t pipelines = 2;
+  std::size_t micro_batches = 4;
+  std::vector<std::size_t> boundaries = {2};
+  bool async_sync = true;
+  std::size_t sync_lag = 1;
+  // Workload: SyntheticFeatures MLP classifier (laptop-scale).
+  std::size_t samples = 128;
+  std::size_t features = 6;
+  std::size_t classes = 2;
+  double noise = 0.6;
+  std::size_t hidden = 12;
+  std::size_t depth = 2;
+  std::size_t batch_size = 16;
+  double lr = 0.08;
+  std::uint64_t seed = 5;
+  // Run length & accuracy target.
+  std::size_t steps = 48;       ///< train iterations per cell
+  std::size_t eval_every = 1;   ///< evaluate loss every k iterations
+  std::size_t eval_batches = 4;
+  double target_loss = 0.32;
+  // Parity gate length (iterations at N = 1 per policy).
+  std::size_t parity_steps = 4;
+};
+
+struct CellResult {
+  SyncPolicyKind policy = SyncPolicyKind::kElastic;
+  fault::ScenarioKind scenario = fault::ScenarioKind::kClean;
+  double final_loss = 0;
+  double best_loss = 0;
+  long steps_to_target = -1;      ///< -1: target never reached
+  double epochs_to_target = -1;   ///< data consumed / dataset size, -1 if not
+  double wall_seconds = 0;
+  bool finite = true;             ///< all evaluated losses stayed finite
+};
+
+struct PolicyParity {
+  SyncPolicyKind policy = SyncPolicyKind::kElastic;
+  double param_delta = 0;  ///< max-abs replica-vs-serial parameter delta
+  double loss_delta = 0;   ///< max-abs per-step training-loss delta
+  bool ok = false;         ///< both deltas exactly 0.0
+};
+
+struct MatrixResult {
+  MatrixSpec spec;
+  std::vector<CellResult> cells;
+  std::vector<PolicyParity> parity;
+  double parity_delta = 0;  ///< max over policies (params and losses)
+  bool parity_ok = false;
+};
+
+/// Train one (policy, scenario) cell on the threaded system.
+CellResult run_cell(const MatrixSpec& spec, SyncPolicyKind policy,
+                    fault::ScenarioKind scenario);
+
+/// Degenerate-config bit-parity of `policy` at N = 1 vs serial pipelined SGD.
+PolicyParity run_parity(const MatrixSpec& spec, SyncPolicyKind policy);
+
+/// The full sweep: parity gate over spec.policies, then every cell.
+MatrixResult run_matrix(const MatrixSpec& spec);
+
+/// BENCH_sync_policies.json (schema "avgpipe-sync-policy-matrix-v1").
+void write_matrix_json(const MatrixResult& result, std::ostream& os);
+
+}  // namespace avgpipe::core

@@ -1,0 +1,212 @@
+#include "core/sync_policy.hpp"
+
+#include "common/check.hpp"
+
+namespace avgpipe::core {
+
+std::string to_string(SyncPolicyKind kind) {
+  switch (kind) {
+    case SyncPolicyKind::kElastic: return "elastic";
+    case SyncPolicyKind::kBsp: return "bsp";
+    case SyncPolicyKind::kBmuf: return "bmuf";
+    case SyncPolicyKind::kXPipe: return "xpipe";
+  }
+  return "?";
+}
+
+SyncPolicyConfig degenerate_config(SyncPolicyKind kind) {
+  SyncPolicyConfig cfg;
+  cfg.kind = kind;
+  switch (kind) {
+    case SyncPolicyKind::kElastic:
+    case SyncPolicyKind::kBsp:
+      // α = 0 at N = 1 (driver default) / exact mean assignment at n = 1.
+      break;
+    case SyncPolicyKind::kBmuf:
+      // W(t) = mean(x_i) exactly (filter_apply's assignment fast path).
+      cfg.block_momentum = 0.0;
+      cfg.block_lr = 1.0;
+      break;
+    case SyncPolicyKind::kXPipe:
+      // Elastic degenerate plus prediction off: ŵ = w.
+      cfg.prediction_lookahead = 0.0;
+      break;
+  }
+  return cfg;
+}
+
+void SyncPolicy::begin_round(std::vector<tensor::Variable>& /*params*/,
+                             const ParamSet& /*broadcast*/) const {}
+
+ParamSet SyncPolicy::make_broadcast(const ReferenceModel& reference) const {
+  return reference.snapshot();
+}
+
+void SyncPolicy::serial_round(
+    ReferenceModel& reference,
+    std::vector<std::vector<tensor::Variable>>& replicas, double alpha) {
+  std::vector<ParamSet> round;
+  round.reserve(replicas.size());
+  for (auto& params : replicas) {
+    // The BSP-family local_sync ignores the broadcast (it only clones), so
+    // passing the live reference values is safe here; elastic overrides the
+    // whole method with its fused path.
+    round.push_back(local_sync(params, reference.params(), alpha));
+  }
+  apply_round(reference, round);
+}
+
+namespace {
+
+/// Mean of the round's parameter sets into `dst`. n = 1 assigns exactly
+/// (copy_from) rather than via zero + axpy, so a lone replica round-trips
+/// bit-identically — the parity gate's foundation for BSP and BMUF.
+void round_mean(ParamSet& dst, const std::vector<ParamSet>& round) {
+  AVGPIPE_CHECK(!round.empty(), "empty round");
+  for (const auto& r : round) {
+    AVGPIPE_CHECK(r.size() == dst.size(), "round/reference size mismatch");
+  }
+  if (round.size() == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i].copy_from(round[0][i]);
+    }
+    return;
+  }
+  const double inv_n = 1.0 / static_cast<double>(round.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i].zero_();
+    for (const auto& r : round) dst[i].axpy_(1.0, r[i]);
+    dst[i].scale_(inv_n);
+  }
+}
+
+/// The paper's elastic averaging: pull/push against the broadcast, reference
+/// accumulates the updates — exactly the pre-refactor behaviour.
+class ElasticPolicy : public SyncPolicy {
+ public:
+  using SyncPolicy::SyncPolicy;
+  std::string name() const override { return "elastic"; }
+
+  ParamSet local_sync(std::vector<tensor::Variable>& params,
+                      const ParamSet& broadcast,
+                      double alpha) const override {
+    return elastic_pull_push(params, broadcast, alpha);
+  }
+
+  void apply_round(ReferenceModel& reference,
+                   const std::vector<ParamSet>& round) override {
+    for (const auto& update : round) reference.accumulate(update);
+    reference.apply_accumulated(round.size());
+  }
+
+  void serial_round(ReferenceModel& reference,
+                    std::vector<std::vector<tensor::Variable>>& replicas,
+                    double alpha) override {
+    // Fused ❷+❸+❹ against the live reference (no snapshot clone, no update
+    // materialisation) — bit-identical to local_sync + apply_round.
+    for (auto& params : replicas) {
+      reference.pull_and_accumulate(params, alpha);
+    }
+    reference.apply_accumulated(replicas.size());
+  }
+};
+
+/// BSP model averaging: every round restarts each replica from the broadcast
+/// and the reference becomes the plain mean of the trained replicas.
+class BspPolicy : public SyncPolicy {
+ public:
+  using SyncPolicy::SyncPolicy;
+  std::string name() const override { return "bsp"; }
+
+  bool needs_begin() const override { return true; }
+
+  void begin_round(std::vector<tensor::Variable>& params,
+                   const ParamSet& broadcast) const override {
+    AVGPIPE_CHECK(params.size() == broadcast.size(),
+                  "replica/broadcast size mismatch");
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i].value().copy_from(broadcast[i]);
+    }
+  }
+
+  ParamSet local_sync(std::vector<tensor::Variable>& params,
+                      const ParamSet& /*broadcast*/,
+                      double /*alpha*/) const override {
+    // Ship the trained weights; the replica itself is untouched (it restarts
+    // from the next broadcast anyway).
+    ParamSet out;
+    out.reserve(params.size());
+    for (const auto& p : params) out.push_back(p.value().clone());
+    return out;
+  }
+
+  void apply_round(ReferenceModel& reference,
+                   const std::vector<ParamSet>& round) override {
+    round_mean(reference.mutable_params(), round);
+  }
+};
+
+/// BMUF: BSP's restart protocol, but the reference filters the block delta
+/// through `optim::BlockMomentum` and (optionally) broadcasts the Nesterov
+/// restart point W + η·Δ.
+class BmufPolicy : public BspPolicy {
+ public:
+  explicit BmufPolicy(SyncPolicyConfig config)
+      : BspPolicy(config),
+        momentum_(config.block_momentum,
+                  config.block_lr > 0.0 ? config.block_lr
+                                        : 1.0 - config.block_momentum) {}
+
+  std::string name() const override { return "bmuf"; }
+
+  void apply_round(ReferenceModel& reference,
+                   const std::vector<ParamSet>& round) override {
+    if (mean_.empty()) mean_ = reference.snapshot();  // shape donor
+    round_mean(mean_, round);
+    momentum_.filter_apply(reference.mutable_params(), mean_);
+  }
+
+  ParamSet make_broadcast(const ReferenceModel& reference) const override {
+    ParamSet out = reference.snapshot();
+    if (config_.nesterov_restart) momentum_.add_restart_offset(out);
+    return out;
+  }
+
+  const optim::BlockMomentum& momentum() const { return momentum_; }
+
+ private:
+  optim::BlockMomentum momentum_;
+  ParamSet mean_;  ///< scratch for the block mean (reference side only)
+};
+
+/// XPipe: elastic coupling across replicas; the runtime layer additionally
+/// runs each stage's compute on predicted weights (PredictionConfig wired by
+/// AvgPipe::make_runtime from this policy's config).
+class XPipePolicy : public ElasticPolicy {
+ public:
+  using ElasticPolicy::ElasticPolicy;
+  std::string name() const override { return "xpipe"; }
+};
+
+}  // namespace
+
+std::unique_ptr<SyncPolicy> make_sync_policy(const SyncPolicyConfig& config) {
+  switch (config.kind) {
+    case SyncPolicyKind::kElastic:
+      return std::make_unique<ElasticPolicy>(config);
+    case SyncPolicyKind::kBsp:
+      return std::make_unique<BspPolicy>(config);
+    case SyncPolicyKind::kBmuf:
+      return std::make_unique<BmufPolicy>(config);
+    case SyncPolicyKind::kXPipe:
+      return std::make_unique<XPipePolicy>(config);
+  }
+  AVGPIPE_THROW("unknown sync policy kind");
+}
+
+std::vector<SyncPolicyKind> all_sync_policies() {
+  return {SyncPolicyKind::kElastic, SyncPolicyKind::kBsp,
+          SyncPolicyKind::kBmuf, SyncPolicyKind::kXPipe};
+}
+
+}  // namespace avgpipe::core

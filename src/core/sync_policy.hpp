@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file sync_policy.hpp
+/// Pluggable model-coupling rules for AvgPipe's replica/reference protocol.
+///
+/// The paper's elastic averaging is one point in a family of asynchronous
+/// model-coupling rules; its production siblings (kaldi-aslp's BSP model
+/// averaging and BMUF) and XPipe's weight prediction attack the same
+/// staleness problem from different angles. A `SyncPolicy` factors the rule
+/// out of `AvgPipe`/`AvgPipeTrainer` so all of them run on the identical
+/// replica/reference machinery — same worker threads, same message queues,
+/// same fault handling — and differ only in four hooks:
+///
+///   begin_round(params, broadcast)   replica, before training a batch
+///   local_sync(params, broadcast)    replica, after training a batch
+///   apply_round(reference, round)    reference process, once per round
+///   make_broadcast(reference)        reference process, after each apply
+///
+/// Concurrency contract (enforced by constness, documented in DESIGN.md §13):
+/// the replica-side hooks are called concurrently from the per-replica worker
+/// threads and must not mutate policy state — they are `const` and operate
+/// only on the replica's own parameters plus an immutable broadcast snapshot.
+/// The reference-side hooks own all mutable policy state (e.g. BMUF's block
+/// momentum) and are serialised by the caller: under `reference_mutex_` in
+/// the threaded system, trivially in the serial trainer. `make_broadcast` is
+/// const but reads reference-side state, so it shares that serialisation.
+///
+/// Staleness semantics per policy:
+/// * elastic  — replicas never reset; each pull dilutes toward a broadcast
+///              that may be up to sync_lag applies stale (paper §3.2).
+/// * bsp      — replicas restart every round from the broadcast; under
+///              sync_lag > 0 the restart point itself may be stale, which is
+///              the only staleness BSP admits.
+/// * bmuf     — BSP's restart, but the broadcast is the CBM Nesterov restart
+///              point W(t) + η·Δ(t), and the reference applies the filtered
+///              update Δ(t) = η·Δ(t−1) + ζ·(mean(x_i) − W(t−1)).
+/// * xpipe    — elastic coupling; additionally each pipeline stage runs its
+///              forward/backward on predicted weights ŵ = w + lookahead·Δ̂
+///              (runtime::PredictionConfig), countering in-pipeline staleness
+///              rather than cross-replica staleness.
+///
+/// Every policy has a *degenerate configuration* (`degenerate_config`) in
+/// which, at N = 1, its trajectory is bit-identical to serial SGD — the
+/// parity gate that makes cross-policy accuracy numbers comparable.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/elastic.hpp"
+#include "optim/optimizer.hpp"
+
+namespace avgpipe::core {
+
+enum class SyncPolicyKind : std::uint8_t {
+  kElastic = 0,  ///< the paper's elastic averaging (default)
+  kBsp,          ///< BSP model averaging: restart from mean every round
+  kBmuf,         ///< blockwise model-update filtering (Chen & Huo 2016)
+  kXPipe,        ///< elastic + XPipe-style weight prediction in the runtime
+};
+
+std::string to_string(SyncPolicyKind kind);
+
+struct SyncPolicyConfig {
+  SyncPolicyKind kind = SyncPolicyKind::kElastic;
+  // BMUF: block momentum η, block lr ζ (0 → the classic 1−η default, which
+  // puts the effective rate λ = ζ/(1−η) exactly at the stability bound), and
+  // whether the broadcast is the Nesterov restart point W + η·Δ.
+  double block_momentum = 0.45;
+  double block_lr = 0.0;
+  bool nesterov_restart = true;
+  // XPipe: ŵ = w + lookahead·Δ̂ at batch start, Δ̂ an EMA (weight `beta` on
+  // the old value) of realised per-batch updates. lookahead = 0 disables.
+  double prediction_lookahead = 1.0;
+  double prediction_beta = 0.0;
+};
+
+/// The configuration in which `kind` must be bit-identical to serial SGD at
+/// N = 1: elastic/xpipe rely on α = 0 (the driver's 1/N default), BMUF on
+/// η = 0, ζ = 1 (exact-assignment fast path), XPipe additionally on
+/// lookahead = 0, BSP on exact mean assignment at n = 1.
+SyncPolicyConfig degenerate_config(SyncPolicyKind kind);
+
+class SyncPolicy {
+ public:
+  explicit SyncPolicy(SyncPolicyConfig config) : config_(config) {}
+  virtual ~SyncPolicy() = default;
+
+  SyncPolicyKind kind() const { return config_.kind; }
+  const SyncPolicyConfig& config() const { return config_; }
+  virtual std::string name() const = 0;
+
+  // -- replica side: called concurrently from replica worker threads; must
+  //    not touch policy state (const) -----------------------------------------
+
+  /// Whether replicas must be reset from the broadcast before each round.
+  virtual bool needs_begin() const { return false; }
+
+  /// Reset `params` from the round's broadcast (BSP/BMUF). Default: no-op.
+  virtual void begin_round(std::vector<tensor::Variable>& params,
+                           const ParamSet& broadcast) const;
+
+  /// Post-training step on the replica: transform `params` (elastic pull)
+  /// and return this replica's contribution to the round (elastic update or
+  /// a clone of the trained weights).
+  virtual ParamSet local_sync(std::vector<tensor::Variable>& params,
+                              const ParamSet& broadcast,
+                              double alpha) const = 0;
+
+  // -- reference side: serialised by the caller -------------------------------
+
+  /// Fold one round of `local_sync` results into the reference model.
+  /// `round` is ordered by replica index (deterministic).
+  virtual void apply_round(ReferenceModel& reference,
+                           const std::vector<ParamSet>& round) = 0;
+
+  /// The snapshot replicas pull/reset against next round — also what a
+  /// rejoining pipeline restores from, so a policy with reference-side state
+  /// (BMUF) bakes its reconstruction (the Nesterov restart point) in here.
+  virtual ParamSet make_broadcast(const ReferenceModel& reference) const;
+
+  /// One full round for the serial trainer: local_sync every replica, apply.
+  /// Elastic overrides this with the fused `pull_and_accumulate` fast path.
+  virtual void serial_round(ReferenceModel& reference,
+                            std::vector<std::vector<tensor::Variable>>& replicas,
+                            double alpha);
+
+ protected:
+  SyncPolicyConfig config_;
+};
+
+std::unique_ptr<SyncPolicy> make_sync_policy(const SyncPolicyConfig& config);
+
+/// All kinds, in a stable order (for sweeps and parameterised tests).
+std::vector<SyncPolicyKind> all_sync_policies();
+
+}  // namespace avgpipe::core

@@ -323,4 +323,74 @@ const FaultPlan* env_plan() {
   return result;
 }
 
+// -- canonical fault scenarios ----------------------------------------------------
+
+const char* to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kClean: return "clean";
+    case ScenarioKind::kStragglers: return "stragglers";
+    case ScenarioKind::kCrashRejoin: return "crash_rejoin";
+    case ScenarioKind::kDegradedLinks: return "degraded_links";
+  }
+  return "?";
+}
+
+std::vector<ScenarioKind> all_scenarios() {
+  return {ScenarioKind::kClean, ScenarioKind::kStragglers,
+          ScenarioKind::kCrashRejoin, ScenarioKind::kDegradedLinks};
+}
+
+FaultPlan make_scenario(ScenarioKind kind, std::size_t pipelines,
+                        std::uint64_t seed) {
+  AVGPIPE_CHECK(pipelines >= 1, "need at least one pipeline");
+  FaultPlan plan;
+  plan.seed = seed;
+  // The victim is always pipeline 1 so that pipeline 0 (the parity anchor in
+  // the tests) stays healthy.
+  const int victim = pipelines > 1 ? 1 : 0;
+  switch (kind) {
+    case ScenarioKind::kClean:
+      break;
+    case ScenarioKind::kStragglers: {
+      StragglerFault s;
+      s.pipeline = victim;
+      s.stage = kAny;
+      s.factor = 2.5;
+      s.step_begin = 1;
+      s.step_end = 9;  // a bounded slow phase, then recovery
+      plan.stragglers.push_back(s);
+      break;
+    }
+    case ScenarioKind::kCrashRejoin: {
+      AVGPIPE_CHECK(pipelines >= 2,
+                    "crash_rejoin needs >= 2 pipelines (crashing the only "
+                    "one aborts training)");
+      PipelineCrash c;
+      c.pipeline = victim;
+      c.crash_at_step = 3;   // detach before iteration 3
+      c.rejoin_at_step = 7;  // rejoin (policy-reconstructed state) before 7
+      plan.crashes.push_back(c);
+      break;
+    }
+    case ScenarioKind::kDegradedLinks: {
+      LinkDegradation d;
+      d.link = kAny;
+      d.bandwidth_factor = 0.5;
+      d.extra_latency = 2e-4;
+      d.step_begin = 1;
+      plan.link_degradations.push_back(d);
+      MessageDrop m;
+      m.pipeline = kAny;
+      m.stage = kAny;
+      m.probability = 0.02;
+      m.max_drops = 2;
+      m.retry_timeout = 1e-4;
+      m.step_begin = 1;
+      plan.drops.push_back(m);
+      break;
+    }
+  }
+  return plan;
+}
+
 }  // namespace avgpipe::fault

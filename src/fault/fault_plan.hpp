@@ -146,4 +146,26 @@ class FaultPlan {
 /// a hard error (a CI fault job must not silently run fault-free).
 const FaultPlan* env_plan();
 
+// -- canonical fault scenarios (statistical-efficiency matrix) ----------------
+
+/// The adversity classes the sync-policy scenario matrix sweeps. Each maps to
+/// a deterministic, step-windowed `FaultPlan` via `make_scenario`, so every
+/// policy faces the *same* adversity for a given (scenario, pipelines, seed).
+enum class ScenarioKind : std::uint8_t {
+  kClean = 0,      ///< no faults (the statistical-efficiency baseline)
+  kStragglers,     ///< one pipeline computes 2.5x slower mid-run
+  kCrashRejoin,    ///< one pipeline dies and rejoins (needs >= 2 pipelines)
+  kDegradedLinks,  ///< all inter-stage links slow + mildly lossy
+};
+
+const char* to_string(ScenarioKind kind);
+std::vector<ScenarioKind> all_scenarios();
+
+/// Build the canonical plan for `kind` over a system of `pipelines`
+/// pipelines. Deterministic in its arguments; `seed` only feeds the drop
+/// hashing. kCrashRejoin requires pipelines >= 2 (crashing the only pipeline
+/// would abort training rather than degrade it).
+FaultPlan make_scenario(ScenarioKind kind, std::size_t pipelines,
+                        std::uint64_t seed);
+
 }  // namespace avgpipe::fault

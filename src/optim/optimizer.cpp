@@ -155,6 +155,69 @@ void Asgd::swap_to_average() {
   }
 }
 
+// -- BlockMomentum (BMUF reference-side state) -------------------------------------
+
+BlockMomentum::BlockMomentum(Scalar block_momentum, Scalar block_lr)
+    : eta_(block_momentum), zeta_(block_lr) {
+  AVGPIPE_CHECK(eta_ >= 0.0 && eta_ < 1.0,
+                "BMUF block momentum must be in [0,1), got " << eta_);
+  AVGPIPE_CHECK(zeta_ > 0.0, "BMUF block lr must be positive, got " << zeta_);
+  // Classic CBM stability condition: the effective per-block rate
+  // λ = ζ/(1−η) must not exceed 1 (tiny tolerance for the ζ = 1−η default
+  // computed in floating point).
+  const Scalar lambda = effective_lr(eta_, zeta_);
+  AVGPIPE_CHECK(lambda <= 1.0 + 1e-9,
+                "BMUF violates the CBM stability condition: effective lr "
+                    << lambda << " = " << zeta_ << "/(1-" << eta_
+                    << ") exceeds 1");
+}
+
+Scalar BlockMomentum::effective_lr(Scalar block_momentum, Scalar block_lr) {
+  return block_lr / (1.0 - block_momentum);
+}
+
+void BlockMomentum::filter_apply(std::vector<Tensor>& global,
+                                 const std::vector<Tensor>& block_mean) {
+  AVGPIPE_CHECK(global.size() == block_mean.size(),
+                "global/block-mean size mismatch");
+  if (delta_.empty()) {
+    delta_.reserve(global.size());
+    for (const auto& g : global) delta_.emplace_back(g.shape());
+  }
+  // η = 0, ζ = 1 collapses to W(t) = mean(x_i); assign exactly (rather than
+  // W += (mean − W), whose round-trip is not bit-exact) so the degenerate
+  // configuration is bit-identical to plain model averaging.
+  const bool degenerate = eta_ == 0.0 && zeta_ == 1.0;
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    AVGPIPE_CHECK(global[i].numel() == block_mean[i].numel(),
+                  "global/block-mean numel mismatch");
+    auto wv = global[i].data();
+    const auto mv = block_mean[i].data();
+    auto dv = delta_[i].data();
+    if (degenerate) {
+      for (std::size_t j = 0; j < wv.size(); ++j) {
+        dv[j] = mv[j] - wv[j];
+        wv[j] = mv[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < wv.size(); ++j) {
+        const Scalar d = eta_ * dv[j] + zeta_ * (mv[j] - wv[j]);
+        dv[j] = d;
+        wv[j] += d;
+      }
+    }
+  }
+}
+
+void BlockMomentum::add_restart_offset(std::vector<Tensor>& broadcast) const {
+  if (delta_.empty() || eta_ == 0.0) return;
+  AVGPIPE_CHECK(broadcast.size() == delta_.size(),
+                "broadcast/delta size mismatch");
+  for (std::size_t i = 0; i < broadcast.size(); ++i) {
+    broadcast[i].axpy_(eta_, delta_[i]);
+  }
+}
+
 // -- factory ----------------------------------------------------------------------
 
 std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,

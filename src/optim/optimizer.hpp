@@ -110,6 +110,48 @@ class Asgd : public Optimizer {
   std::size_t averaged_steps_ = 0;
 };
 
+/// Blockwise model-update filtering state (Chen & Huo 2016), the reference-
+/// side momentum BMUF applies between training blocks. Where the optimizers
+/// above smooth per-batch *gradients*, this smooths the per-block *model
+/// delta* G(t) = mean(x_i) − W(t−1):
+///
+///   Δ(t) = η·Δ(t−1) + ζ·G(t)        (block momentum η, block lr ζ)
+///   W(t) = W(t−1) + Δ(t)
+///
+/// The classic CBM stability condition requires the effective block learning
+/// rate λ = ζ/(1−η) not to exceed 1 — λ > 1 systematically over-shoots the
+/// block mean and diverges — and η < 1 so the filter is contractive. Both
+/// are enforced at construction (a misconfigured sweep must fail loudly, not
+/// produce NaNs three epochs in). In the degenerate configuration η = 0,
+/// ζ = 1 the recursion collapses to W(t) = mean(x_i) and `filter_apply`
+/// takes an exact-assignment fast path so the collapse is bit-exact, which
+/// is what the sync-policy parity gate relies on.
+class BlockMomentum {
+ public:
+  BlockMomentum(Scalar block_momentum, Scalar block_lr);
+
+  /// λ = ζ/(1−η), the effective per-block learning rate.
+  static Scalar effective_lr(Scalar block_momentum, Scalar block_lr);
+
+  /// One block update: fold `block_mean` into `global` through the filter.
+  /// Shapes must match pairwise; Δ is lazily initialised to zeros.
+  void filter_apply(std::vector<Tensor>& global,
+                    const std::vector<Tensor>& block_mean);
+
+  /// Add the Nesterov restart offset η·Δ(t) into `broadcast` (no-op until
+  /// the first filter_apply, or when η = 0).
+  void add_restart_offset(std::vector<Tensor>& broadcast) const;
+
+  bool initialized() const { return !delta_.empty(); }
+  const std::vector<Tensor>& delta() const { return delta_; }
+  Scalar block_momentum() const { return eta_; }
+  Scalar block_lr() const { return zeta_; }
+
+ private:
+  Scalar eta_, zeta_;
+  std::vector<Tensor> delta_;  ///< Δ(t), lazily shaped like the global model
+};
+
 /// Optimizer kinds for factory construction (used by configs and benches).
 enum class OptimizerKind { kSgd, kMomentum, kAdam, kAdagrad, kAsgd };
 

@@ -194,6 +194,15 @@ void PipelineRuntime::set_faults(const fault::FaultPlan* plan) {
   faults_active_ = faults_ != nullptr && !faults_->empty();
 }
 
+void PipelineRuntime::set_weight_prediction(const PredictionConfig& config) {
+  AVGPIPE_CHECK(config.lookahead >= 0.0,
+                "prediction lookahead must be >= 0, got " << config.lookahead);
+  AVGPIPE_CHECK(config.beta >= 0.0 && config.beta < 1.0,
+                "prediction beta must be in [0,1), got " << config.beta);
+  prediction_ = config;
+  prediction_active_ = config.lookahead != 0.0;
+}
+
 void PipelineRuntime::record_span(Stage& stage, trace::EventKind kind,
                                   const schedule::Instr& instr,
                                   Seconds t_begin) {
@@ -320,6 +329,7 @@ void PipelineRuntime::worker_loop(Stage& stage) {
     // channels instead.
     const schedule::Instr* current = nullptr;
     try {
+      begin_prediction(stage, step);
       for (const auto& instr : stage.program) {
         current = &instr;
         run_instr(stage, instr, step);
@@ -444,15 +454,76 @@ void PipelineRuntime::run_backward(Stage& stage,
   record_span(stage, trace::EventKind::kBackward, instr, t0);
 }
 
+void PipelineRuntime::begin_prediction(Stage& stage, long step) {
+  if (!prediction_active_) return;
+  const auto& params = stage.optimizer->params();
+  if (stage.pred_true.empty()) {
+    stage.pred_true.reserve(params.size());
+    stage.pred_delta.reserve(params.size());
+    for (const auto& p : params) {
+      stage.pred_true.push_back(p.value().clone());
+      stage.pred_delta.emplace_back(p.value().shape());
+    }
+  } else {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      stage.pred_true[i].copy_from(params[i].value());
+    }
+  }
+  stage.pred_predicted = true;
+  // Nothing to extrapolate from until the first realised update: the batch
+  // then runs on the true weights (and seeds Δ̂ in run_update).
+  if (!stage.pred_have_delta) return;
+  const Seconds t0 = stage.trace_buf ? tracer_->wall_now() : 0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const_cast<tensor::Variable&>(params[i]).value().axpy_(
+        prediction_.lookahead, stage.pred_delta[i]);
+  }
+  if (stage.trace_buf != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kWeightPrediction;
+    ev.pipeline = trace_pipeline_;
+    ev.stage = static_cast<std::uint32_t>(stage.index);
+    ev.batch = static_cast<std::int32_t>(step);
+    ev.t_begin = t0;
+    ev.t_end = tracer_->wall_now();
+    stage.trace_buf->record(ev);
+  }
+}
+
 void PipelineRuntime::run_update(Stage& stage, const schedule::Instr& instr) {
   // Accumulated micro-batch gradients -> batch-mean gradient.
   const Seconds t0 = stage.trace_buf ? tracer_->wall_now() : 0;
+  const auto& params = stage.optimizer->params();
+  const bool predicted = prediction_active_ && stage.pred_predicted;
+  if (predicted) {
+    // The batch's gradients were computed at the predicted weights ŵ; the
+    // update itself lands on the true weights stashed at batch start (XPipe
+    // semantics: predict for compute, correct on apply).
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const_cast<tensor::Variable&>(params[i]).value().copy_from(
+          stage.pred_true[i]);
+    }
+  }
   const double inv_m = 1.0 / static_cast<double>(stage.micro_batches);
-  for (auto& p : stage.optimizer->params()) {
+  for (auto& p : params) {
     const_cast<tensor::Variable&>(p).mutable_grad().scale_(inv_m);
   }
   stage.optimizer->step();
   stage.optimizer->zero_grad();
+  if (predicted) {
+    // Fold the realised update w_new − w_old into Δ̂ for the next prediction.
+    const double beta = stage.pred_have_delta ? prediction_.beta : 0.0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      auto dv = stage.pred_delta[i].data();
+      const auto wv = params[i].value().data();
+      const auto ov = stage.pred_true[i].data();
+      for (std::size_t j = 0; j < dv.size(); ++j) {
+        dv[j] = beta * dv[j] + (1.0 - beta) * (wv[j] - ov[j]);
+      }
+    }
+    stage.pred_have_delta = true;
+    stage.pred_predicted = false;
+  }
   record_span(stage, trace::EventKind::kUpdate, instr, t0);
 }
 

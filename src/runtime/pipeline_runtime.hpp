@@ -44,6 +44,17 @@ struct BatchStats {
   std::size_t micro_batches = 0;
 };
 
+/// XPipe-style weight prediction (Guan et al. 2019), per stage and batch-
+/// granular: at batch start each stage runs its forward/backward on predicted
+/// weights ŵ = w + lookahead·Δ̂, where Δ̂ is an EMA (weight `beta` on the old
+/// value) of the realised per-batch optimizer updates; the update itself is
+/// applied to the true weights `w`. lookahead = 0 disables the hook entirely
+/// (bit-identical to no prediction).
+struct PredictionConfig {
+  double lookahead = 0.0;
+  double beta = 0.0;
+};
+
 /// Pipeline over a partitioned Sequential model.
 class PipelineRuntime {
  public:
@@ -103,6 +114,12 @@ class PipelineRuntime {
   void set_faults(const fault::FaultPlan* plan);
   const fault::FaultPlan* faults() const { return faults_; }
 
+  /// Enable XPipe-style weight prediction (see PredictionConfig). Must be
+  /// called before the first train_batch; prediction state is worker-thread-
+  /// local per stage, so no cross-thread synchronisation is added.
+  void set_weight_prediction(const PredictionConfig& config);
+  const PredictionConfig& weight_prediction() const { return prediction_; }
+
   /// Bounded per-link capacity of the stage-to-stage channels for a batch of
   /// `micro_batches` (schedule-derived: the producer's maximum forward
   /// run-ahead over its consumer, plus one slot of slack). Overridable via
@@ -150,6 +167,9 @@ class PipelineRuntime {
   void run_forward(Stage& stage, const schedule::Instr& instr, long step);
   void run_backward(Stage& stage, const schedule::Instr& instr, long step);
   void run_update(Stage& stage, const schedule::Instr& instr);
+  /// Batch start under weight prediction: stash the true weights and jump to
+  /// ŵ = w + lookahead·Δ̂ (no-op before the first realised update exists).
+  void begin_prediction(Stage& stage, long step);
   void record_span(Stage& stage, trace::EventKind kind,
                    const schedule::Instr& instr, Seconds t_begin);
   void record_counter(Stage& stage, trace::CounterId id, double value);
@@ -195,6 +215,13 @@ class PipelineRuntime {
     double loss_sum = 0;  // last stage only
     std::size_t micro_batches = 0;
     trace::TraceBuffer* trace_buf = nullptr;  // worker-owned, lazily created
+    // Weight-prediction state (worker-thread-local, touched only between a
+    // start-channel recv and the done send): the stashed true weights for
+    // the in-flight batch, and the EMA of realised per-batch updates.
+    std::vector<tensor::Tensor> pred_true;
+    std::vector<tensor::Tensor> pred_delta;
+    bool pred_have_delta = false;
+    bool pred_predicted = false;  ///< this batch runs on predicted weights
     std::thread thread;
   };
   std::vector<std::unique_ptr<Stage>> stages_;
@@ -224,6 +251,11 @@ class PipelineRuntime {
   // after a start-channel recv, so the channel provides the ordering.
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pipeline_ = 0;
+
+  // Weight prediction (optional): written before the first batch, read by
+  // workers after a start-channel recv (channel provides the ordering).
+  PredictionConfig prediction_;
+  bool prediction_active_ = false;
 
   // Fault injection (optional) and failure state. `step_` is the batch
   // index, bumped by train_batch before dispatch; workers read it after the

@@ -22,6 +22,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kLinkDegraded: return "link_degraded";
     case EventKind::kPipelineCrash: return "pipeline_crash";
     case EventKind::kPipelineRejoin: return "pipeline_rejoin";
+    case EventKind::kPolicyBroadcast: return "policy_broadcast";
+    case EventKind::kWeightPrediction: return "weight_prediction";
   }
   return "?";
 }

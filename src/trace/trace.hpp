@@ -61,6 +61,13 @@ enum class EventKind : std::uint8_t {
   kLinkDegraded,
   kPipelineCrash,
   kPipelineRejoin,
+  // Sync-policy spans (src/core/sync_policy.hpp). kPolicyBroadcast covers a
+  // replica resetting to the reference broadcast at round start (BSP/BMUF);
+  // kWeightPrediction covers a stage applying XPipe-style predicted weights
+  // at batch dispatch. kElasticPull doubles as the generic local-sync span
+  // for every policy (the replica-side pull/push step ❷–❸).
+  kPolicyBroadcast,
+  kWeightPrediction,
 };
 
 /// Named counter series for EventKind::kCounter events.
