@@ -19,14 +19,36 @@
 /// `--faults plan.json` replaces the built-in crash scenario for part 1;
 /// `--trace out.json` dumps the faulted simulation's events as Chrome trace
 /// JSON.
+///
+/// Chaos soak mode (`--soak=N [--seed=S] [--json=PATH]`): replaces both
+/// parts with N randomized kill/restore cycles against a durably
+/// checkpointed core::AvgPipe — mid-batch worker kills at random (pipeline,
+/// stage, micro-batch) crash points, periodic checkpoints, and periodic
+/// bit-flip/truncation corruption of the newest checkpoint file. The run
+/// *gates* on invariants (finite losses, every pipeline re-attached every
+/// round, clean happens-before replay, the directory still restores at the
+/// end) and exits 2 on any violation; recovery-latency / lost-work /
+/// checkpoint-overhead metrics go to stdout and, with `--json`, to
+/// BENCH_recovery.json (baseline: bench/baselines/). `--keep-dir=PATH`
+/// checkpoints into PATH and leaves it behind for post-mortem inspection.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "common/rng.hpp"
 #include "core/avgpipe.hpp"
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
+#include "trace/happens_before.hpp"
 
 using namespace avgpipe;
 
@@ -159,9 +181,268 @@ void threaded_recovery() {
   }
 }
 
+// -- chaos soak (--soak=N) ----------------------------------------------------
+
+/// Invariant gate: accumulate human-readable failures; any entry fails the
+/// soak (exit 2) after the full report prints.
+struct SoakGate {
+  std::vector<std::string> failures;
+  void require(bool ok, const std::string& what) {
+    if (!ok) failures.push_back(what);
+  }
+};
+
+/// \param keep_dir when non-empty, use (and keep) this checkpoint directory
+///        instead of a throwaway mkdtemp one — CI's corrupted-checkpoint
+///        negative control points ckpt_inspect at what the soak left behind.
+int chaos_soak(std::size_t cycles, std::uint64_t seed,
+               const std::string& json_path, const std::string& keep_dir) {
+  if (cycles < 8) cycles = 8;  // need room for checkpoints + corruption
+  std::printf("== Chaos soak — %zu randomized kill/restore cycles, seed %llu "
+              "==\n\n",
+              cycles, static_cast<unsigned long long>(seed));
+
+  // Seeded kill plan: one mid-batch worker kill every 3 driver steps at a
+  // random (pipeline, stage, micro-batch) crash point. A restored pipeline's
+  // fresh runtime restarts its internal step counter, so kill records can
+  // legitimately re-fire — extra chaos, deliberately kept.
+  Rng chaos(seed);
+  fault::FaultPlan plan;
+  for (long step = 2; step < static_cast<long>(cycles); step += 3) {
+    fault::WorkerKill kill;
+    kill.pipeline = static_cast<int>(chaos.uniform_int(0, 1));
+    kill.stage = chaos.bernoulli(0.5)
+                     ? fault::kAny
+                     : static_cast<int>(chaos.uniform_int(0, 1));
+    kill.step = step;
+    kill.micro_batch = chaos.bernoulli(0.5)
+                           ? fault::kAny
+                           : static_cast<int>(chaos.uniform_int(0, 2));
+    plan.kills.push_back(kill);
+  }
+
+  std::string ckpt_dir = keep_dir;
+  if (ckpt_dir.empty()) {
+    std::string tmpl = "/tmp/avgpipe_soak_bench_XXXXXX";
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed for checkpoint dir\n");
+      return 1;
+    }
+    ckpt_dir = tmpl;
+  }
+
+  SoakGate gate;
+  std::size_t corruptions = 0;
+  std::vector<trace::TraceEvent> events;
+  ckpt::CheckpointDir::LoadResult final_restore;
+  const auto wall_begin = std::chrono::steady_clock::now();
+  {
+    ckpt::CheckpointDir ckpts(ckpt_dir);
+    trace::Tracer tracer;
+    core::AvgPipeConfig cfg;
+    cfg.num_pipelines = 2;
+    cfg.micro_batches = 3;
+    cfg.boundaries = {2};
+    cfg.checkpoints = &ckpts;
+    cfg.restore_on_failure = true;
+    cfg.faults = &plan;
+    cfg.tracer = &tracer;
+    core::AvgPipe system(
+        [](std::uint64_t s) { return nn::make_mlp(6, 8, 2, 2, s); },
+        [](std::vector<tensor::Variable> params) {
+          return std::make_unique<optim::Sgd>(std::move(params), 0.1);
+        },
+        cfg);
+
+    data::SyntheticFeatures ds(64, 6, 2, 3);
+    data::DataLoader loader(ds, 12, 1);
+
+    for (std::size_t iter = 0; iter < cycles; ++iter) {
+      double loss = 0.0;
+      try {
+        loss = system.train_iteration(
+            {loader.batch(iter, 0), loader.batch(iter, 1)});
+      } catch (const std::exception& e) {
+        gate.require(false, "cycle " + std::to_string(iter) +
+                                ": train_iteration threw: " + e.what());
+        break;
+      }
+      gate.require(std::isfinite(loss),
+                   "cycle " + std::to_string(iter) + ": non-finite loss");
+      gate.require(system.alive_pipelines() == 2,
+                   "cycle " + std::to_string(iter) +
+                       ": a killed pipeline was not re-attached");
+      if (iter % 4 == 3) system.save_checkpoint();
+      if (iter % 9 == 8 && !ckpts.entries().empty()) {
+        // Corrupt the newest committed checkpoint — bit flip or torn write.
+        const std::string victim =
+            ckpt_dir + "/" + ckpts.entries().back().file;
+        if (chaos.bernoulli(0.5)) {
+          ckpt::flip_bit(victim, static_cast<std::uint64_t>(chaos.uniform_int(
+                                     0, (1 << 20) - 1)));
+        } else {
+          ckpt::truncate_file(victim, ckpt::file_size(victim) / 2);
+        }
+        ++corruptions;
+      }
+    }
+    system.synchronize();
+
+    ckpt::TrainState state;
+    final_restore = ckpts.load_latest(&state);
+    gate.require(final_restore.ok,
+                 "final load_latest failed: " + final_restore.error);
+    events = tracer.collect();
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
+
+  if (keep_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(ckpt_dir, ec);
+  }
+
+  const trace::TraceAnalysis analysis(events);
+  const auto episodes = analysis.recoveries();
+  gate.require(!episodes.empty(), "no kill ever fired — soak was a no-op");
+  double latency_sum = 0.0, latency_max = 0.0;
+  std::size_t rejoined = 0;
+  for (const auto& r : episodes) {
+    if (r.rejoined) ++rejoined;
+    latency_sum += r.latency;
+    latency_max = std::max(latency_max, r.latency);
+    gate.require(r.rejoined, "pipeline " + std::to_string(r.pipeline) +
+                                 " crashed and never re-attached");
+  }
+
+  // Restore split: a kRestore span's batch is the checkpoint step it loaded,
+  // or -1 when no checkpoint was loadable and the pipeline fell back to a
+  // broadcast rejoin from the live reference model. Its value counts the
+  // manifest entries skipped over corruption on the way to a loadable one.
+  const auto restores = analysis.restore_events();
+  std::size_t durable = 0, broadcast = 0, manifest_fallbacks = 0;
+  for (const auto& ev : restores) {
+    if (ev.batch >= 0) {
+      ++durable;
+    } else {
+      ++broadcast;
+    }
+    manifest_fallbacks += static_cast<std::size_t>(std::max(0.0, ev.value));
+  }
+
+  const trace::HbReport hb = trace::check_happens_before(events);
+  {
+    std::string details;
+    for (const auto& v : hb.violations) details += "\n    " + v.what;
+    gate.require(hb.ok, "happens-before replay: " + hb.summary() + details);
+  }
+
+  const std::size_t ckpt_count = analysis.checkpoint_events().size();
+  gate.require(ckpt_count == cycles / 4, "checkpoint count mismatch");
+  gate.require(corruptions > 0, "no corruption was ever injected");
+
+  Table table({"metric", "value"});
+  const auto row = [&table](const std::string& k, const std::string& v) {
+    table.row().cell(k).cell(v);
+  };
+  row("cycles", std::to_string(cycles));
+  row("worker kills fired", std::to_string(episodes.size()));
+  row("recoveries (rejoined)", std::to_string(rejoined));
+  row("mean recovery latency",
+      format_seconds(episodes.empty() ? 0.0
+                                      : latency_sum /
+                                            static_cast<double>(
+                                                episodes.size())));
+  row("max recovery latency", format_seconds(latency_max));
+  row("restores from checkpoint", std::to_string(durable));
+  row("broadcast fallbacks", std::to_string(broadcast));
+  row("manifest fallbacks", std::to_string(manifest_fallbacks));
+  row("checkpoints committed", std::to_string(ckpt_count));
+  row("checkpoint bytes",
+      std::to_string(analysis.checkpoint_bytes()));
+  row("checkpoint capture time", format_seconds(analysis.checkpoint_time()));
+  row("corruptions injected", std::to_string(corruptions));
+  // Lost work: each kill aborts the victim pipeline's in-flight round (its
+  // micro-batches re-run after restore, the survivors' work is kept).
+  row("lost pipeline-rounds", std::to_string(episodes.size()));
+  row("wall time", format_seconds(wall_seconds));
+  table.print();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    const char* b = "  ";
+    const auto jb = [](bool v) { return v ? "true" : "false"; };
+    out << "{\n";
+    out << b << "\"schema\": \"avgpipe-recovery-soak-v1\",\n";
+    out << b << "\"spec\": {\"cycles\": " << cycles << ", \"seed\": " << seed
+        << ", \"pipelines\": 2, \"micro_batches\": 3, "
+        << "\"checkpoint_every\": 4, \"corrupt_every\": 9},\n";
+    out << b << "\"invariants\": {\"violations\": " << gate.failures.size()
+        << ", \"all_rejoined\": " << jb(rejoined == episodes.size())
+        << ", \"hb_clean\": " << jb(hb.ok)
+        << ", \"final_restore_ok\": " << jb(final_restore.ok) << "},\n";
+    out << b << "\"recovery\": {\"kills\": " << episodes.size()
+        << ", \"rejoined\": " << rejoined << ", \"mean_latency_s\": "
+        << (episodes.empty()
+                ? 0.0
+                : latency_sum / static_cast<double>(episodes.size()))
+        << ", \"max_latency_s\": " << latency_max << "},\n";
+    out << b << "\"restore\": {\"from_checkpoint\": " << durable
+        << ", \"broadcast_fallbacks\": " << broadcast
+        << ", \"manifest_fallbacks\": " << manifest_fallbacks << "},\n";
+    out << b << "\"checkpoint\": {\"count\": " << ckpt_count
+        << ", \"bytes\": " << analysis.checkpoint_bytes()
+        << ", \"capture_seconds\": " << analysis.checkpoint_time()
+        << ", \"corruptions_injected\": " << corruptions << "},\n";
+    out << b << "\"lost_work\": {\"pipeline_rounds\": " << episodes.size()
+        << ", \"micro_batches\": " << episodes.size() * 3 << "},\n";
+    out << b << "\"wall_seconds\": " << wall_seconds << "\n";
+    out << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!gate.failures.empty()) {
+    std::fprintf(stderr, "\nSOAK FAILED — %zu invariant violation(s):\n",
+                 gate.failures.size());
+    for (const auto& f : gate.failures) {
+      std::fprintf(stderr, "  - %s\n", f.c_str());
+    }
+    return 2;
+  }
+  std::printf("\nsoak OK — all invariants held across %zu cycles\n", cycles);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  long soak = -1;
+  std::uint64_t seed = 20260809;
+  std::string json_path, keep_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--soak=", 7) == 0) {
+      soak = std::atol(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = 100;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--keep-dir=", 11) == 0) {
+      keep_dir = argv[i] + 11;
+    }
+  }
+  if (soak >= 0) {
+    return chaos_soak(static_cast<std::size_t>(soak), seed, json_path,
+                      keep_dir);
+  }
+
   const std::string trace_path = bench::trace_path_from_args(argc, argv);
   const auto faults = bench::faults_from_args(argc, argv);
   simulated_recovery(faults.get(), trace_path);

@@ -1,0 +1,96 @@
+#include "ckpt/format.hpp"
+
+#include <array>
+
+namespace avgpipe::ckpt {
+
+namespace {
+
+/// Software CRC-32 table (reflected 0xEDB88320), built once.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& table = crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void write_tensor(ByteWriter& w, const tensor::Tensor& t) {
+  const auto& shape = t.shape();
+  w.u32(static_cast<std::uint32_t>(shape.size()));
+  for (const std::size_t d : shape) w.u64(d);
+  const auto v = t.data();
+  // One raw memcpy of the whole buffer: Scalar is double and the encoding is
+  // its IEEE-754 bytes, so per-element f64() calls would only add overhead.
+  static_assert(sizeof(tensor::Scalar) == 8, "Scalar must be f64 on disk");
+  w.bytes(v.data(), v.size() * sizeof(tensor::Scalar));
+}
+
+tensor::Tensor read_tensor(ByteReader& r) {
+  const std::uint32_t ndim = r.u32();
+  AVGPIPE_CHECK(ndim <= 8, "tensor record: implausible rank " << ndim);
+  tensor::Shape shape(ndim);
+  for (auto& d : shape) {
+    d = static_cast<std::size_t>(r.u64());
+    AVGPIPE_CHECK(d > 0 && d <= (1ull << 32),
+                  "tensor record: implausible dim " << d);
+  }
+  tensor::Tensor t = tensor::Tensor::uninitialized(shape);
+  auto v = t.data();
+  const std::uint8_t* raw = r.bytes(v.size() * sizeof(tensor::Scalar));
+  std::memcpy(v.data(), raw, v.size() * sizeof(tensor::Scalar));
+  return t;
+}
+
+void write_tensor_list(ByteWriter& w, const std::vector<tensor::Tensor>& ts) {
+  w.u32(static_cast<std::uint32_t>(ts.size()));
+  for (const auto& t : ts) write_tensor(w, t);
+}
+
+std::vector<tensor::Tensor> read_tensor_list(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<tensor::Tensor> ts;
+  ts.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ts.push_back(read_tensor(r));
+  return ts;
+}
+
+void write_optimizer_state(ByteWriter& w, const optim::OptimizerState& s) {
+  w.str(s.name);
+  w.u64(s.steps);
+  w.u32(static_cast<std::uint32_t>(s.scalars.size()));
+  for (const double v : s.scalars) w.f64(v);
+  write_tensor_list(w, s.slots);
+}
+
+optim::OptimizerState read_optimizer_state(ByteReader& r) {
+  optim::OptimizerState s;
+  s.name = r.str();
+  s.steps = static_cast<std::size_t>(r.u64());
+  const std::uint32_t n = r.u32();
+  s.scalars.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.scalars.push_back(r.f64());
+  s.slots = read_tensor_list(r);
+  return s;
+}
+
+}  // namespace avgpipe::ckpt

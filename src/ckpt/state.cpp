@@ -1,0 +1,119 @@
+#include "ckpt/state.hpp"
+
+namespace avgpipe::ckpt {
+
+namespace {
+
+std::string pipeline_record(std::size_t i) {
+  return "pipeline." + std::to_string(i);
+}
+
+std::vector<std::uint8_t> encode_pipeline(const PipelineState& p) {
+  ByteWriter w;
+  w.u8(p.alive ? 1 : 0);
+  write_tensor_list(w, p.params);
+  w.u32(static_cast<std::uint32_t>(p.stages.size()));
+  for (const auto& s : p.stages) {
+    write_optimizer_state(w, s.optimizer);
+    write_tensor_list(w, s.pred_delta);
+    w.u8(s.pred_have_delta ? 1 : 0);
+  }
+  return w.take();
+}
+
+PipelineState decode_pipeline(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  PipelineState p;
+  p.alive = r.u8() != 0;
+  p.params = read_tensor_list(r);
+  const std::uint32_t stages = r.u32();
+  p.stages.reserve(stages);
+  for (std::uint32_t i = 0; i < stages; ++i) {
+    runtime::StageState s;
+    s.optimizer = read_optimizer_state(r);
+    s.pred_delta = read_tensor_list(r);
+    s.pred_have_delta = r.u8() != 0;
+    p.stages.push_back(std::move(s));
+  }
+  r.expect_done("pipeline record");
+  return p;
+}
+
+std::vector<std::uint8_t> encode_list(const std::vector<tensor::Tensor>& ts) {
+  ByteWriter w;
+  write_tensor_list(w, ts);
+  return w.take();
+}
+
+std::vector<tensor::Tensor> decode_list(
+    const std::vector<std::uint8_t>& payload, const char* what) {
+  ByteReader r(payload);
+  std::vector<tensor::Tensor> ts = read_tensor_list(r);
+  r.expect_done(what);
+  return ts;
+}
+
+}  // namespace
+
+void encode(const TrainState& state, CheckpointWriter& writer) {
+  {
+    ByteWriter w;
+    w.i64(state.step);
+    w.u8(state.policy_kind);
+    w.f64(state.alpha);
+    w.u32(static_cast<std::uint32_t>(state.pipelines.size()));
+    w.u32(static_cast<std::uint32_t>(state.rng_streams.size()));
+    writer.add_record("meta", w.take());
+  }
+  writer.add_record("reference", encode_list(state.reference));
+  writer.add_record("policy", encode_list(state.policy_state));
+  writer.add_record("broadcast", encode_list(state.broadcast));
+  for (std::size_t i = 0; i < state.pipelines.size(); ++i) {
+    writer.add_record(pipeline_record(i), encode_pipeline(state.pipelines[i]));
+  }
+  {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(state.rng_streams.size()));
+    for (const auto& [name, snapshot] : state.rng_streams) {
+      w.str(name);
+      w.str(snapshot);
+    }
+    writer.add_record("rng", w.take());
+  }
+}
+
+TrainState decode(const CheckpointReader& reader) {
+  TrainState state;
+  std::uint32_t pipelines = 0;
+  {
+    ByteReader r(reader.payload("meta"));
+    state.step = static_cast<long>(r.i64());
+    state.policy_kind = r.u8();
+    state.alpha = r.f64();
+    pipelines = r.u32();
+    r.u32();  // rng count (authoritative count lives in the rng record)
+    r.expect_done("meta record");
+  }
+  state.reference = decode_list(reader.payload("reference"), "reference");
+  state.policy_state = decode_list(reader.payload("policy"), "policy");
+  state.broadcast = decode_list(reader.payload("broadcast"), "broadcast");
+  state.pipelines.reserve(pipelines);
+  for (std::uint32_t i = 0; i < pipelines; ++i) {
+    state.pipelines.push_back(
+        decode_pipeline(reader.payload(pipeline_record(i))));
+  }
+  {
+    ByteReader r(reader.payload("rng"));
+    const std::uint32_t n = r.u32();
+    state.rng_streams.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::string name = r.str();
+      std::string snapshot = r.str();
+      state.rng_streams.emplace_back(std::move(name), std::move(snapshot));
+    }
+    r.expect_done("rng record");
+  }
+  return state;
+}
+
+}  // namespace avgpipe::ckpt

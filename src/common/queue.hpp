@@ -283,6 +283,15 @@ class Channel {
 /// so both ends already treat the stream as dead. Producers that need clean
 /// drain semantics must quiesce before close (the runtime's normal
 /// end-of-batch barrier guarantees exactly that).
+///
+/// The mirror-image guarantee on the receive side: once any recv-side op has
+/// reported closed-and-drained (kClosed / nullopt), every later recv-side op
+/// reports the same — even if a send that raced close() publishes its slot
+/// *after* the consumer observed the drain. Without this, a recovery drain
+/// loop could see kClosed, tear down, and a retry could then surface a
+/// resurrected item, making the end-of-stream point scheduling-dependent.
+/// The flag is consumer-owned (only recv-side ops touch it), so it needs no
+/// synchronisation under the SPSC contract.
 template <typename T>
 class SpscChannel {
  public:
@@ -328,7 +337,8 @@ class SpscChannel {
   }
 
   /// Blocking receive. Returns nullopt when the channel is closed and
-  /// drained.
+  /// drained; once it has, every later recv-side op agrees (see class
+  /// comment).
   std::optional<T> recv() {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (wait_for_item(h, kForever) != ChannelStatus::kOk) return std::nullopt;
@@ -337,7 +347,9 @@ class SpscChannel {
     return value;
   }
 
-  /// Timed receive: pending items are still delivered after close (kOk).
+  /// Timed receive: pending items are still delivered after close (kOk),
+  /// and kClosed is terminal — after the first kClosed the channel never
+  /// reports kOk or kTimeout again.
   ChannelStatus recv_for(T* out, Seconds timeout) {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     const ChannelStatus st = wait_for_item(h, timeout);
@@ -349,6 +361,7 @@ class SpscChannel {
 
   /// Non-blocking receive.
   std::optional<T> try_recv() {
+    if (drained_) return std::nullopt;
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (!item_ready(h)) return std::nullopt;
     T value = std::move(slots_[h % capacity_]);
@@ -421,7 +434,18 @@ class SpscChannel {
     return st;
   }
 
+  /// Consumer-side wait wrapper: makes the closed-and-drained outcome
+  /// sticky. A publish_tail racing close() can land *after* the consumer
+  /// already observed the drain; without the latch the stream would
+  /// "resurrect" and the end-of-stream point would depend on thread timing.
   ChannelStatus wait_for_item(std::size_t h, Seconds timeout) {
+    if (drained_) return ChannelStatus::kClosed;
+    const ChannelStatus st = wait_for_item_once(h, timeout);
+    if (st == ChannelStatus::kClosed) drained_ = true;
+    return st;
+  }
+
+  ChannelStatus wait_for_item_once(std::size_t h, Seconds timeout) {
     if (item_ready(h)) return ChannelStatus::kOk;
     if (closed_.load(std::memory_order_acquire)) {
       // Re-check after the closed read: pending items drain after close.
@@ -468,6 +492,9 @@ class SpscChannel {
   std::atomic<std::size_t> head_{0};
   std::atomic<std::size_t> tail_{0};
   std::atomic<bool> closed_{false};
+  // Consumer-owned end-of-stream latch (recv-side ops only; no atomics
+  // needed under the SPSC contract).
+  bool drained_ = false;
   std::atomic<std::uint32_t> send_waiters_{0};
   std::atomic<std::uint32_t> recv_waiters_{0};
   std::mutex park_mutex_;

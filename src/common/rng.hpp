@@ -7,7 +7,11 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace avgpipe {
 
@@ -61,6 +65,30 @@ class Rng {
           uniform_int(0, static_cast<std::int64_t>(i) - 1));
       std::swap(v[i - 1], v[j]);
     }
+  }
+
+  // -- durable state ---------------------------------------------------------
+  //
+  // Every distribution helper above constructs its std::*_distribution fresh
+  // per call, so the generator carries no hidden distribution state: the
+  // mt19937_64 engine state alone determines every future draw. That is what
+  // makes these accessors sufficient for bit-exact resume from a checkpoint.
+
+  /// Portable textual snapshot of the engine state (the standard's
+  /// stream-insertion format: 312 decimal integers + position).
+  std::string save_state() const {
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+  }
+
+  /// Restore a state previously produced by `save_state`. After this call
+  /// the draw sequence continues exactly where the saved generator left off.
+  /// Throws avgpipe::Error on a malformed snapshot.
+  void restore_state(const std::string& state) {
+    std::istringstream is(state);
+    is >> engine_;
+    AVGPIPE_CHECK(!is.fail(), "Rng::restore_state: malformed engine snapshot");
   }
 
   std::mt19937_64& engine() { return engine_; }

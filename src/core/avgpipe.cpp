@@ -2,6 +2,19 @@
 
 namespace avgpipe::core {
 
+namespace {
+
+/// Deep copy of a parameter set: checkpoint state must own its storage
+/// (Tensor copies share storage; a live apply must never mutate a capture).
+ParamSet clone_set(const ParamSet& src) {
+  ParamSet out;
+  out.reserve(src.size());
+  for (const auto& t : src) out.push_back(t.clone());
+  return out;
+}
+
+}  // namespace
+
 // -- AvgPipe (full threaded system) ----------------------------------------------
 
 AvgPipe::AvgPipe(const nn::ModelFactory& factory,
@@ -331,6 +344,14 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
       health_[i].last_ok_step = step;  // heartbeat
     } else {
       detach_pipeline(i, errors[i]);
+      // Escalation beyond the elastic detach: any contained worker failure
+      // (a thrown runtime error, the robust_recv peer-unresponsive deadline)
+      // re-attaches immediately from durable state instead of waiting for an
+      // operator rejoin. The lost work is this pipeline's batch; its next
+      // pull re-couples it to the survivors' average.
+      if (config_.restore_on_failure && config_.checkpoints != nullptr) {
+        restore_pipeline_from_checkpoint(i);
+      }
     }
   }
   const std::size_t alive = alive_pipelines();
@@ -425,6 +446,181 @@ ParamSet AvgPipe::replica_snapshot(std::size_t i) const {
   return clone_values(params);
 }
 
+// -- durable checkpoint/restore -----------------------------------------------
+
+void AvgPipe::register_rng(const std::string& name, Rng* rng) {
+  AVGPIPE_CHECK(rng != nullptr, "register_rng: null stream");
+  for (const auto& [existing, _] : rngs_) {
+    AVGPIPE_CHECK(existing != name,
+                  "register_rng: duplicate stream name '" << name << "'");
+  }
+  rngs_.emplace_back(name, rng);
+}
+
+ckpt::TrainState AvgPipe::capture_state() {
+  // The apply drain *is* the capture barrier: after synchronize() the
+  // reference has folded every shipped round, every worker is parked between
+  // jobs, and the driver owns all parameter and optimizer tensors.
+  synchronize();
+  ckpt::TrainState state;
+  state.step = iteration_;
+  state.policy_kind = static_cast<std::uint8_t>(policy_->kind());
+  state.alpha = alpha_;
+  {
+    std::lock_guard<std::mutex> lock(reference_mutex_);
+    state.reference = reference_->snapshot();
+    state.policy_state = policy_->export_state();
+    state.broadcast = clone_set(*latest_snapshot_);
+  }
+  state.pipelines.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    ckpt::PipelineState p;
+    p.alive = health_[i].alive;
+    if (p.alive) {
+      p.params = replica_snapshot(i);
+      p.stages = replicas_[i]->runtime->export_stage_state();
+    }
+    state.pipelines.push_back(std::move(p));
+  }
+  state.rng_streams.reserve(rngs_.size());
+  for (const auto& [name, rng] : rngs_) {
+    state.rng_streams.emplace_back(name, rng->save_state());
+  }
+  return state;
+}
+
+void AvgPipe::restore_pipeline(std::size_t i, const ckpt::PipelineState& p) {
+  auto params = replicas_[i]->model.parameters();
+  AVGPIPE_CHECK(params.size() == p.params.size(),
+                "restore: pipeline " << i << " has " << params.size()
+                                     << " parameters, checkpoint has "
+                                     << p.params.size());
+  for (std::size_t j = 0; j < params.size(); ++j) {
+    params[j].value().copy_from(p.params[j]);
+    params[j].zero_grad();  // a crashed batch may have left partial sums
+  }
+  const bool was_dead = !health_[i].alive;
+  if (was_dead) replicas_[i]->runtime = make_runtime(i);
+  replicas_[i]->runtime->import_stage_state(p.stages);
+  if (was_dead) {
+    start_worker(i);
+    health_[i].alive = true;
+    health_[i].last_error.clear();
+    rebalance_alpha();
+    record_membership_event(trace::EventKind::kPipelineRejoin, i);
+  }
+}
+
+void AvgPipe::restore_state(const ckpt::TrainState& state) {
+  AVGPIPE_CHECK(state.pipelines.size() == replicas_.size(),
+                "restore: checkpoint has " << state.pipelines.size()
+                                           << " pipelines, system has "
+                                           << replicas_.size());
+  AVGPIPE_CHECK(
+      state.policy_kind == static_cast<std::uint8_t>(policy_->kind()),
+      "restore: checkpoint policy kind " << int(state.policy_kind)
+                                         << " != configured policy '"
+                                         << policy_->name() << "'");
+  synchronize();
+  iteration_ = state.step;
+  {
+    std::lock_guard<std::mutex> lock(reference_mutex_);
+    ParamSet& ref = reference_->mutable_params();
+    AVGPIPE_CHECK(ref.size() == state.reference.size(),
+                  "restore: reference size mismatch");
+    for (std::size_t j = 0; j < ref.size(); ++j) {
+      ref[j].copy_from(state.reference[j]);
+    }
+    policy_->import_state(clone_set(state.policy_state));
+    latest_snapshot_ =
+        std::make_shared<const ParamSet>(clone_set(state.broadcast));
+  }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (state.pipelines[i].alive) {
+      restore_pipeline(i, state.pipelines[i]);
+    } else {
+      detach_pipeline(i, "restored checkpoint marks pipeline dead");
+    }
+  }
+  for (const auto& [name, snapshot] : state.rng_streams) {
+    for (auto& [registered, rng] : rngs_) {
+      if (registered == name) rng->restore_state(snapshot);
+    }
+  }
+  // The restored alive set reproduces this value via rebalance_alpha(); the
+  // explicit assignment makes the checkpoint authoritative regardless.
+  alpha_ = state.alpha;
+}
+
+ckpt::ManifestEntry AvgPipe::save_checkpoint() {
+  AVGPIPE_CHECK(config_.checkpoints != nullptr,
+                "save_checkpoint without config.checkpoints");
+  const Seconds t0 =
+      driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
+  const ckpt::ManifestEntry entry =
+      config_.checkpoints->write(capture_state());
+  if (driver_trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kCheckpoint;
+    ev.batch = static_cast<std::int32_t>(entry.step);
+    ev.bytes = entry.bytes;
+    ev.value = static_cast<double>(entry.bytes);
+    ev.t_begin = t0;
+    ev.t_end = config_.tracer->wall_now();
+    driver_trace_->record(ev);
+  }
+  return entry;
+}
+
+ckpt::CheckpointDir::LoadResult AvgPipe::restore_latest_checkpoint() {
+  AVGPIPE_CHECK(config_.checkpoints != nullptr,
+                "restore_latest_checkpoint without config.checkpoints");
+  const Seconds t0 =
+      driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
+  ckpt::TrainState state;
+  const auto res = config_.checkpoints->load_latest(&state);
+  if (res.ok) restore_state(state);
+  if (driver_trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kRestore;
+    ev.batch = static_cast<std::int32_t>(res.step);
+    ev.value = static_cast<double>(res.fallbacks);
+    ev.t_begin = t0;
+    ev.t_end = config_.tracer->wall_now();
+    driver_trace_->record(ev);
+  }
+  return res;
+}
+
+bool AvgPipe::restore_pipeline_from_checkpoint(std::size_t i) {
+  const Seconds t0 =
+      driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
+  ckpt::TrainState state;
+  const auto res = config_.checkpoints->load_latest(&state);
+  // Usable only if the checkpoint knows this pipeline as alive — otherwise
+  // (no checkpoint yet, all entries corrupted, or the pipeline was already
+  // dead at capture) degrade to the paper's broadcast rejoin.
+  const bool usable = res.ok &&
+                      state.pipelines.size() == replicas_.size() &&
+                      state.pipelines[i].alive;
+  if (usable) {
+    restore_pipeline(i, state.pipelines[i]);
+  } else {
+    rejoin_pipeline(i);
+  }
+  if (driver_trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kRestore;
+    ev.pipeline = static_cast<std::uint32_t>(i);
+    ev.batch = usable ? static_cast<std::int32_t>(res.step) : -1;
+    ev.value = static_cast<double>(res.fallbacks);
+    ev.t_begin = t0;
+    ev.t_end = config_.tracer->wall_now();
+    driver_trace_->record(ev);
+  }
+  return usable;
+}
+
 // -- AvgPipeTrainer (update semantics only) -----------------------------------------
 
 AvgPipeTrainer::AvgPipeTrainer(const nn::ModelFactory& factory,
@@ -502,7 +698,64 @@ double AvgPipeTrainer::train_iteration(const std::vector<data::Batch>& batches) 
   if (policy_->needs_begin()) {
     broadcast_ = policy_->make_broadcast(*reference_);
   }
+  ++iterations_;
   return loss_sum / static_cast<double>(replicas_.size());
+}
+
+ckpt::TrainState AvgPipeTrainer::capture_state() const {
+  ckpt::TrainState state;
+  state.step = iterations_;
+  state.policy_kind = static_cast<std::uint8_t>(policy_->kind());
+  state.alpha = alpha_;
+  state.reference = reference_->snapshot();
+  state.policy_state = policy_->export_state();
+  state.broadcast = clone_set(broadcast_);
+  state.pipelines.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    ckpt::PipelineState p;
+    p.params = clone_values(replica->model.parameters());
+    runtime::StageState stage;
+    stage.optimizer = replica->optimizer->export_state();
+    p.stages.push_back(std::move(stage));
+    state.pipelines.push_back(std::move(p));
+  }
+  return state;
+}
+
+void AvgPipeTrainer::restore_state(const ckpt::TrainState& state) {
+  AVGPIPE_CHECK(state.pipelines.size() == replicas_.size(),
+                "restore: checkpoint has " << state.pipelines.size()
+                                           << " replicas, trainer has "
+                                           << replicas_.size());
+  AVGPIPE_CHECK(
+      state.policy_kind == static_cast<std::uint8_t>(policy_->kind()),
+      "restore: checkpoint policy kind " << int(state.policy_kind)
+                                         << " != configured policy '"
+                                         << policy_->name() << "'");
+  iterations_ = state.step;
+  ParamSet& ref = reference_->mutable_params();
+  AVGPIPE_CHECK(ref.size() == state.reference.size(),
+                "restore: reference size mismatch");
+  for (std::size_t j = 0; j < ref.size(); ++j) {
+    ref[j].copy_from(state.reference[j]);
+  }
+  policy_->import_state(clone_set(state.policy_state));
+  broadcast_ = clone_set(state.broadcast);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const auto& p = state.pipelines[i];
+    auto params = replicas_[i]->model.parameters();
+    AVGPIPE_CHECK(params.size() == p.params.size(),
+                  "restore: replica " << i << " parameter count mismatch");
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      params[j].value().copy_from(p.params[j]);
+      params[j].zero_grad();
+    }
+    AVGPIPE_CHECK(p.stages.size() == 1,
+                  "serial trainer checkpoints one stage per replica, got "
+                      << p.stages.size());
+    replicas_[i]->optimizer->import_state(p.stages[0].optimizer);
+  }
+  alpha_ = state.alpha;
 }
 
 double AvgPipeTrainer::train_batch(const data::Batch& batch) {

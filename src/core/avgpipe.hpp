@@ -19,7 +19,9 @@
 #include <memory>
 #include <thread>
 
+#include "ckpt/state.hpp"
 #include "common/queue.hpp"
+#include "common/rng.hpp"
 #include "core/elastic.hpp"
 #include "core/sync_policy.hpp"
 #include "runtime/pipeline_runtime.hpp"
@@ -64,6 +66,16 @@ struct AvgPipeConfig {
   /// broadcast at round start, XPipe wires weight prediction into every
   /// replica runtime. `alpha` above only affects the elastic-family policies.
   SyncPolicyConfig sync;
+  /// Optional durable checkpoint directory (non-owning, must outlive the
+  /// AvgPipe). Enables save_checkpoint / restore_latest_checkpoint and — with
+  /// `restore_on_failure` — the failure-escalation path.
+  ckpt::CheckpointDir* checkpoints = nullptr;
+  /// Escalate a pipeline failure (worker exception, including the runtime's
+  /// peer-unresponsive deadline) beyond the elastic detach: immediately
+  /// restore the failed pipeline's durable state from the newest loadable
+  /// checkpoint and rejoin it. When no checkpoint is loadable the pipeline
+  /// degrades to the plain broadcast rejoin. Requires `checkpoints`.
+  bool restore_on_failure = false;
 };
 
 /// The full threaded system.
@@ -136,6 +148,39 @@ class AvgPipe {
   /// driver never runs ahead). Driver thread only.
   void synchronize();
 
+  // -- durable checkpoint/restore (src/ckpt) ---------------------------------
+
+  /// Register a named RNG stream (non-owning, must outlive the AvgPipe) to
+  /// ride along in checkpoints: capture_state snapshots it, restore_state
+  /// restores it by name. Typical use: the data-order stream, so a resumed
+  /// run draws exactly the batches the uninterrupted run would have.
+  void register_rng(const std::string& name, Rng* rng);
+
+  /// Full durable state at the current round boundary. synchronize()s first
+  /// — the apply drain doubles as the capture barrier (workers parked,
+  /// driver owns every tensor) — then snapshots reference / policy state /
+  /// broadcast under the reference mutex plus every pipeline's parameters
+  /// and per-stage runtime state. Driver thread only, between iterations.
+  ckpt::TrainState capture_state();
+
+  /// Restore a state produced by `capture_state` on an identically
+  /// configured system (same pipeline count and policy kind — checked).
+  /// Pipelines marked dead in `state` are detached; live ones get weights,
+  /// optimizer slots and predictor state back bit-exactly. Driver thread
+  /// only, between iterations.
+  void restore_state(const ckpt::TrainState& state);
+
+  /// capture_state + durable commit through config.checkpoints (which must
+  /// be set), recorded as a kCheckpoint span. The manifest is monotonic in
+  /// step, so at least one train_iteration must separate two saves.
+  ckpt::ManifestEntry save_checkpoint();
+
+  /// Load the newest durable checkpoint that decodes cleanly — falling back
+  /// over corrupted entries — and restore_state it (kRestore span carries
+  /// the fallback count). `ok == false` means nothing was loadable; the live
+  /// state is left untouched.
+  ckpt::CheckpointDir::LoadResult restore_latest_checkpoint();
+
  private:
   /// One iteration's work order for a replica worker thread.
   struct ReplicaJob {
@@ -176,6 +221,14 @@ class AvgPipe {
   /// Apply the plan's crash_at_step / rejoin_at_step records due at
   /// `iteration_`.
   void apply_scheduled_faults();
+  /// Bring pipeline `i` to the checkpointed per-pipeline state `p` (weights,
+  /// optimizer slots, predictors); doubles as a rejoin when `i` is detached.
+  void restore_pipeline(std::size_t i, const ckpt::PipelineState& p);
+  /// Failure escalation: re-attach just-detached pipeline `i` with its
+  /// durable state from the newest loadable checkpoint (kRestore span);
+  /// falls back to the plain broadcast rejoin when none is loadable.
+  /// Returns whether durable state was used.
+  bool restore_pipeline_from_checkpoint(std::size_t i);
 
   AvgPipeConfig config_;
   std::unique_ptr<SyncPolicy> policy_;
@@ -186,6 +239,8 @@ class AvgPipe {
   std::vector<fault::PipelineHealth> health_;  ///< one per pipeline
   runtime::OptimizerFactory make_optimizer_;   ///< kept for rejoins
   nn::Sequential eval_model_;
+  /// Named external RNG streams captured/restored with checkpoints.
+  std::vector<std::pair<std::string, Rng*>> rngs_;
 
   // Tracing buffers: driver-thread spans (elastic pull) and reference-
   // process spans; both lazily created from config_.tracer.
@@ -234,6 +289,19 @@ class AvgPipeTrainer : public runtime::TrainerBase {
   nn::Sequential& replica(std::size_t i) { return replicas_.at(i)->model; }
   const SyncPolicy& policy() const { return *policy_; }
 
+  // -- durable checkpoint/restore (serial path) ------------------------------
+
+  /// Iterations completed — the step counter serial checkpoints carry.
+  long iterations() const { return iterations_; }
+
+  /// Durable state of the serial trainer: one PipelineState per replica
+  /// (the whole replica is one "stage": its optimizer), plus reference,
+  /// policy state and the round broadcast. Restoring onto an identically
+  /// constructed trainer and re-feeding the same batches resumes the run
+  /// bit-identically — the parity property ckpt_test gates on per policy.
+  ckpt::TrainState capture_state() const;
+  void restore_state(const ckpt::TrainState& state);
+
  private:
   struct Replica {
     nn::Sequential model;
@@ -245,6 +313,7 @@ class AvgPipeTrainer : public runtime::TrainerBase {
   ParamSet broadcast_;  ///< round-start reset point (needs_begin policies)
   nn::Sequential eval_model_;
   double alpha_;
+  long iterations_ = 0;
   std::string name_;
 };
 

@@ -38,6 +38,12 @@ SyncPolicyConfig degenerate_config(SyncPolicyKind kind) {
 void SyncPolicy::begin_round(std::vector<tensor::Variable>& /*params*/,
                              const ParamSet& /*broadcast*/) const {}
 
+void SyncPolicy::import_state(std::vector<tensor::Tensor> state) {
+  AVGPIPE_CHECK(state.empty(), "policy '" << name() << "' is stateless but "
+                                          << state.size()
+                                          << " state tensors were restored");
+}
+
 ParamSet SyncPolicy::make_broadcast(const ReferenceModel& reference) const {
   return reference.snapshot();
 }
@@ -173,6 +179,17 @@ class BmufPolicy : public BspPolicy {
   }
 
   const optim::BlockMomentum& momentum() const { return momentum_; }
+
+  std::vector<tensor::Tensor> export_state() const override {
+    std::vector<tensor::Tensor> out;
+    out.reserve(momentum_.delta().size());
+    for (const auto& d : momentum_.delta()) out.push_back(d.clone());
+    return out;
+  }
+
+  void import_state(std::vector<tensor::Tensor> state) override {
+    momentum_.set_delta(std::move(state));
+  }
 
  private:
   optim::BlockMomentum momentum_;

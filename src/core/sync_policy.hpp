@@ -126,6 +126,18 @@ class SyncPolicy {
                             std::vector<std::vector<tensor::Variable>>& replicas,
                             double alpha);
 
+  // -- durable state (checkpoint layer, src/ckpt) -----------------------------
+
+  /// Reference-side mutable policy state to persist across a crash (BMUF:
+  /// the momentum Δ(t); stateless policies: empty). Shares apply_round's
+  /// serialisation. XPipe's EMA predictors are *runtime* state and are
+  /// persisted per stage (`runtime::StageState`), not here.
+  virtual std::vector<tensor::Tensor> export_state() const { return {}; }
+
+  /// Restore a snapshot produced by `export_state` on a same-kind policy.
+  /// Throws avgpipe::Error if state is offered to a stateless policy.
+  virtual void import_state(std::vector<tensor::Tensor> state);
+
  protected:
   SyncPolicyConfig config_;
 };

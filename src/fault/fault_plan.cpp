@@ -177,6 +177,17 @@ const PipelineCrash* FaultPlan::crash_for(int pipeline) const {
   return nullptr;
 }
 
+bool FaultPlan::should_kill(int pipeline, int stage, long step,
+                            int micro_batch) const {
+  for (const auto& k : kills) {
+    if (match(k.pipeline, pipeline) && match(k.stage, stage) &&
+        k.step == step && match(k.micro_batch, micro_batch)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 FaultPlan FaultPlan::parse_json(const std::string& text) {
   FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(number_or(text, "seed", 0));
@@ -234,6 +245,15 @@ FaultPlan FaultPlan::parse_json(const std::string& text) {
     AVGPIPE_CHECK(c.rejoin_at_step < 0 || c.rejoin_at_step > c.crash_at_step,
                   "rejoin_at_step must follow crash_at_step");
     plan.crashes.push_back(c);
+  }
+  for (const auto& obj : array_objects(text, "kills")) {
+    WorkerKill k;
+    k.pipeline = static_cast<int>(number_or(obj, "pipeline", kAny));
+    k.stage = static_cast<int>(number_or(obj, "stage", kAny));
+    k.step = static_cast<long>(number_or(obj, "step", -1));
+    AVGPIPE_CHECK(k.step >= 0, "worker kill needs a non-negative 'step'");
+    k.micro_batch = static_cast<int>(number_or(obj, "micro_batch", kAny));
+    plan.kills.push_back(k);
   }
   return plan;
 }
@@ -300,6 +320,13 @@ void FaultPlan::write_json(std::ostream& os) const {
     os << ",\"resync_seconds\":" << c.resync_seconds
        << ",\"crash_at_step\":" << c.crash_at_step
        << ",\"rejoin_at_step\":" << c.rejoin_at_step << "}";
+  }
+  os << "],\n\"kills\":[";
+  for (std::size_t i = 0; i < kills.size(); ++i) {
+    const auto& k = kills[i];
+    os << (i ? ",\n " : "") << "{\"pipeline\":" << k.pipeline
+       << ",\"stage\":" << k.stage << ",\"step\":" << k.step
+       << ",\"micro_batch\":" << k.micro_batch << "}";
   }
   os << "]}\n";
 }

@@ -88,6 +88,22 @@ struct PipelineCrash {
   long rejoin_at_step = -1;     ///< driver: rejoin before this iteration
 };
 
+/// A worker thread dies *mid-batch*: the first instruction matching
+/// (pipeline, stage, micro_batch) executed at train step `step` throws
+/// before running. Unlike PipelineCrash — a clean detach at an iteration
+/// boundary — this kills the pipeline at an arbitrary point inside a batch,
+/// leaving partial activations and gradient sums behind. The elastic driver
+/// contains the thrown error like any worker failure (detach, and with
+/// restore_on_failure a re-attach from the latest durable checkpoint); the
+/// crash-recovery soak sweeps the crash point across stages and micro-
+/// batches to show recovery is point-independent.
+struct WorkerKill {
+  int pipeline = kAny;
+  int stage = kAny;
+  long step = -1;          ///< train_batch index at which to die
+  int micro_batch = kAny;  ///< crash point within the batch
+};
+
 /// The full declarative fault scenario.
 class FaultPlan {
  public:
@@ -96,12 +112,13 @@ class FaultPlan {
   std::vector<LinkDegradation> link_degradations;
   std::vector<MessageDrop> drops;
   std::vector<PipelineCrash> crashes;
+  std::vector<WorkerKill> kills;
 
   /// True when the plan injects nothing; executors treat a null plan and an
   /// empty plan identically (the shim is zero-cost in both cases).
   bool empty() const {
     return stragglers.empty() && link_degradations.empty() && drops.empty() &&
-           crashes.empty();
+           crashes.empty() && kills.empty();
   }
 
   // -- queries (sim: virtual-time windows) ----------------------------------
@@ -130,6 +147,10 @@ class FaultPlan {
 
   /// The crash record for `pipeline`, or nullptr.
   const PipelineCrash* crash_for(int pipeline) const;
+
+  /// Whether an instruction at (pipeline, stage, step, micro_batch) matches
+  /// a WorkerKill record — the runtime throws before running it.
+  bool should_kill(int pipeline, int stage, long step, int micro_batch) const;
 
   // -- serialisation --------------------------------------------------------
 

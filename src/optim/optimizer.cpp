@@ -6,6 +6,47 @@
 
 namespace avgpipe::optim {
 
+namespace {
+
+/// Clone `src` onto the end of `state.slots`.
+void append_slots(OptimizerState& state, const std::vector<Tensor>& src) {
+  state.slots.reserve(state.slots.size() + src.size());
+  for (const auto& t : src) state.slots.push_back(t.clone());
+}
+
+/// Copy `count` slots starting at `offset` into `dst` (shape-checked).
+void restore_slots(const OptimizerState& state, std::size_t offset,
+                   std::vector<Tensor>& dst) {
+  AVGPIPE_CHECK(offset + dst.size() <= state.slots.size(),
+                "optimizer state '" << state.name << "': expected at least "
+                                    << offset + dst.size() << " slots, got "
+                                    << state.slots.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const Tensor& src = state.slots[offset + i];
+    AVGPIPE_CHECK(src.numel() == dst[i].numel(),
+                  "optimizer state '" << state.name << "': slot " << offset + i
+                                      << " numel " << src.numel()
+                                      << " != " << dst[i].numel());
+    dst[i].copy_from(src);
+  }
+}
+
+}  // namespace
+
+OptimizerState Optimizer::export_state() const {
+  OptimizerState state;
+  state.name = name();
+  state.steps = steps_;
+  return state;
+}
+
+void Optimizer::import_state(const OptimizerState& state) {
+  AVGPIPE_CHECK(state.name == name(), "optimizer state kind mismatch: saved '"
+                                          << state.name << "', importing into '"
+                                          << name() << "'");
+  steps_ = state.steps;
+}
+
 // -- SGD ------------------------------------------------------------------------
 
 Sgd::Sgd(std::vector<Variable> params, Scalar lr, Scalar momentum,
@@ -48,6 +89,21 @@ void Sgd::step() {
   ++steps_;
 }
 
+OptimizerState Sgd::export_state() const {
+  OptimizerState state = Optimizer::export_state();
+  append_slots(state, velocity_);  // empty when momentum == 0
+  return state;
+}
+
+void Sgd::import_state(const OptimizerState& state) {
+  Optimizer::import_state(state);
+  AVGPIPE_CHECK(state.slots.size() == velocity_.size(),
+                "SGD state: saved " << state.slots.size()
+                                    << " velocity slots, optimizer has "
+                                    << velocity_.size());
+  restore_slots(state, 0, velocity_);
+}
+
 // -- Adam -----------------------------------------------------------------------
 
 Adam::Adam(std::vector<Variable> params, Scalar lr, Scalar beta1, Scalar beta2,
@@ -81,6 +137,22 @@ void Adam::step() {
   }
 }
 
+OptimizerState Adam::export_state() const {
+  OptimizerState state = Optimizer::export_state();
+  append_slots(state, m_);
+  append_slots(state, v_);
+  return state;
+}
+
+void Adam::import_state(const OptimizerState& state) {
+  Optimizer::import_state(state);
+  AVGPIPE_CHECK(state.slots.size() == m_.size() + v_.size(),
+                "Adam state: saved " << state.slots.size() << " slots, expected "
+                                     << m_.size() + v_.size());
+  restore_slots(state, 0, m_);
+  restore_slots(state, m_.size(), v_);
+}
+
 // -- Adagrad ----------------------------------------------------------------------
 
 Adagrad::Adagrad(std::vector<Variable> params, Scalar lr, Scalar eps)
@@ -101,6 +173,20 @@ void Adagrad::step() {
     }
   }
   ++steps_;
+}
+
+OptimizerState Adagrad::export_state() const {
+  OptimizerState state = Optimizer::export_state();
+  append_slots(state, accum_);
+  return state;
+}
+
+void Adagrad::import_state(const OptimizerState& state) {
+  Optimizer::import_state(state);
+  AVGPIPE_CHECK(state.slots.size() == accum_.size(),
+                "Adagrad state: saved " << state.slots.size()
+                                        << " slots, expected " << accum_.size());
+  restore_slots(state, 0, accum_);
 }
 
 // -- ASGD -------------------------------------------------------------------------
@@ -153,6 +239,25 @@ void Asgd::swap_to_average() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     params_[i].value().copy_from(average_[i]);
   }
+}
+
+OptimizerState Asgd::export_state() const {
+  OptimizerState state = Optimizer::export_state();
+  state.scalars.push_back(static_cast<Scalar>(averaged_steps_));
+  append_slots(state, average_);
+  return state;
+}
+
+void Asgd::import_state(const OptimizerState& state) {
+  Optimizer::import_state(state);
+  AVGPIPE_CHECK(state.scalars.size() == 1,
+                "ASGD state: expected 1 scalar (averaged steps), got "
+                    << state.scalars.size());
+  AVGPIPE_CHECK(state.slots.size() == average_.size(),
+                "ASGD state: saved " << state.slots.size()
+                                     << " slots, expected " << average_.size());
+  averaged_steps_ = static_cast<std::size_t>(state.scalars[0]);
+  restore_slots(state, 0, average_);
 }
 
 // -- BlockMomentum (BMUF reference-side state) -------------------------------------

@@ -23,6 +23,18 @@ using tensor::Scalar;
 using tensor::Tensor;
 using tensor::Variable;
 
+/// Portable snapshot of an optimizer's mutable state, used by the checkpoint
+/// layer (`src/ckpt`). `slots` is the optimizer's tensor-valued state in a
+/// fixed per-optimizer order (e.g. Adam: all first moments then all second
+/// moments); `scalars` carries any extra scalar state (e.g. ASGD's averaged
+/// step count). Bit-exact: slots are cloned, never re-derived.
+struct OptimizerState {
+  std::string name;             ///< must match the importing optimizer
+  std::size_t steps = 0;        ///< step_count() — Adam bias correction needs it
+  std::vector<Scalar> scalars;  ///< optimizer-specific scalar state
+  std::vector<Tensor> slots;    ///< optimizer-specific tensor slots
+};
+
 /// Base optimizer over a fixed parameter list.
 class Optimizer {
  public:
@@ -34,6 +46,14 @@ class Optimizer {
   virtual void step() = 0;
 
   virtual std::string name() const = 0;
+
+  /// Snapshot all mutable state needed to resume bit-exactly. The base
+  /// captures `name` and the step count; subclasses append their slots.
+  virtual OptimizerState export_state() const;
+
+  /// Restore a snapshot produced by `export_state` on a same-shaped
+  /// optimizer. Throws avgpipe::Error on a name or shape mismatch.
+  virtual void import_state(const OptimizerState& state);
 
   void zero_grad() {
     for (auto& p : params_) p.zero_grad();
@@ -57,6 +77,8 @@ class Sgd : public Optimizer {
       Scalar weight_decay = 0.0);
   void step() override;
   std::string name() const override { return "SGD"; }
+  OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
 
  private:
   Scalar momentum_, weight_decay_;
@@ -70,6 +92,8 @@ class Adam : public Optimizer {
        Scalar beta2 = 0.999, Scalar eps = 1e-8);
   void step() override;
   std::string name() const override { return "Adam"; }
+  OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
 
  private:
   Scalar beta1_, beta2_, eps_;
@@ -82,6 +106,8 @@ class Adagrad : public Optimizer {
   Adagrad(std::vector<Variable> params, Scalar lr, Scalar eps = 1e-10);
   void step() override;
   std::string name() const override { return "Adagrad"; }
+  OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
 
  private:
   Scalar eps_;
@@ -97,6 +123,8 @@ class Asgd : public Optimizer {
        Scalar weight_decay = 0.0);
   void step() override;
   std::string name() const override { return "ASGD"; }
+  OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
 
   /// Polyak-averaged weights (equals current weights before the trigger).
   std::vector<Tensor> averaged_params() const;
@@ -144,6 +172,9 @@ class BlockMomentum {
 
   bool initialized() const { return !delta_.empty(); }
   const std::vector<Tensor>& delta() const { return delta_; }
+  /// Restore Δ(t) from a checkpoint (empty = back to uninitialised; the
+  /// next `filter_apply` re-validates shapes against the global model).
+  void set_delta(std::vector<Tensor> delta) { delta_ = std::move(delta); }
   Scalar block_momentum() const { return eta_; }
   Scalar block_lr() const { return zeta_; }
 

@@ -252,9 +252,14 @@ auto PipelineRuntime::robust_recv(Stage& stage, Ch& ch, const char* what)
         break;
     }
   }
-  AVGPIPE_THROW("stage " << stage.index << ": peer unresponsive on " << what
-                         << " after " << backoff.attempts()
-                         << " attempts (deadline " << kRecvDeadline << "s)");
+  // A typed throw, not AVGPIPE_THROW: worker_loop tags the failure so the
+  // elastic driver can escalate (detach + restore from checkpoint) instead
+  // of treating a hung peer like a programming error.
+  std::ostringstream msg;
+  msg << "stage " << stage.index << ": peer unresponsive on " << what
+      << " after " << backoff.attempts() << " attempts (deadline "
+      << kRecvDeadline << "s)";
+  throw PeerUnresponsiveError(msg.str());
 }
 
 template <typename Ch, typename T>
@@ -335,6 +340,9 @@ void PipelineRuntime::worker_loop(Stage& stage) {
         run_instr(stage, instr, step);
       }
     } catch (const std::exception& e) {
+      if (dynamic_cast<const PeerUnresponsiveError*>(&e) != nullptr) {
+        peer_unresponsive_.store(true, std::memory_order_release);
+      }
       std::ostringstream msg;
       msg << "stage " << stage.index;
       if (current != nullptr) {
@@ -351,6 +359,19 @@ void PipelineRuntime::worker_loop(Stage& stage) {
 
 void PipelineRuntime::run_instr(Stage& stage, const schedule::Instr& instr,
                                 long step) {
+  if (faults_active_ &&
+      faults_->should_kill(static_cast<int>(trace_pipeline_),
+                           static_cast<int>(stage.index), step,
+                           instr.micro_batch)) {
+    // Arbitrary-point crash: die before the instruction runs, leaving any
+    // partial activations/gradients of this batch behind. The worker loop
+    // flattens this into a failed-batch report; the elastic driver detaches
+    // (and, with checkpoints, restores) the pipeline.
+    AVGPIPE_THROW("injected worker kill (fault plan): stage "
+                  << stage.index << ", step " << step << ", micro-batch "
+                  << instr.micro_batch << ", op "
+                  << schedule::to_string(instr.kind));
+  }
   const double slow =
       faults_active_
           ? faults_->straggler_factor(static_cast<int>(trace_pipeline_),
@@ -459,14 +480,18 @@ void PipelineRuntime::begin_prediction(Stage& stage, long step) {
   const auto& params = stage.optimizer->params();
   if (stage.pred_true.empty()) {
     stage.pred_true.reserve(params.size());
-    stage.pred_delta.reserve(params.size());
-    for (const auto& p : params) {
-      stage.pred_true.push_back(p.value().clone());
-      stage.pred_delta.emplace_back(p.value().shape());
-    }
+    for (const auto& p : params) stage.pred_true.push_back(p.value().clone());
   } else {
     for (std::size_t i = 0; i < params.size(); ++i) {
       stage.pred_true[i].copy_from(params[i].value());
+    }
+  }
+  // Sized independently of pred_true: import_stage_state restores Δ̂ before
+  // this stage has ever predicted (pred_true still empty).
+  if (stage.pred_delta.empty()) {
+    stage.pred_delta.reserve(params.size());
+    for (const auto& p : params) {
+      stage.pred_delta.emplace_back(p.value().shape());
     }
   }
   stage.pred_predicted = true;
@@ -564,6 +589,39 @@ BatchStats PipelineRuntime::train_batch(const data::Batch& batch,
   stats.loss = stages_.back()->loss_sum /
                static_cast<double>(micro_batches);
   return stats;
+}
+
+std::vector<StageState> PipelineRuntime::export_stage_state() const {
+  std::vector<StageState> out;
+  out.reserve(stages_.size());
+  for (const auto& stage : stages_) {
+    StageState s;
+    s.optimizer = stage->optimizer->export_state();
+    s.pred_delta.reserve(stage->pred_delta.size());
+    for (const auto& d : stage->pred_delta) s.pred_delta.push_back(d.clone());
+    s.pred_have_delta = stage->pred_have_delta;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void PipelineRuntime::import_stage_state(const std::vector<StageState>& state) {
+  AVGPIPE_CHECK(state.size() == stages_.size(),
+                "stage-state count " << state.size() << " != " << stages_.size()
+                                     << " stages (partitioning mismatch)");
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    Stage& stage = *stages_[i];
+    stage.optimizer->import_state(state[i].optimizer);
+    // The EMA buffers are lazily sized by begin_prediction; a restore before
+    // the first predicted batch recreates them from the snapshot instead.
+    stage.pred_delta.clear();
+    stage.pred_delta.reserve(state[i].pred_delta.size());
+    for (const auto& d : state[i].pred_delta) {
+      stage.pred_delta.push_back(d.clone());
+    }
+    stage.pred_have_delta = state[i].pred_have_delta;
+    stage.pred_predicted = false;
+  }
 }
 
 std::size_t PipelineRuntime::peak_stash(std::size_t stage) const {

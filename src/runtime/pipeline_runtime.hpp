@@ -55,6 +55,24 @@ struct PredictionConfig {
   double beta = 0.0;
 };
 
+/// Durable per-stage state for the checkpoint layer (`src/ckpt`): the stage
+/// optimizer's snapshot plus the XPipe weight-prediction EMA. `pred_true` is
+/// deliberately absent — it only holds meaning mid-batch, and stage state may
+/// only be captured/restored between batches.
+struct StageState {
+  optim::OptimizerState optimizer;
+  std::vector<tensor::Tensor> pred_delta;
+  bool pred_have_delta = false;
+};
+
+/// Thrown by the resilient-recv path when a peer stays silent past the
+/// deadline. A distinct type so the elastic driver can tell "this pipeline
+/// hung" (detach + restore from checkpoint) from a programming error.
+class PeerUnresponsiveError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Pipeline over a partitioned Sequential model.
 class PipelineRuntime {
  public:
@@ -86,6 +104,21 @@ class PipelineRuntime {
   bool failed() const { return failed_.load(std::memory_order_acquire); }
   /// First recorded failure, empty if none.
   std::string failure_message() const;
+  /// Whether the first failure was a peer-unresponsiveness deadline (the
+  /// robust_recv escalation signal) rather than a hard error.
+  bool peer_unresponsive() const {
+    return peer_unresponsive_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot the durable per-stage state (optimizer slots + prediction
+  /// EMA), ordered by stage index. Only legal between train_batch calls,
+  /// when every worker is parked on its start channel and the driver owns
+  /// the stage structs.
+  std::vector<StageState> export_stage_state() const;
+  /// Restore a snapshot from a same-partitioning runtime. Same legality
+  /// window as export_stage_state. Throws avgpipe::Error on a stage-count or
+  /// shape mismatch.
+  void import_stage_state(const std::vector<StageState>& state);
 
   /// The underlying full model (parameters shared with the stages). Only
   /// safe to use between train_batch calls.
@@ -264,6 +297,7 @@ class PipelineRuntime {
   bool faults_active_ = false;
   std::atomic<long> step_{-1};
   std::atomic<bool> failed_{false};
+  std::atomic<bool> peer_unresponsive_{false};
   mutable std::mutex failure_mutex_;
   std::string failure_;
 };

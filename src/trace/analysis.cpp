@@ -245,6 +245,38 @@ std::vector<TraceAnalysis::Recovery> TraceAnalysis::recoveries() const {
   return episodes;
 }
 
+std::vector<TraceEvent> TraceAnalysis::checkpoint_events() const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.kind == EventKind::kCheckpoint) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceAnalysis::restore_events() const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.kind == EventKind::kRestore) out.push_back(ev);
+  }
+  return out;
+}
+
+Seconds TraceAnalysis::checkpoint_time() const {
+  Seconds total = 0;
+  for (const auto& ev : events_) {
+    if (ev.kind == EventKind::kCheckpoint) total += ev.t_end - ev.t_begin;
+  }
+  return total;
+}
+
+std::uint64_t TraceAnalysis::checkpoint_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& ev : events_) {
+    if (ev.kind == EventKind::kCheckpoint) total += ev.bytes;
+  }
+  return total;
+}
+
 Table TraceAnalysis::metrics_table() const {
   Table table({"stage", "busy s", "idle", "comm s", "overlap", "bubble s",
                "comm wait s", "mean util", "peak util", "qdepth p50",

@@ -104,6 +104,18 @@ class TraceAnalysis {
   /// events, in crash order.
   std::vector<Recovery> recoveries() const;
 
+  // -- durability metrics (src/ckpt) ----------------------------------------
+
+  /// kCheckpoint spans in time order (value/bytes = bytes on disk).
+  std::vector<TraceEvent> checkpoint_events() const;
+  /// kRestore spans in time order (value = manifest fallbacks taken).
+  std::vector<TraceEvent> restore_events() const;
+  /// Total time spent capturing and durably committing checkpoints — the
+  /// overhead side of the recovery-latency trade the soak bench reports.
+  Seconds checkpoint_time() const;
+  /// Bytes committed durably across all kCheckpoint spans.
+  std::uint64_t checkpoint_bytes() const;
+
  private:
   struct Interval {
     Seconds begin;

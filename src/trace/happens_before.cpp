@@ -9,21 +9,21 @@ namespace avgpipe::trace {
 
 namespace {
 
-/// (pipeline, stage, scope, batch, micro_batch) -> dense lookup key. `scope`
+/// (pipeline, stage, scope, batch, micro_batch) -> lookup key. `scope`
 /// disambiguates reused batch tags: the threaded runtime numbers batches per
 /// train_batch call, so every flushed iteration replays tag 0 — a stage's
 /// optimizer update for a tag closes that tag's scope there, and the next
-/// span reusing it belongs to scope + 1.
+/// span reusing it belongs to a fresh scope. FNV-style mixing rather than
+/// bit-packing: crash epochs widen scope values past what fixed fields hold.
 std::uint64_t mb_key(std::uint32_t pipeline, std::uint32_t stage,
                      std::uint32_t scope, int batch, int micro_batch) {
-  return (static_cast<std::uint64_t>(pipeline & 0xfffu) << 52) |
-         (static_cast<std::uint64_t>(stage & 0xffu) << 44) |
-         (static_cast<std::uint64_t>(scope & 0xfffu) << 32) |
-         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(batch) &
-                                     0xffffu)
-          << 16) |
-         static_cast<std::uint64_t>(static_cast<std::uint32_t>(micro_batch) &
-                                    0xffffu);
+  std::uint64_t k = 0xCBF29CE484222325ull;
+  for (const std::uint32_t field :
+       {pipeline, stage, scope, static_cast<std::uint32_t>(batch),
+        static_cast<std::uint32_t>(micro_batch)}) {
+    k = (k ^ field) * 0x100000001B3ull;
+  }
+  return k;
 }
 
 const char* kind_tag(EventKind kind) {
@@ -145,20 +145,47 @@ HbReport check_happens_before(const std::vector<TraceEvent>& events,
     by_proc[intern_proc(e.pipeline, pull ? 0 : e.stage, pull)].push_back(i);
   }
 
+  // ---- crash epochs -------------------------------------------------------
+  // A kPipelineCrash aborts whatever batch was in flight on that pipeline:
+  // the aborted tag is never closed by an update, so without an epoch bump
+  // the post-restore batch would reuse tag 0 *in the same scope* and trip
+  // false reorder violations. The crash marker is stamped after every worker
+  // of the pipeline joined, so all aborted-batch spans begin before it and
+  // all post-recovery spans begin after — t_begin cleanly classifies.
+  std::unordered_map<std::uint32_t, std::vector<double>> crash_times;
+  for (const auto& e : events) {
+    if (e.kind == EventKind::kPipelineCrash) {
+      crash_times[e.pipeline].push_back(e.t_begin);
+    }
+  }
+  auto epoch_of = [&](const TraceEvent& e) -> std::uint32_t {
+    const auto it = crash_times.find(e.pipeline);
+    if (it == crash_times.end()) return 0;
+    const auto& ts = it->second;  // time-sorted (events are)
+    return static_cast<std::uint32_t>(
+        std::upper_bound(ts.begin(), ts.end(), e.t_begin) - ts.begin());
+  };
+
   // ---- batch-tag scopes ---------------------------------------------------
   // A stage's kUpdate for tag b closes b's scope on that process; later
   // spans reusing the tag are a new flushed iteration. Flushed schedules
   // commit exactly one update per (stage, batch), so the scope counters
   // advance in lockstep across stages and the same physical micro-batch
-  // gets the same (scope, batch, mb) key on both ends of a link.
+  // gets the same (scope, batch, mb) key on both ends of a link. The crash
+  // epoch is folded into the scope value, restarting tag scopes after every
+  // pipeline crash.
   std::unordered_map<std::size_t, std::uint32_t> scope_of;
   for (const auto& plist : by_proc) {
-    std::unordered_map<int, std::uint32_t> closed;  // batch tag -> updates
+    std::unordered_map<std::uint64_t, std::uint32_t> closed;  // (epoch, tag)
     for (const auto i : plist) {
       const TraceEvent& e = events[i];
       if (e.kind == EventKind::kElasticPull) continue;
-      scope_of[i] = closed[e.batch];
-      if (e.kind == EventKind::kUpdate) ++closed[e.batch];
+      const std::uint32_t epoch = epoch_of(e);
+      const std::uint64_t tag =
+          (static_cast<std::uint64_t>(epoch) << 32) |
+          static_cast<std::uint32_t>(e.batch);
+      scope_of[i] = (epoch << 16) | closed[tag];
+      if (e.kind == EventKind::kUpdate) ++closed[tag];
     }
   }
 
@@ -343,6 +370,15 @@ HbReport check_happens_before(const std::vector<TraceEvent>& events,
   // one of its stages (paper §3.2 ❷: push/pull happens on batch
   // boundaries, after the local commit). Pull spans carry no batch tag, so
   // the pairing is by occurrence index.
+  //
+  // Crash recovery breaks that index pairing legitimately: a mid-batch death
+  // aborts a batch whose updates never commit, and a pipeline restored from
+  // a checkpoint re-enters the *same* round that detached it with a pull but
+  // no committed batch of its own. On a pipeline with crash epochs the
+  // strict pairing is therefore replaced by the weaker-but-sound rule:
+  // every pull must follow the latest update committed so far *in its own
+  // epoch* (a pull preceding all of its epoch's updates is the recovery
+  // pull, exempt by design).
   {
     std::unordered_map<std::uint32_t, std::vector<std::size_t>> pulls;
     std::unordered_map<std::uint32_t,
@@ -359,16 +395,32 @@ HbReport check_happens_before(const std::vector<TraceEvent>& events,
     }
     for (const auto& [pipeline, plist] : pulls) {
       const auto uit = updates.find(pipeline);
+      const bool crashed = crash_times.count(pipeline) != 0;
       for (std::size_t j = 0; j < plist.size(); ++j) {
         const TraceEvent& pe = events[plist[j]];
         if (uit == updates.end()) {
-          violate("elastic pull without any optimizer update on pipeline " +
-                  std::to_string(pipeline) + ": " + describe(pe));
+          if (!crashed) {
+            violate("elastic pull without any optimizer update on pipeline " +
+                    std::to_string(pipeline) + ": " + describe(pe));
+          }
           continue;
         }
         const std::size_t p =
             intern_proc(pe.pipeline, 0, /*pull=*/true);
         for (const auto& [stage, ulist] : uit->second) {
+          if (crashed) {
+            // Latest update before this pull (indices are t_begin-ordered);
+            // an edge is required only when it belongs to the pull's epoch.
+            const auto nxt =
+                std::upper_bound(ulist.begin(), ulist.end(), plist[j]);
+            if (nxt == ulist.begin()) continue;
+            const std::size_t ui = *(nxt - 1);
+            if (epoch_of(events[ui]) != epoch_of(pe)) continue;
+            check_edge(events[ui], pe, "elastic round", ui);
+            const auto cit = clock_of.find(ui);
+            if (cit != clock_of.end()) join(proc_clock[p], cit->second);
+            continue;
+          }
           if (ulist.size() <= j) {
             violate("elastic pull " + std::to_string(j) + " of pipeline " +
                     std::to_string(pipeline) + " has no matching update on s" +

@@ -24,6 +24,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kPipelineRejoin: return "pipeline_rejoin";
     case EventKind::kPolicyBroadcast: return "policy_broadcast";
     case EventKind::kWeightPrediction: return "weight_prediction";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kRestore: return "restore";
   }
   return "?";
 }

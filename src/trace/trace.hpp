@@ -68,6 +68,12 @@ enum class EventKind : std::uint8_t {
   // for every policy (the replica-side pull/push step ❷–❸).
   kPolicyBroadcast,
   kWeightPrediction,
+  // Durability spans (src/ckpt). kCheckpoint covers a round-boundary state
+  // capture plus its crash-consistent write (value = bytes on disk);
+  // kRestore covers loading a durable checkpoint back into the live system
+  // (value = manifest entries skipped before one decoded cleanly).
+  kCheckpoint,
+  kRestore,
 };
 
 /// Named counter series for EventKind::kCounter events.

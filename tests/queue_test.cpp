@@ -284,6 +284,58 @@ TEST(SpscChannelStressTest, TimedRecvContentionDeliversAll) {
   EXPECT_EQ(expected, kItems);
 }
 
+TEST(SpscChannelTest, CloseWakesBlockedTimedReceiverPromptly) {
+  // Regression for the recovery path: the runtime's robust_recv parks in
+  // recv_for with a long deadline; a teardown close() must wake it with
+  // kClosed immediately, not leave it to ride out the timeout (which turned
+  // pipeline teardown into a deadline-long stall).
+  SpscChannel<int> ch(1);
+  ChannelStatus status = ChannelStatus::kOk;
+  std::thread receiver([&] {
+    int out = 0;
+    status = ch.recv_for(&out, /*timeout=*/30.0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto t0 = std::chrono::steady_clock::now();
+  ch.close();
+  receiver.join();
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(status, ChannelStatus::kClosed);
+  EXPECT_LT(std::chrono::duration<double>(waited).count(), 5.0);
+}
+
+TEST(SpscChannelTest, TimedRecvDrainsPendingItemsThenReportsClosed) {
+  // Deterministic end-of-stream: items buffered before close() are still
+  // delivered (kOk, in order), and only then does recv_for report kClosed.
+  SpscChannel<int> ch(4);
+  ch.send(1);
+  ch.send(2);
+  ch.send(3);
+  ch.close();
+  int out = 0;
+  for (int expected = 1; expected <= 3; ++expected) {
+    ASSERT_EQ(ch.recv_for(&out, 0.01), ChannelStatus::kOk);
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_EQ(ch.recv_for(&out, 0.01), ChannelStatus::kClosed);
+}
+
+TEST(SpscChannelTest, ClosedAndDrainedIsStickyAcrossRecvOps) {
+  // Once any recv-side op has observed closed-and-drained, every later
+  // recv-side op must agree — kClosed (never kTimeout), nullopt — so a
+  // recovery drain loop's end-of-stream point is scheduling-independent.
+  SpscChannel<int> ch(2);
+  ch.send(9);
+  ch.close();
+  EXPECT_EQ(ch.recv().value(), 9);
+  EXPECT_FALSE(ch.recv().has_value());  // first kClosed observation
+  int out = 0;
+  EXPECT_EQ(ch.recv_for(&out, 0.01), ChannelStatus::kClosed);
+  EXPECT_EQ(ch.recv_for(&out, 0.0), ChannelStatus::kClosed);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  EXPECT_FALSE(ch.recv().has_value());
+}
+
 TEST(ChannelStressTest, SpinPathPingPong) {
   // Two channels, two threads bouncing a token: exercises the spin-then-park
   // fast path (the reply usually lands within the spin window on SMP, and
