@@ -1,0 +1,70 @@
+#include "common/affinity.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace avgpipe {
+
+const char* to_string(PinPolicy policy) {
+  switch (policy) {
+    case PinPolicy::kCompact: return "compact";
+    case PinPolicy::kScatter: return "scatter";
+    case PinPolicy::kNone: break;
+  }
+  return "none";
+}
+
+PinPolicy parse_pin_policy(const char* value) {
+  if (value == nullptr || *value == '\0') return PinPolicy::kNone;
+  if (std::strcmp(value, "compact") == 0 || std::strcmp(value, "1") == 0) {
+    return PinPolicy::kCompact;
+  }
+  if (std::strcmp(value, "scatter") == 0) return PinPolicy::kScatter;
+  return PinPolicy::kNone;
+}
+
+PinPolicy pin_policy_from_env() {
+  // Read once, before the runtime spawns its threads; nothing calls setenv.
+  static const PinPolicy policy =
+      parse_pin_policy(std::getenv("AVGPIPE_PIN_THREADS"));  // NOLINT(concurrency-mt-unsafe)
+  return policy;
+}
+
+std::size_t num_cores() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::size_t pin_core_for_slot(PinPolicy policy, std::size_t slot,
+                              std::size_t total_slots, std::size_t cores) {
+  cores = std::max<std::size_t>(1, cores);
+  if (policy == PinPolicy::kScatter && total_slots > 0) {
+    return (slot * cores) / total_slots;
+  }
+  return slot % cores;
+}
+
+bool pin_current_thread(PinPolicy policy, std::size_t slot,
+                        std::size_t total_slots) {
+  if (policy == PinPolicy::kNone) return false;
+  if (total_slots == 0 || slot >= total_slots) return false;
+  const std::size_t cores = num_cores();
+  if (total_slots > cores) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(pin_core_for_slot(policy, slot, total_slots, cores)),
+          &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace avgpipe

@@ -389,6 +389,18 @@ class SpscChannel {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Cumulative slow-path statistics, both sides combined: `spin_waits()`
+  /// counts spin-window entries (an op that missed the two-atomic fast path),
+  /// `parks()` counts condvar parks (an op whose spin window also missed).
+  /// Relaxed and monotone — a cheap contention probe the runtime samples as
+  /// per-batch deltas, never a synchronisation point.
+  std::uint64_t spin_waits() const {
+    return spin_waits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t parks() const {
+    return parks_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr Seconds kForever = -1.0;
 
@@ -418,6 +430,7 @@ class SpscChannel {
   ChannelStatus wait_for_space(std::size_t t, Seconds timeout) {
     if (closed_.load(std::memory_order_acquire)) return ChannelStatus::kClosed;
     if (have_space(t)) return ChannelStatus::kOk;
+    spin_waits_.fetch_add(1, std::memory_order_relaxed);
     spin_send_.spin([&] {
       return have_space(t) || closed_.load(std::memory_order_acquire);
     });
@@ -451,6 +464,7 @@ class SpscChannel {
       // Re-check after the closed read: pending items drain after close.
       return item_ready(h) ? ChannelStatus::kOk : ChannelStatus::kClosed;
     }
+    spin_waits_.fetch_add(1, std::memory_order_relaxed);
     spin_recv_.spin([&] {
       return item_ready(h) || closed_.load(std::memory_order_acquire);
     });
@@ -469,6 +483,7 @@ class SpscChannel {
   template <typename Ready>
   ChannelStatus park(std::atomic<std::uint32_t>& waiters, Seconds timeout,
                      Ready&& ready) {
+    parks_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(park_mutex_);
     waiters.fetch_add(1, std::memory_order_seq_cst);
     const auto pred = [&] {
@@ -497,6 +512,8 @@ class SpscChannel {
   bool drained_ = false;
   std::atomic<std::uint32_t> send_waiters_{0};
   std::atomic<std::uint32_t> recv_waiters_{0};
+  std::atomic<std::uint64_t> spin_waits_{0};
+  std::atomic<std::uint64_t> parks_{0};
   std::mutex park_mutex_;
   std::condition_variable park_cv_;
   detail::SpinPolicy spin_send_;

@@ -7,6 +7,35 @@
 
 namespace avgpipe {
 
+namespace {
+
+// 0 = unpartitioned; set/restored by PartitionGuard on the owning thread.
+thread_local std::size_t tls_partition_workers = 0;
+
+}  // namespace
+
+PartitionGuard::PartitionGuard(std::size_t workers)
+    : saved_(tls_partition_workers) {
+  tls_partition_workers = std::max<std::size_t>(1, workers);
+}
+
+PartitionGuard::~PartitionGuard() { tls_partition_workers = saved_; }
+
+std::size_t current_partition() { return tls_partition_workers; }
+
+std::size_t default_stage_workers(std::size_t stages) {
+  stages = std::max<std::size_t>(1, stages);
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t budget = std::min(configured_num_threads(), hw);
+  return std::max<std::size_t>(1, budget / stages);
+}
+
+std::size_t stage_workers_from_env(std::size_t stages) {
+  // Read before the runtime spawns its stage threads; nothing calls setenv.
+  return parse_num_threads(std::getenv("AVGPIPE_STAGE_THREADS"),  // NOLINT(concurrency-mt-unsafe)
+                           default_stage_workers(stages));
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -43,13 +72,19 @@ void ThreadPool::parallel_for(
   const std::size_t n = end - begin;
   if (grain == 0) grain = 1;
   // Caller counts as an execution slot, so even a 0-worker pool or a
-  // parallel_for issued from inside a pool task makes progress. Cap at the
-  // CPU count: chunks beyond it cannot run concurrently, so splitting only
-  // buys cross-thread handoffs (on a uniprocessor, a condvar round trip per
-  // call for zero parallelism).
+  // parallel_for issued from inside a pool task makes progress. An
+  // unpartitioned caller caps at the CPU count: chunks beyond it cannot run
+  // concurrently, so splitting only buys cross-thread handoffs (on a
+  // uniprocessor, a condvar round trip per call for zero parallelism). A
+  // partitioned caller is trusted to its installed share instead — even past
+  // the CPU count, so tests can force real cross-thread fan-out on small
+  // machines; the provisioning helpers keep production shares within budget.
   static const std::size_t hw =
       std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t max_chunks = std::min(workers_.size() + 1, hw);
+  const std::size_t partition = tls_partition_workers;
+  const std::size_t max_chunks =
+      partition == 0 ? std::min(workers_.size() + 1, hw)
+                     : std::min(workers_.size() + 1, partition);
   const std::size_t chunks =
       std::min(max_chunks, (n + grain - 1) / grain);
   if (chunks <= 1) {
@@ -66,7 +101,20 @@ void ThreadPool::parallel_for(
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
     submit([&, lo, hi] {
+      // Worker-side chunk high-water mark. The decrement lands *before* the
+      // completion notify, so by the time a caller's parallel_for returns
+      // every one of its chunks has left the count — K partitioned callers
+      // can therefore never observe a peak above the sum of their
+      // worker-side shares (the oversubscription regression probe).
+      const std::size_t running =
+          active_.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::size_t peak = peak_active_.load(std::memory_order_relaxed);
+      while (running > peak &&
+             !peak_active_.compare_exchange_weak(peak, running,
+                                                 std::memory_order_relaxed)) {
+      }
       if (lo < hi) fn(lo, hi);
+      active_.fetch_sub(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mutex);
       if (--remaining == 0) done_cv.notify_one();
     });

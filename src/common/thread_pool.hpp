@@ -15,7 +15,17 @@
 /// AVGPIPE_NUM_THREADS environment variable (falling back to
 /// hardware_concurrency), giving benches and the pipeline runtime one knob
 /// for intra-op parallelism.
+///
+/// When several threads share the pool — the pipeline runtime runs K stage
+/// threads that all issue tensor kernels — an unrestricted fan-out
+/// oversubscribes the machine K-fold: every caller chunks across the whole
+/// pool. A `PartitionGuard` installs a per-caller worker share (counting the
+/// caller itself), so K stage threads holding shares that sum to the pool
+/// budget fan out without stepping on each other. The share is thread-local
+/// and purely a chunking limit: workers are not reserved, so an idle stage's
+/// share is still usable by a busy one.
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <thread>
@@ -40,6 +50,18 @@ class ThreadPool {
   /// Enqueue a task; runs asynchronously on some worker.
   void submit(std::function<void()> task);
 
+  /// Highest number of parallel_for chunks observed running simultaneously
+  /// on this pool's workers since the last `reset_peak_active()` (the
+  /// caller-runs chunk and plain submit() tasks are not counted). The
+  /// oversubscription regression probe: with K partitioned callers the peak
+  /// must stay within the sum of their worker-side shares.
+  std::size_t peak_active_workers() const {
+    return peak_active_.load(std::memory_order_relaxed);
+  }
+  void reset_peak_active() {
+    peak_active_.store(0, std::memory_order_relaxed);
+  }
+
   /// Run fn(lo, hi) over [begin, end) split into contiguous chunks of at
   /// least `grain` indices each (at most one chunk per worker plus the
   /// caller); blocks until all chunks finish. The caller executes the first
@@ -58,7 +80,43 @@ class ThreadPool {
 
   Channel<std::function<void()>> tasks_{1024};
   std::vector<std::thread> workers_;
+  std::atomic<std::size_t> active_{0};
+  std::atomic<std::size_t> peak_active_{0};
 };
+
+/// RAII worker partition for the calling thread: while alive, a parallel_for
+/// issued from this thread splits into at most `workers` chunks (the caller
+/// counts as one of them, so `workers == 1` means fully inline). Guards nest
+/// — the constructor saves the previous share and the destructor restores
+/// it. An explicit share is trusted past the hardware-concurrency cap so
+/// tests can exercise real cross-thread fan-out on small machines; the
+/// provisioning helpers below never hand out shares that sum past the
+/// budget.
+class PartitionGuard {
+ public:
+  explicit PartitionGuard(std::size_t workers);
+  ~PartitionGuard();
+
+  PartitionGuard(const PartitionGuard&) = delete;
+  PartitionGuard& operator=(const PartitionGuard&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
+/// The calling thread's installed partition share; 0 = unpartitioned
+/// (parallel_for falls back to the CPU-count cap).
+std::size_t current_partition();
+
+/// Fair per-stage share when `stages` threads issue kernels concurrently:
+/// min(configured pool budget, hardware_concurrency) / stages, floored at 1.
+/// K stages * default_stage_workers(K) never exceeds the budget (beyond the
+/// caller-runs floor of one chunk per stage).
+std::size_t default_stage_workers(std::size_t stages);
+
+/// Per-stage worker share from AVGPIPE_STAGE_THREADS: a positive integer
+/// wins, anything else yields `default_stage_workers(stages)`.
+std::size_t stage_workers_from_env(std::size_t stages);
 
 /// Parse an AVGPIPE_NUM_THREADS-style value: a positive integer wins,
 /// anything else (null, empty, junk, zero) yields `fallback`.

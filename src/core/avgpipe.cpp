@@ -1,5 +1,8 @@
 #include "core/avgpipe.hpp"
 
+#include "common/affinity.hpp"
+#include "common/thread_pool.hpp"
+
 namespace avgpipe::core {
 
 namespace {
@@ -36,6 +39,15 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
   alpha_ = config_.alpha > 0.0 ? config_.alpha
                                : default_alpha(config_.num_pipelines);
   health_.resize(config_.num_pipelines);
+
+  // Thread-placement plan: N*K stage threads issue kernels concurrently, so
+  // each gets a fair share of the global pool unless AVGPIPE_STAGE_THREADS
+  // overrides; the pin-slot layout additionally covers the N replica workers
+  // and the reference thread.
+  const std::size_t num_stages = config_.boundaries.size() + 1;
+  stage_workers_ = stage_workers_from_env(config_.num_pipelines * num_stages);
+  pin_total_slots_ =
+      config_.num_pipelines * num_stages + config_.num_pipelines + 1;
 
   // Build replicas with identical initial weights: replica 0's init is the
   // source of truth, copied into every other replica and the eval model.
@@ -77,6 +89,8 @@ std::unique_ptr<runtime::PipelineRuntime> AvgPipe::make_runtime(
       runtime::cross_entropy_loss(), config_.kind, config_.advance_num);
   if (config_.tracer != nullptr) rt->set_tracer(config_.tracer, i);
   rt->set_faults(faults_);
+  rt->set_stage_workers(stage_workers_);
+  rt->set_thread_slots(i * (config_.boundaries.size() + 1), pin_total_slots_);
   if (config_.sync.kind == SyncPolicyKind::kXPipe &&
       config_.sync.prediction_lookahead != 0.0) {
     runtime::PredictionConfig pc;
@@ -112,6 +126,11 @@ void AvgPipe::stop_worker(std::size_t i) {
 
 void AvgPipe::replica_loop(std::size_t i) {
   auto& r = *replicas_[i];
+  // Elastic-sync worker slot: after every replica's stage threads. Pinning
+  // is a no-op unless AVGPIPE_PIN_THREADS is set and the layout fits.
+  const std::size_t num_stages = config_.boundaries.size() + 1;
+  pin_current_thread(pin_policy_from_env(),
+                     config_.num_pipelines * num_stages + i, pin_total_slots_);
   while (auto job = r.jobs->recv()) {
     if (config_.tracer != nullptr && r.trace_buf == nullptr) {
       r.trace_buf = config_.tracer->create_buffer();
@@ -176,23 +195,43 @@ void AvgPipe::reference_loop() {
   // the round of local updates from every surviving pipeline; normalise by
   // the round size (N_alive) and apply, keeping the reference at the mean of
   // the survivors.
+  //
+  // Batched application: under sync_lag > 0 the driver can run ahead, so
+  // several rounds may already be queued when this thread wakes. Drain them
+  // all and apply the batch in one critical section — the elastic policy's
+  // fused sweep touches each reference weight once per batch instead of once
+  // per round, and the broadcast snapshot (a full clone) is rebuilt once. An
+  // apply token is still sent per round, so the driver's bounded-lag
+  // handshake is unchanged. In sync mode (and async with sync_lag = 0) the
+  // driver waits for every apply, the queue never holds more than one round,
+  // every batch has size 1, and the schedule of pulls/applies — hence the
+  // parameter trajectory — is bit-identical to the unbatched loop.
+  pin_current_thread(pin_policy_from_env(), pin_total_slots_ - 1,
+                     pin_total_slots_);
   while (auto round = update_queue_.recv()) {
+    std::vector<std::vector<ParamSet>> rounds;
+    rounds.push_back(std::move(*round));
+    while (auto more = update_queue_.try_recv()) {
+      rounds.push_back(std::move(*more));
+    }
     std::lock_guard<std::mutex> lock(reference_mutex_);
     if (reference_trace_ != nullptr) {
-      // Staleness: local updates received for this round but not yet visible
-      // to the pipelines through an apply.
-      for (std::size_t received = 1; received <= round->size(); ++received) {
-        trace::TraceEvent ev;
-        ev.kind = trace::EventKind::kCounter;
-        ev.counter = trace::CounterId::kStaleness;
-        ev.t_begin = ev.t_end = config_.tracer->wall_now();
-        ev.value = static_cast<double>(received);
-        reference_trace_->record(ev);
+      // Staleness: local updates received per round but not yet visible to
+      // the pipelines through an apply.
+      for (const auto& r : rounds) {
+        for (std::size_t received = 1; received <= r.size(); ++received) {
+          trace::TraceEvent ev;
+          ev.kind = trace::EventKind::kCounter;
+          ev.counter = trace::CounterId::kStaleness;
+          ev.t_begin = ev.t_end = config_.tracer->wall_now();
+          ev.value = static_cast<double>(received);
+          reference_trace_->record(ev);
+        }
       }
     }
     const Seconds t0 =
         reference_trace_ != nullptr ? config_.tracer->wall_now() : 0;
-    policy_->apply_round(*reference_, *round);
+    policy_->apply_rounds(*reference_, rounds);
     latest_snapshot_ =
         std::make_shared<const ParamSet>(policy_->make_broadcast(*reference_));
     if (reference_trace_ != nullptr) {
@@ -201,8 +240,14 @@ void AvgPipe::reference_loop() {
       ev.t_begin = t0;
       ev.t_end = config_.tracer->wall_now();
       reference_trace_->record(ev);
+      trace::TraceEvent batch;
+      batch.kind = trace::EventKind::kCounter;
+      batch.counter = trace::CounterId::kSyncBatch;
+      batch.t_begin = batch.t_end = ev.t_end;
+      batch.value = static_cast<double>(rounds.size());
+      reference_trace_->record(batch);
     }
-    applied_queue_.send(1);
+    for (std::size_t r = 0; r < rounds.size(); ++r) applied_queue_.send(1);
   }
 }
 

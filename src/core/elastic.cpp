@@ -1,6 +1,7 @@
 #include "core/elastic.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/check.hpp"
 
@@ -123,6 +124,47 @@ std::size_t ReferenceModel::apply_accumulated(std::size_t n) {
   }
   pending_ = 0;
   return applied;
+}
+
+void ReferenceModel::apply_round_batch(
+    const std::vector<std::vector<ParamSet>>& rounds) {
+  AVGPIPE_CHECK(pending_ == 0,
+                "batched apply must not interleave with a partial round");
+  for (const auto& round : rounds) {
+    AVGPIPE_CHECK(!round.empty(), "batched apply: empty round");
+    for (const auto& update : round) {
+      AVGPIPE_CHECK(update.size() == params_.size(),
+                    "param set size mismatch");
+    }
+  }
+  std::vector<std::span<const tensor::Scalar>> views;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto pv = params_[i].data();
+    // Flatten the batch's update views for this parameter once; per round,
+    // `scale * (u_1[j] + u_2[j] + …)` replays accumulate's `+= 1.0 * u[j]`
+    // into a zeroed accumulator followed by apply's `+= scale * acc`, so
+    // each round folds with the exact rounding of the sequential path.
+    views.clear();
+    for (const auto& round : rounds) {
+      for (const auto& update : round) {
+        AVGPIPE_CHECK(update[i].numel() == params_[i].numel(),
+                      "update/reference numel mismatch");
+        views.push_back(update[i].data());
+      }
+    }
+    for (std::size_t j = 0; j < pv.size(); ++j) {
+      tensor::Scalar v = pv[j];
+      std::size_t u = 0;
+      for (const auto& round : rounds) {
+        tensor::Scalar acc = 0.0;
+        for (std::size_t r = 0; r < round.size(); ++r) {
+          acc += 1.0 * views[u++][j];
+        }
+        v += (1.0 / static_cast<double>(round.size())) * acc;
+      }
+      pv[j] = v;
+    }
+  }
 }
 
 ParamSet ReferenceModel::snapshot() const {

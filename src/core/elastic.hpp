@@ -72,6 +72,15 @@ class ReferenceModel {
   /// Step ❺: once every pipeline has reported, normalise by `n` and apply.
   /// Returns the number of updates that were folded in.
   std::size_t apply_accumulated(std::size_t n);
+  /// Fused ❹+❺ over a *batch* of complete rounds — the asynchronous
+  /// reference process may find several rounds queued. For each parameter
+  /// tensor a single sweep folds every round's updates and applies them in
+  /// arrival order, performing exactly the floating-point operations of the
+  /// per-round accumulate…apply_accumulated(round.size()) loop in the same
+  /// order, so the result is bit-identical while the reference weights are
+  /// read and written once instead of once per round (and the accumulator is
+  /// never touched). Must not interleave with a partially accumulated round.
+  void apply_round_batch(const std::vector<std::vector<ParamSet>>& rounds);
 
   const ParamSet& params() const { return params_; }
   /// Direct mutable access for sync policies that replace (rather than

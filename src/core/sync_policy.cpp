@@ -48,6 +48,11 @@ ParamSet SyncPolicy::make_broadcast(const ReferenceModel& reference) const {
   return reference.snapshot();
 }
 
+void SyncPolicy::apply_rounds(ReferenceModel& reference,
+                              const std::vector<std::vector<ParamSet>>& rounds) {
+  for (const auto& round : rounds) apply_round(reference, round);
+}
+
 void SyncPolicy::serial_round(
     ReferenceModel& reference,
     std::vector<std::vector<tensor::Variable>>& replicas, double alpha) {
@@ -103,6 +108,14 @@ class ElasticPolicy : public SyncPolicy {
                    const std::vector<ParamSet>& round) override {
     for (const auto& update : round) reference.accumulate(update);
     reference.apply_accumulated(round.size());
+  }
+
+  void apply_rounds(
+      ReferenceModel& reference,
+      const std::vector<std::vector<ParamSet>>& rounds) override {
+    // Fused sweep: bit-identical to the sequential apply_round loop but one
+    // pass over the reference weights per batch (XPipe inherits this too).
+    reference.apply_round_batch(rounds);
   }
 
   void serial_round(ReferenceModel& reference,

@@ -115,6 +115,16 @@ class SyncPolicy {
   virtual void apply_round(ReferenceModel& reference,
                            const std::vector<ParamSet>& round) = 0;
 
+  /// Fold a *batch* of queued rounds, oldest first — the asynchronous
+  /// reference process drains its update queue and applies everything it
+  /// found in one critical section. Default: sequential `apply_round` per
+  /// round, so the semantics are identical by construction for any policy.
+  /// The elastic policies override this with a fused sweep
+  /// (`ReferenceModel::apply_round_batch`) that is bit-identical to the
+  /// sequential loop but touches each reference weight once per batch.
+  virtual void apply_rounds(ReferenceModel& reference,
+                            const std::vector<std::vector<ParamSet>>& rounds);
+
   /// The snapshot replicas pull/reset against next round — also what a
   /// rejoining pipeline restores from, so a policy with reference-side state
   /// (BMUF) bakes its reconstruction (the Nesterov restart point) in here.

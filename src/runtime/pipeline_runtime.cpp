@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/affinity.hpp"
 #include "common/thread_pool.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace avgpipe::runtime {
@@ -101,6 +103,13 @@ PipelineRuntime::PipelineRuntime(nn::Sequential model,
 
   done_ = std::make_unique<Channel<int>>(k);
 
+  // Intra-stage kernel parallelism: each stage thread claims an equal share
+  // of the pool budget (AVGPIPE_STAGE_THREADS overrides). A standalone
+  // runtime owns pin slots [0, k); an elastic driver re-plans both via
+  // set_stage_workers / set_thread_slots before the first batch.
+  stage_workers_ = stage_workers_from_env(k);
+  pin_total_slots_ = k;
+
   for (std::size_t i = 0; i < k; ++i) {
     auto stage = std::make_unique<Stage>();
     stage->index = i;
@@ -192,6 +201,17 @@ void PipelineRuntime::set_tracer(trace::Tracer* tracer,
 void PipelineRuntime::set_faults(const fault::FaultPlan* plan) {
   faults_ = plan;
   faults_active_ = faults_ != nullptr && !faults_->empty();
+}
+
+void PipelineRuntime::set_stage_workers(std::size_t workers) {
+  // 0 keeps the construction-time default (env knob / equal share).
+  if (workers != 0) stage_workers_ = workers;
+}
+
+void PipelineRuntime::set_thread_slots(std::size_t first_slot,
+                                       std::size_t total_slots) {
+  pin_first_slot_ = first_slot;
+  pin_total_slots_ = total_slots;
 }
 
 void PipelineRuntime::set_weight_prediction(const PredictionConfig& config) {
@@ -315,6 +335,19 @@ void PipelineRuntime::worker_loop(Stage& stage) {
     if (tracer_ != nullptr && stage.trace_buf == nullptr) {
       stage.trace_buf = tracer_->create_buffer();
     }
+    if (!stage.pinned) {
+      // Pin once, on first batch rather than at spawn: the elastic driver
+      // installs its slot plan (set_thread_slots) between construction and
+      // the first train_batch. No-op unless AVGPIPE_PIN_THREADS is set and
+      // the machine has a core per slot.
+      pin_current_thread(pin_policy_from_env(), pin_first_slot_ + stage.index,
+                         pin_total_slots_);
+      stage.pinned = true;
+    }
+    // Every parallel_for issued from this thread for the rest of the batch
+    // (GEMM row-panel fan-out) is capped at this stage's worker share, so K
+    // concurrently-running stages cannot oversubscribe the pool.
+    PartitionGuard partition(stage_workers_);
     schedule::ScheduleParams params;
     params.kind = kind_;
     params.num_stages = stages_.size();
@@ -353,6 +386,30 @@ void PipelineRuntime::worker_loop(Stage& stage) {
       fail(msg.str());
       return;  // the worker is dead; the runtime is permanently failed
     }
+    if (stage.trace_buf != nullptr) {
+      // Spin-vs-park telemetry for this stage's inbound links (the side this
+      // thread blocks on). Per-batch deltas; the clamp survives the counters
+      // resetting when ensure_channels rebuilds the links between batches.
+      std::uint64_t parks = 0, spins = 0;
+      const SpscChannel<ActMessage>& act_in =
+          stage.index == 0 ? *input_ : *acts_[stage.index - 1];
+      parks += act_in.parks();
+      spins += act_in.spin_waits();
+      if (stage.index + 1 < stages_.size()) {
+        parks += grads_[stage.index]->parks();
+        spins += grads_[stage.index]->spin_waits();
+      }
+      const std::uint64_t dp =
+          parks >= stage.last_parks ? parks - stage.last_parks : parks;
+      const std::uint64_t ds =
+          spins >= stage.last_spins ? spins - stage.last_spins : spins;
+      stage.last_parks = parks;
+      stage.last_spins = spins;
+      record_counter(stage, trace::CounterId::kParkCount,
+                     static_cast<double>(dp));
+      record_counter(stage, trace::CounterId::kSpinCount,
+                     static_cast<double>(ds));
+    }
     done_->send(static_cast<int>(stage.index));
   }
 }
@@ -378,6 +435,11 @@ void PipelineRuntime::run_instr(Stage& stage, const schedule::Instr& instr,
                                       static_cast<int>(stage.index), step)
           : 1.0;
   const auto w0 = std::chrono::steady_clock::now();
+  // gemm() accrues its 2mnk count on the issuing thread even when the
+  // blocked kernel fans out, so this delta is the instruction's full matmul
+  // work regardless of the stage's worker share.
+  const std::uint64_t f0 =
+      stage.trace_buf != nullptr ? tensor::thread_flops() : 0;
 
   switch (instr.kind) {
     case schedule::OpKind::kForward: run_forward(stage, instr, step); break;
@@ -385,6 +447,14 @@ void PipelineRuntime::run_instr(Stage& stage, const schedule::Instr& instr,
     case schedule::OpKind::kUpdate: run_update(stage, instr); break;
     case schedule::OpKind::kAllReduce:
       AVGPIPE_THROW("all-reduce in a pipeline stream");
+  }
+
+  if (stage.trace_buf != nullptr) {
+    const std::uint64_t df = tensor::thread_flops() - f0;
+    if (df > 0) {
+      record_counter(stage, trace::CounterId::kFlops,
+                     static_cast<double>(df));
+    }
   }
 
   if (slow > 1.0) {

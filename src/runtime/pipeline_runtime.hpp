@@ -153,6 +153,22 @@ class PipelineRuntime {
   void set_weight_prediction(const PredictionConfig& config);
   const PredictionConfig& weight_prediction() const { return prediction_; }
 
+  /// Per-stage-thread share of the global kernel pool (PartitionGuard): each
+  /// stage worker fans its tensor kernels out over at most `workers` threads
+  /// (itself included), so K stages never oversubscribe the pool. 0 keeps
+  /// the construction-time default (AVGPIPE_STAGE_THREADS, else a fair split
+  /// over this runtime's stages). Must be called before the first
+  /// train_batch; workers read it after the start-channel recv.
+  void set_stage_workers(std::size_t workers);
+  std::size_t stage_workers() const { return stage_workers_; }
+
+  /// Core-pinning slot layout for this runtime's stage threads under
+  /// AVGPIPE_PIN_THREADS: stage k pins to slot `first_slot + k` of
+  /// `total_slots`. Defaults to [0, num_stages) — core::AvgPipe widens the
+  /// layout across its replicas and sync threads. Must be called before the
+  /// first train_batch.
+  void set_thread_slots(std::size_t first_slot, std::size_t total_slots);
+
   /// Bounded per-link capacity of the stage-to-stage channels for a batch of
   /// `micro_batches` (schedule-derived: the producer's maximum forward
   /// run-ahead over its consumer, plus one slot of slack). Overridable via
@@ -255,6 +271,12 @@ class PipelineRuntime {
     std::vector<tensor::Tensor> pred_delta;
     bool pred_have_delta = false;
     bool pred_predicted = false;  ///< this batch runs on predicted weights
+    // Perf-counter state (worker-thread-local): whether this thread has been
+    // pinned, and the last sampled readings of the inbound links' slow-path
+    // counters (per-batch deltas become kParkCount/kSpinCount samples).
+    bool pinned = false;
+    std::uint64_t last_parks = 0;
+    std::uint64_t last_spins = 0;
     std::thread thread;
   };
   std::vector<std::unique_ptr<Stage>> stages_;
@@ -289,6 +311,13 @@ class PipelineRuntime {
   // workers after a start-channel recv (channel provides the ordering).
   PredictionConfig prediction_;
   bool prediction_active_ = false;
+
+  // Intra-stage parallelism + thread placement: written before the first
+  // batch, read by workers after a start-channel recv (channel provides the
+  // ordering, same contract as tracer_/prediction_).
+  std::size_t stage_workers_ = 1;
+  std::size_t pin_first_slot_ = 0;
+  std::size_t pin_total_slots_ = 0;
 
   // Fault injection (optional) and failure state. `step_` is the batch
   // index, bumped by train_batch before dispatch; workers read it after the

@@ -7,6 +7,16 @@
 
 namespace avgpipe::tensor {
 
+namespace {
+thread_local std::uint64_t tls_flops = 0;
+}  // namespace
+
+std::uint64_t thread_flops() { return tls_flops; }
+
+namespace detail {
+void add_thread_flops(std::uint64_t n) { tls_flops += n; }
+}  // namespace detail
+
 void gemm_reference(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
                     std::size_t n, std::size_t k, bool trans_a, bool trans_b,
                     bool accumulate) {

@@ -18,10 +18,26 @@
 /// measure speedups against.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "tensor/tensor.hpp"
 
 namespace avgpipe::tensor {
+
+/// Per-thread running count of floating-point operations issued through the
+/// gemm dispatcher (2·m·n·k per call). The count accrues on the *issuing*
+/// thread even when the blocked kernel fans row panels out to pool workers,
+/// so a pipeline stage thread's delta across an instruction is that
+/// instruction's full matmul work — the basis of the per-stage achieved
+/// GFLOP/s counter (trace::CounterId::kFlops). Monotone per thread; sample
+/// deltas, don't reset.
+std::uint64_t thread_flops();
+
+namespace detail {
+/// Fold `n` issued FLOPs into the calling thread's counter (ops.cpp's gemm
+/// dispatch; not meant for user code).
+void add_thread_flops(std::uint64_t n);
+}  // namespace detail
 
 /// The pre-optimisation scalar GEMM (unblocked i-p-j loops). Kept as the
 /// parity/benchmark reference. C (+)= op(A) * op(B).

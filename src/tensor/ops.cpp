@@ -35,6 +35,9 @@ void check_inplace_ok(const Variable& x, const char* op) {
 void gemm(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
           std::size_t n, std::size_t k, bool trans_a, bool trans_b,
           bool accumulate) {
+  // All matmul-family ops (linear, LSTM gates, attention) route through this
+  // dispatcher, so counting here covers the pipeline compute path.
+  detail::add_thread_flops(2ull * m * n * k);
   if (m * n * k < kGemmBlockedThreshold) {
     gemm_reference(a, b, c, m, n, k, trans_a, trans_b, accumulate);
   } else {

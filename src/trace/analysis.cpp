@@ -191,6 +191,59 @@ double TraceAnalysis::counter_quantile(std::size_t stage, CounterId id,
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+double TraceAnalysis::counter_sum(std::size_t stage, CounterId id) const {
+  double total = 0;
+  for (const auto& ev : events_) {
+    if (ev.kind == EventKind::kCounter && ev.counter == id &&
+        ev.stage == stage) {
+      total += ev.value;
+    }
+  }
+  return total;
+}
+
+std::size_t TraceAnalysis::counter_count(std::size_t stage,
+                                         CounterId id) const {
+  std::size_t n = 0;
+  for (const auto& ev : events_) {
+    if (ev.kind == EventKind::kCounter && ev.counter == id &&
+        ev.stage == stage) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double TraceAnalysis::achieved_gflops(std::size_t stage) const {
+  const double flops = counter_sum(stage, CounterId::kFlops);
+  const Seconds busy = busy_time(stage);
+  if (flops <= 0 || busy <= 0) return 0;
+  return flops / busy / 1e9;
+}
+
+double TraceAnalysis::steps_per_sec(std::size_t stage) const {
+  const Seconds span = span_end_ - span_begin_;
+  if (span <= 0) return 0;
+  std::size_t updates = 0;
+  for (const auto& ev : events_) {
+    if (ev.stage == stage && ev.kind == EventKind::kUpdate) ++updates;
+  }
+  return static_cast<double>(updates) / span;
+}
+
+double TraceAnalysis::mean_sync_batch() const {
+  double total = 0;
+  std::size_t n = 0;
+  for (const auto& ev : events_) {
+    if (ev.kind == EventKind::kCounter &&
+        ev.counter == CounterId::kSyncBatch) {
+      total += ev.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : total / static_cast<double>(n);
+}
+
 std::vector<schedule::Instr> TraceAnalysis::stage_ops(
     std::size_t pipeline, std::size_t stage) const {
   std::vector<schedule::Instr> ops;

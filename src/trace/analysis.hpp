@@ -69,6 +69,26 @@ class TraceAnalysis {
   /// the series has no samples.
   double counter_quantile(std::size_t stage, CounterId id, double q) const;
 
+  // -- perf-counter layer (throughput campaign) ------------------------------
+
+  /// Sum / sample count of a counter series on a stage (all pipelines).
+  double counter_sum(std::size_t stage, CounterId id) const;
+  std::size_t counter_count(std::size_t stage, CounterId id) const;
+
+  /// Achieved compute rate of a stage: issued FLOPs (kFlops samples, which
+  /// the runtime records per instruction) over the stage's busy time, in
+  /// GFLOP/s. 0 when the stage has no flop samples or no busy time.
+  double achieved_gflops(std::size_t stage) const;
+
+  /// Optimizer steps per second on a stage: kUpdate span count over the
+  /// trace makespan. 0 for an empty trace.
+  double steps_per_sec(std::size_t stage) const;
+
+  /// Mean rounds folded per batched reference apply (kSyncBatch samples,
+  /// stage-agnostic — the reference process is not a stage). 0 when the
+  /// series has no samples; 1.0 means batching never coalesced.
+  double mean_sync_batch() const;
+
   /// The ordered compute instructions (forward/backward/update) one
   /// (pipeline, stage) stream executed, replayed from its spans — the
   /// sequence the conformance tests hold against schedule::Schedule.

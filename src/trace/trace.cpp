@@ -39,6 +39,10 @@ const char* to_string(CounterId id) {
     case CounterId::kAlivePipelines: return "alive_pipelines";
     case CounterId::kRecvRetry: return "recv_retry";
     case CounterId::kSyncLag: return "sync_lag";
+    case CounterId::kFlops: return "flops";
+    case CounterId::kParkCount: return "parks";
+    case CounterId::kSpinCount: return "spins";
+    case CounterId::kSyncBatch: return "sync_batch";
   }
   return "?";
 }

@@ -85,6 +85,11 @@ enum class CounterId : std::uint8_t {
   kAlivePipelines,  ///< pipelines attached to the elastic group
   kRecvRetry,    ///< bounded-pop timeouts survived before a message arrived
   kSyncLag,      ///< reference applies in flight behind training (async)
+  // Perf-counter layer (the throughput campaign's measurement side).
+  kFlops,        ///< FLOPs issued by a stage during one instruction
+  kParkCount,    ///< condvar parks on the stage's inbound links, per batch
+  kSpinCount,    ///< spin-window entries on the stage's inbound links
+  kSyncBatch,    ///< rounds folded per batched reference apply
 };
 
 const char* to_string(EventKind kind);

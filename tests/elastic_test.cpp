@@ -111,6 +111,72 @@ TEST(ReferenceModelTest, PendingCountsAndReset) {
   EXPECT_DOUBLE_EQ(ref.params()[0][0], 3.0);
 }
 
+TEST(ReferenceModelTest, BatchedRoundApplyMatchesSequentialBitExact) {
+  // The fused batch sweep replays the exact FP ops of the sequential
+  // accumulate…apply loop (`acc += 1*u; p += (1/n)*acc` per round, oldest
+  // first), so the trajectories must be bit-identical — not just close.
+  Rng rng(21);
+  auto deep_clone = [](const ParamSet& s) {
+    ParamSet c;
+    for (const auto& t : s) c.push_back(t.clone());
+    return c;
+  };
+  const ParamSet init{Tensor::randn({8}, rng), Tensor::randn({3}, rng)};
+  ReferenceModel seq(deep_clone(init));
+  ReferenceModel batched(deep_clone(init));
+
+  std::vector<std::vector<ParamSet>> rounds;
+  for (const std::size_t round_size : {2u, 3u, 1u}) {
+    std::vector<ParamSet> round;
+    for (std::size_t u = 0; u < round_size; ++u) {
+      round.push_back({Tensor::randn({8}, rng), Tensor::randn({3}, rng)});
+    }
+    rounds.push_back(std::move(round));
+  }
+
+  for (const auto& round : rounds) {
+    for (const auto& update : round) seq.accumulate(update);
+    seq.apply_accumulated(round.size());
+  }
+  batched.apply_round_batch(rounds);
+
+  EXPECT_EQ(max_abs_diff(seq.params(), batched.params()), 0.0);
+  EXPECT_EQ(batched.pending(), 0u);
+}
+
+TEST(SyncPolicyBatching, ApplyRoundsMatchesSequentialLoopForEveryPolicy) {
+  // `apply_rounds` (the reference process's drained-queue path) must fold a
+  // batch exactly like per-round `apply_round` calls — bit-exact for the
+  // elastic policies (fused sweep) and by construction for the default.
+  Rng rng(42);
+  auto deep_clone = [](const ParamSet& s) {
+    ParamSet c;
+    for (const auto& t : s) c.push_back(t.clone());
+    return c;
+  };
+  const ParamSet init{Tensor::randn({6}, rng), Tensor::randn({2}, rng)};
+  std::vector<std::vector<ParamSet>> rounds;
+  for (const std::size_t round_size : {3u, 1u, 2u}) {
+    std::vector<ParamSet> round;
+    for (std::size_t u = 0; u < round_size; ++u) {
+      round.push_back({Tensor::randn({6}, rng), Tensor::randn({2}, rng)});
+    }
+    rounds.push_back(std::move(round));
+  }
+  for (const SyncPolicyKind kind : all_sync_policies()) {
+    auto loop_policy = make_sync_policy(degenerate_config(kind));
+    auto batch_policy = make_sync_policy(degenerate_config(kind));
+    ReferenceModel loop_ref(deep_clone(init));
+    ReferenceModel batch_ref(deep_clone(init));
+    for (const auto& round : rounds) {
+      loop_policy->apply_round(loop_ref, round);
+    }
+    batch_policy->apply_rounds(batch_ref, rounds);
+    EXPECT_EQ(max_abs_diff(loop_ref.params(), batch_ref.params()), 0.0)
+        << to_string(kind);
+  }
+}
+
 // -- AvgPipeTrainer (semantics) ----------------------------------------------------------
 
 TEST(AvgPipeTrainerTest, SinglePipelineMatchesSync) {

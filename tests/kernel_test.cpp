@@ -7,13 +7,17 @@
 #include <cmath>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/affinity.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/elastic.hpp"
+#include "nn/lstm.hpp"
 #include "optim/optimizer.hpp"
 #include "tensor/arena.hpp"
 #include "tensor/kernels.hpp"
@@ -443,6 +447,129 @@ TEST(ThreadPoolTest, ParseNumThreads) {
   EXPECT_EQ(parse_num_threads("0", 3), 3u);
   EXPECT_EQ(parse_num_threads("-2", 3), 3u);
   EXPECT_EQ(parse_num_threads("5", 3), 5u);
+}
+
+// -- stage partitions and pinning ---------------------------------------------
+
+TEST(StagePartitionKernels, GemmBitIdenticalAcrossWorkerShares) {
+  // The same GEMM under worker shares {1, 2, 4} (what AVGPIPE_STAGE_THREADS
+  // installs per stage thread) must match the reference loop and be
+  // bit-identical across shares: row-block ownership is disjoint, so the
+  // fan-out width can only change timing, never results.
+  Rng rng(77);
+  const std::size_t m = 96, n = 64, k = 48;  // past kGemmBlockedThreshold
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<Scalar> ref(m * n, 0.0);
+  tensor::gemm_reference(a.data(), b.data(), ref.data(), m, n, k, false,
+                         false, false);
+  std::vector<Scalar> base;
+  for (const std::size_t share : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}}) {
+    PartitionGuard guard(share);
+    std::vector<Scalar> c(m * n, 0.0);
+    tensor::gemm_blocked(a.data(), b.data(), c.data(), m, n, k, false, false,
+                         false);
+    for (std::size_t i = 0; i < m * n; ++i) {
+      ASSERT_NEAR(c[i], ref[i], static_cast<double>(k) * 1e-14)
+          << "share " << share << " index " << i;
+    }
+    if (base.empty()) {
+      base = c;
+    } else {
+      ASSERT_EQ(c, base) << "share " << share;
+    }
+  }
+}
+
+TEST(StagePartitionKernels, LstmForwardBackwardBitIdenticalAcrossShares) {
+  // A full LSTM forward+backward (gate GEMMs large enough for the blocked
+  // path) run under different worker shares must produce bit-identical
+  // activations and parameter gradients.
+  Rng wrng(123);
+  nn::LSTM lstm(32, 64, wrng);
+  Rng drng(9);
+  tensor::Tensor x({8, 4, 32});
+  {
+    auto xv = x.data();
+    for (auto& v : xv) v = drng.normal(0.0, 1.0);
+  }
+  std::vector<Scalar> base_out;
+  std::vector<std::vector<Scalar>> base_grads;
+  for (const std::size_t share : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}}) {
+    PartitionGuard guard(share);
+    Variable in(x.clone(), /*requires_grad=*/false);
+    Variable out = lstm.forward(in);
+    tensor::Tensor seed(out.value().shape());
+    seed.fill_(1.0);
+    out.backward(seed);
+    const auto ov = out.value().data();
+    std::vector<Scalar> out_vals(ov.begin(), ov.end());
+    std::vector<std::vector<Scalar>> grads;
+    for (auto& p : lstm.parameters()) {
+      const auto gv = p.grad().data();
+      grads.emplace_back(gv.begin(), gv.end());
+      p.mutable_grad().fill_(0.0);
+    }
+    if (base_out.empty()) {
+      base_out = std::move(out_vals);
+      base_grads = std::move(grads);
+    } else {
+      ASSERT_EQ(out_vals, base_out) << "share " << share;
+      ASSERT_EQ(grads, base_grads) << "share " << share;
+    }
+  }
+}
+
+TEST(AffinityTest, ParsePolicies) {
+  EXPECT_EQ(parse_pin_policy(nullptr), PinPolicy::kNone);
+  EXPECT_EQ(parse_pin_policy(""), PinPolicy::kNone);
+  EXPECT_EQ(parse_pin_policy("0"), PinPolicy::kNone);
+  EXPECT_EQ(parse_pin_policy("off"), PinPolicy::kNone);
+  EXPECT_EQ(parse_pin_policy("junk"), PinPolicy::kNone);
+  EXPECT_EQ(parse_pin_policy("compact"), PinPolicy::kCompact);
+  EXPECT_EQ(parse_pin_policy("1"), PinPolicy::kCompact);
+  EXPECT_EQ(parse_pin_policy("scatter"), PinPolicy::kScatter);
+}
+
+TEST(AffinityTest, LayoutMath) {
+  // Compact packs consecutively; scatter spreads 4 slots over 8 cores to
+  // {0, 2, 4, 6}.
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    EXPECT_EQ(pin_core_for_slot(PinPolicy::kCompact, slot, 4, 8), slot);
+    EXPECT_EQ(pin_core_for_slot(PinPolicy::kScatter, slot, 4, 8), slot * 2);
+  }
+  // Oversubscribed compact wraps rather than going out of range.
+  EXPECT_EQ(pin_core_for_slot(PinPolicy::kCompact, 5, 8, 4), 1u);
+}
+
+TEST(AffinityTest, PinningIsBestEffortAndPreservesResults) {
+  // kNone never pins; an oversubscribed layout never pins. A 1-slot layout
+  // pins on any machine with pthread affinity — run it in a helper thread
+  // (the mask dies with the thread) and check GEMM results are unaffected.
+  EXPECT_FALSE(pin_current_thread(PinPolicy::kNone, 0, 1));
+  EXPECT_FALSE(
+      pin_current_thread(PinPolicy::kCompact, 0, num_cores() + 1));
+  Rng rng(55);
+  const std::size_t m = 64, n = 48, k = 32;
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<Scalar> unpinned(m * n, 0.0);
+  tensor::gemm_blocked(a.data(), b.data(), unpinned.data(), m, n, k, false,
+                       false, false);
+  std::vector<Scalar> pinned(m * n, 0.0);
+  bool did_pin = false;
+  std::thread worker([&] {
+    did_pin = pin_current_thread(PinPolicy::kCompact, 0, 1);
+    tensor::gemm_blocked(a.data(), b.data(), pinned.data(), m, n, k, false,
+                         false, false);
+  });
+  worker.join();
+#if defined(__linux__)
+  EXPECT_TRUE(did_pin);
+#endif
+  EXPECT_EQ(pinned, unpinned);
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+// Worker-partition regression suite for the shared thread pool: the K stage
+// threads of the pipeline runtime each hold a share of the pool budget, and
+// an unrestricted caller must not oversubscribe the machine K-fold. Explicit
+// PartitionGuard shares are trusted past the CPU-count cap, so these tests
+// exercise real cross-thread fan-out even on a single-core host.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+
+namespace avgpipe {
+namespace {
+
+TEST(StagePartition, DefaultSharesRespectBudget) {
+  const auto hw = static_cast<std::size_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const std::size_t budget = std::min(configured_num_threads(), hw);
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const std::size_t share = default_stage_workers(k);
+    EXPECT_GE(share, 1u) << "k=" << k;
+    if (k <= budget) {
+      // K stages at the fair share never exceed the pool budget.
+      EXPECT_LE(k * share, budget) << "k=" << k;
+    } else {
+      // More stages than budget: everyone degrades to inline.
+      EXPECT_EQ(share, 1u) << "k=" << k;
+    }
+  }
+}
+
+TEST(StagePartition, EnvKnobWinsWhenPositive) {
+  // NOLINTBEGIN(concurrency-mt-unsafe) -- single-threaded test body.
+  setenv("AVGPIPE_STAGE_THREADS", "3", 1);
+  EXPECT_EQ(stage_workers_from_env(2), 3u);
+  setenv("AVGPIPE_STAGE_THREADS", "junk", 1);
+  EXPECT_EQ(stage_workers_from_env(2), default_stage_workers(2));
+  setenv("AVGPIPE_STAGE_THREADS", "0", 1);
+  EXPECT_EQ(stage_workers_from_env(2), default_stage_workers(2));
+  unsetenv("AVGPIPE_STAGE_THREADS");
+  EXPECT_EQ(stage_workers_from_env(2), default_stage_workers(2));
+  // NOLINTEND(concurrency-mt-unsafe)
+}
+
+TEST(PartitionGuardTest, CapsChunkCountAndNests) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> chunks{0};
+  EXPECT_EQ(current_partition(), 0u);
+  {
+    PartitionGuard guard(2);
+    EXPECT_EQ(current_partition(), 2u);
+    {
+      PartitionGuard inner(3);
+      EXPECT_EQ(current_partition(), 3u);
+    }
+    EXPECT_EQ(current_partition(), 2u);
+    pool.parallel_for(0, 1000,
+                      [&](std::size_t, std::size_t) { chunks.fetch_add(1); });
+    EXPECT_LE(chunks.load(), 2u);
+    EXPECT_GE(chunks.load(), 1u);
+  }
+  EXPECT_EQ(current_partition(), 0u);
+}
+
+TEST(PartitionGuardTest, ShareOfOneRunsInline) {
+  ThreadPool pool(4);
+  pool.reset_peak_active();
+  const auto caller = std::this_thread::get_id();
+  std::atomic<std::size_t> chunks{0};
+  std::atomic<bool> on_caller{true};
+  PartitionGuard guard(1);
+  pool.parallel_for(0, 64, [&](std::size_t, std::size_t) {
+    chunks.fetch_add(1);
+    if (std::this_thread::get_id() != caller) on_caller.store(false);
+  });
+  EXPECT_EQ(chunks.load(), 1u);
+  EXPECT_TRUE(on_caller.load());
+  // Fully-inline execution never touches the workers.
+  EXPECT_EQ(pool.peak_active_workers(), 0u);
+}
+
+TEST(PartitionGuardTest, UnpartitionedKeepsCpuCap) {
+  ThreadPool pool(4);
+  const auto hw = static_cast<std::size_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::atomic<std::size_t> chunks{0};
+  pool.parallel_for(0, 4096,
+                    [&](std::size_t, std::size_t) { chunks.fetch_add(1); });
+  EXPECT_LE(chunks.load(), std::min(pool.size() + 1, hw));
+}
+
+// The oversubscription regression: K partitioned callers hammering one pool
+// must (a) still cover every index exactly once per call and (b) never have
+// more worker-side tasks runnable than their shares admit — bounded by the
+// pool budget no matter how the K fan-outs interleave.
+TEST(PartitionGuardTest, PartitionedCallersStayWithinPoolBudget) {
+  ThreadPool pool(4);
+  pool.reset_peak_active();
+  constexpr std::size_t kCallers = 3;
+  constexpr std::size_t kRange = 4096;
+  constexpr int kReps = 50;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kRange, 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&hits, &pool, t] {
+      PartitionGuard guard(2);
+      for (int rep = 0; rep < kReps; ++rep) {
+        pool.parallel_for(0, kRange, [&hits, t](std::size_t lo,
+                                                std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) hits[t][i] += 1;
+        });
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    for (std::size_t i = 0; i < kRange; ++i) {
+      ASSERT_EQ(hits[t][i], kReps) << "caller " << t << " index " << i;
+    }
+  }
+  // Share 2 = caller + at most one worker-side chunk per caller, so at most
+  // kCallers tasks are ever runnable on the workers — within the budget.
+  EXPECT_LE(pool.peak_active_workers(), kCallers);
+  EXPECT_LE(pool.peak_active_workers(), pool.size());
+}
+
+}  // namespace
+}  // namespace avgpipe

@@ -366,6 +366,27 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(SpscChannelTest, CountsSpinsAndParksOnSlowPath) {
+  // A timed recv on an empty channel must walk the whole slow path: one
+  // spin-window entry, then a condvar park until the deadline. Deterministic
+  // (no producer involved), so exact lower bounds hold.
+  SpscChannel<int> ch(4);
+  EXPECT_EQ(ch.spin_waits(), 0u);
+  EXPECT_EQ(ch.parks(), 0u);
+  int out = 0;
+  EXPECT_EQ(ch.recv_for(&out, 0.01), ChannelStatus::kTimeout);
+  EXPECT_GE(ch.spin_waits(), 1u);
+  EXPECT_GE(ch.parks(), 1u);
+  // The fast path stays counter-free: a ready item never spins or parks.
+  const std::uint64_t spins = ch.spin_waits();
+  const std::uint64_t parks = ch.parks();
+  ASSERT_TRUE(ch.send(7));
+  EXPECT_EQ(ch.recv_for(&out, 0.01), ChannelStatus::kOk);
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(ch.spin_waits(), spins);
+  EXPECT_EQ(ch.parks(), parks);
+}
+
 TEST(ThreadPoolTest, EmptyRangeIsNoop) {
   ThreadPool pool(2);
   bool ran = false;

@@ -120,6 +120,42 @@ TEST(PipelineRuntimeTest, LossDecreasesOverTraining) {
   EXPECT_LT(last, first * 0.5);
 }
 
+TEST(PipelineRuntimeTest, StageWorkerShareIsBitInvariant) {
+  // Training with intra-stage kernel parallelism (worker share > 1) must be
+  // bit-identical to the serial share: GEMM row-block ownership is disjoint,
+  // so AVGPIPE_STAGE_THREADS can only change timing, never the trajectory.
+  // Hidden width 64 pushes the hidden-to-hidden GEMMs past the blocked-path
+  // threshold so the fan-out actually engages.
+  const std::size_t micro = 4;
+  SyntheticFeatures ds(48, 6, 3, 21);
+  DataLoader loader(ds, 12, 5);
+  std::vector<double> base_losses;
+  std::vector<double> base_params;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    Sequential model = nn::make_mlp(6, 64, 3, 3, /*seed=*/77);
+    PipelineRuntime runtime(model, {2, 4}, sgd_factory(0.1),
+                            cross_entropy_loss(), schedule::Kind::kOneFOneB);
+    runtime.set_stage_workers(workers);
+    EXPECT_EQ(runtime.stage_workers(), workers);
+    std::vector<double> losses;
+    for (std::size_t i = 0; i < 4; ++i) {
+      losses.push_back(runtime.train_batch(loader.batch(0, i), micro).loss);
+    }
+    std::vector<double> params;
+    for (auto& p : model.parameters()) {
+      const auto v = p.value().data();
+      params.insert(params.end(), v.begin(), v.end());
+    }
+    if (base_losses.empty()) {
+      base_losses = std::move(losses);
+      base_params = std::move(params);
+    } else {
+      EXPECT_EQ(losses, base_losses) << "workers=" << workers;
+      EXPECT_EQ(params, base_params) << "workers=" << workers;
+    }
+  }
+}
+
 TEST(PipelineRuntimeTest, SingleStageWorks) {
   SyntheticFeatures ds(16, 4, 2, 3);
   DataLoader loader(ds, 8, 1);
