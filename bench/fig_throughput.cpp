@@ -96,7 +96,8 @@ struct Calibration {
 };
 
 core::AvgPipe make_system(const BenchConfig& cfg, std::size_t hidden,
-                          trace::Tracer* tracer) {
+                          trace::Tracer* tracer,
+                          core::SyncCompression compression = {}) {
   core::AvgPipeConfig config;
   config.num_pipelines = kNumPipelines;
   config.micro_batches = kMicroBatches;
@@ -106,6 +107,8 @@ core::AvgPipe make_system(const BenchConfig& cfg, std::size_t hidden,
   config.async_sync = cfg.async_sync;
   config.sync_lag = cfg.sync_lag;
   config.tracer = tracer;
+  // Pinned (even when off): bench rows must not depend on the environment.
+  config.sync_compression = compression;
   return core::AvgPipe(
       [hidden](std::uint64_t seed) {
         return nn::make_mlp(16, hidden, 4, 6, seed);
@@ -248,6 +251,68 @@ std::vector<BenchResult> run_suite(const std::vector<BenchConfig>& configs,
   return results;
 }
 
+// -- quantized sync transport -------------------------------------------------
+
+struct CompressionResult {
+  std::string codec;          ///< "off" / "fp16" / "int8"
+  double iters_per_sec = 0;
+  double final_loss = 0;
+  double wire_bytes_per_iter = 0;  ///< post-codec sync bytes moved per round
+  double raw_bytes_per_iter = 0;   ///< pre-codec (f64) bytes per round
+  double ratio = 1.0;              ///< raw / wire (1.0 when off)
+};
+
+/// Throughput and bytes-moved of the afp/async toy system under each sync
+/// codec. The off row is the control: same config, raw f64 transport.
+CompressionResult run_compression(tensor::Codec codec,
+                                  data::DataLoader& loader, std::size_t iters,
+                                  std::size_t repeats) {
+  const BenchConfig cfg = {schedule::Kind::kAdvanceForward, true, 1, "afp"};
+  core::SyncCompression compression;
+  compression.codec = codec;
+  CompressionResult res;
+  res.codec = tensor::to_string(codec);
+  auto batches_at = [&](std::size_t i) {
+    return std::vector<data::Batch>{loader.batch(0, i % 5),
+                                    loader.batch(0, (i + 1) % 5)};
+  };
+
+  {  // untraced timing, same discipline as run_config
+    core::AvgPipe system = make_system(cfg, 32, nullptr, compression);
+    for (std::size_t i = 0; i < 5; ++i) system.train_iteration(batches_at(i));
+    double best = 0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < iters; ++i) {
+        res.final_loss = system.train_iteration(batches_at(i));
+      }
+      system.synchronize();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      best = std::max(best, static_cast<double>(iters) / secs);
+    }
+    res.iters_per_sec = best;
+  }
+
+  if (codec != tensor::Codec::kNone) {  // traced run for the byte counters
+    trace::Tracer tracer;
+    core::AvgPipe system = make_system(cfg, 32, &tracer, compression);
+    const std::size_t traced_iters = 10;
+    for (std::size_t i = 0; i < traced_iters; ++i) {
+      system.train_iteration(batches_at(i));
+    }
+    system.synchronize();
+    trace::TraceAnalysis analysis(tracer.collect());
+    res.wire_bytes_per_iter = static_cast<double>(analysis.sync_bytes()) /
+                              static_cast<double>(traced_iters);
+    res.raw_bytes_per_iter = static_cast<double>(analysis.sync_bytes_raw()) /
+                             static_cast<double>(traced_iters);
+    res.ratio = analysis.compression_ratio();
+  }
+  return res;
+}
+
 /// Max |loss(sync) - loss(async)| across adjacent config pairs. At lag 0 the
 /// trajectories are bit-identical (tests/elastic_test.cpp asserts that); the
 /// tolerance here absorbs sync_lag-1 staleness.
@@ -364,6 +429,34 @@ int main(int argc, char** argv) {
                  speedup);
   }
 
+  // Quantized sync transport: afp/async toy system under each codec, with
+  // the uncompressed run as control.
+  std::printf("-- sync compression (afp async, hidden=32) --\n");
+  std::vector<CompressionResult> compression_results;
+  for (const tensor::Codec codec :
+       {tensor::Codec::kNone, tensor::Codec::kFp16, tensor::Codec::kInt8}) {
+    compression_results.push_back(
+        run_compression(codec, loader, iters, repeats));
+    const auto& c = compression_results.back();
+    std::printf(
+        "%-5s %8.1f iters/s  loss %.4f  wire %8.0f B/iter  raw %8.0f B/iter"
+        "  ratio %.2fx\n",
+        c.codec.c_str(), c.iters_per_sec, c.final_loss, c.wire_bytes_per_iter,
+        c.raw_bytes_per_iter, c.ratio);
+    if (!std::isfinite(c.final_loss)) {
+      std::fprintf(stderr, "FAIL compression %s: non-finite loss\n",
+                   c.codec.c_str());
+      correctness_ok = false;
+    }
+  }
+  // Warn-only perf signal (CI policy): int8 must move >= 3x fewer bytes.
+  for (const auto& c : compression_results) {
+    if (c.codec == "int8" && c.ratio < 3.0) {
+      std::fprintf(stderr, "WARN int8 compression ratio %.2fx below 3x\n",
+                   c.ratio);
+    }
+  }
+
   // Calibrated compute-bound workload.
   Calibration cal;
   std::vector<BenchResult> cal_results;
@@ -447,6 +540,18 @@ int main(int argc, char** argv) {
         << "},\n";
     write_systems(out, "systems", results);
     if (cal.enabled) write_systems(out, "calibrated_systems", cal_results);
+    out << "  \"compression\": [\n";
+    for (std::size_t i = 0; i < compression_results.size(); ++i) {
+      const auto& c = compression_results[i];
+      out << "    {\"codec\": \"" << c.codec
+          << "\", \"iters_per_sec\": " << c.iters_per_sec
+          << ", \"final_loss\": " << c.final_loss
+          << ", \"wire_bytes_per_iter\": " << c.wire_bytes_per_iter
+          << ", \"raw_bytes_per_iter\": " << c.raw_bytes_per_iter
+          << ", \"ratio\": " << c.ratio << "}"
+          << (i + 1 < compression_results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
     out << "  \"parity_delta\": " << parity_delta << ",\n";
     out << "  \"parity_ok\": " << (parity_ok ? "true" : "false");
     if (cal.enabled) {

@@ -35,6 +35,7 @@
 #include "tensor/arena.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/quantize.hpp"
 
 namespace {
 
@@ -269,6 +270,97 @@ FusedResult bench_fused_sgd() {
   return r;
 }
 
+struct CodecResult {
+  std::string name;        ///< "int8" / "fp16"
+  double quant_gbps;       ///< dispatched quantize, input GB/s
+  double dequant_gbps;     ///< dispatched dequantize, output GB/s
+  double quant_ref_gbps;   ///< reference-oracle quantize
+  double dequant_ref_gbps; ///< reference-oracle dequantize
+  double wire_ratio;       ///< raw bytes / wire bytes
+  double max_err;          ///< round-trip error (codec-specific norm)
+  bool parity_ok;          ///< dispatched kernels bit-identical to oracles
+};
+
+/// Quantize/dequantize GB/s plus the bit-parity and error gates the CI
+/// perf-smoke job enforces. Errors are measured in the codec's own norm:
+/// per-block-max-relative for int8, half-ulp-relative for fp16.
+CodecResult bench_codec(tensor::Codec codec) {
+  const std::size_t n = (1 << 16) + 37;  // odd: exercises every tail path
+  Rng rng(0xC0DEC);
+  const auto src = bench_vec(n, rng);
+  const double raw_bytes = static_cast<double>(n * sizeof(Scalar));
+  const int reps = 50;
+
+  CodecResult r{tensor::to_string(codec), 0, 0, 0, 0, 0, 0, true};
+  r.wire_ratio =
+      raw_bytes / static_cast<double>(tensor::codec_wire_bytes(codec, n));
+  std::vector<Scalar> dst(n), dst_ref(n);
+
+  if (codec == tensor::Codec::kInt8) {
+    const std::size_t blocks = tensor::int8_num_blocks(n);
+    std::vector<std::int8_t> q(n), q_ref(n);
+    std::vector<float> s(blocks), s_ref(blocks);
+    r.quant_gbps = raw_bytes / time_ns(
+        [&] { tensor::quantize_int8(src.data(), n, q.data(), s.data()); },
+        reps);
+    r.quant_ref_gbps = raw_bytes / time_ns(
+        [&] {
+          tensor::quantize_int8_reference(src.data(), n, q_ref.data(),
+                                          s_ref.data());
+        },
+        reps);
+    r.dequant_gbps = raw_bytes / time_ns(
+        [&] { tensor::dequantize_int8(q.data(), s.data(), n, dst.data()); },
+        reps);
+    r.dequant_ref_gbps = raw_bytes / time_ns(
+        [&] {
+          tensor::dequantize_int8_reference(q_ref.data(), s_ref.data(), n,
+                                            dst_ref.data());
+        },
+        reps);
+    r.parity_ok = q == q_ref && s == s_ref && dst == dst_ref;
+    for (std::size_t b = 0; b * tensor::kQuantBlock < n; ++b) {
+      const std::size_t lo = b * tensor::kQuantBlock;
+      const std::size_t hi = std::min(n, lo + tensor::kQuantBlock);
+      double block_max = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        block_max = std::max(block_max, std::abs(src[i]));
+      }
+      if (block_max == 0.0) continue;
+      for (std::size_t i = lo; i < hi; ++i) {
+        r.max_err =
+            std::max(r.max_err, std::abs(src[i] - dst[i]) / block_max);
+      }
+    }
+  } else {
+    std::vector<std::uint16_t> h(n), h_ref(n);
+    r.quant_gbps = raw_bytes /
+        time_ns([&] { tensor::quantize_fp16(src.data(), n, h.data()); }, reps);
+    r.quant_ref_gbps = raw_bytes / time_ns(
+        [&] { tensor::quantize_fp16_reference(src.data(), n, h_ref.data()); },
+        reps);
+    r.dequant_gbps = raw_bytes /
+        time_ns([&] { tensor::dequantize_fp16(h.data(), n, dst.data()); },
+                reps);
+    r.dequant_ref_gbps = raw_bytes / time_ns(
+        [&] { tensor::dequantize_fp16_reference(h_ref.data(), n,
+                                                dst_ref.data()); },
+        reps);
+    r.parity_ok = h == h_ref && dst == dst_ref;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double denom = std::max(std::abs(src[i]), 0x1.0p-14);
+      r.max_err = std::max(r.max_err, std::abs(src[i] - dst[i]) / denom);
+    }
+  }
+  return r;
+}
+
+/// Per-codec round-trip error ceiling for the bench gate (see
+/// tests/kernel_test.cpp for the derivations).
+double codec_err_bound(tensor::Codec codec) {
+  return codec == tensor::Codec::kInt8 ? 0.5 / 127.0 + 1e-6 : 0x1.0p-10;
+}
+
 struct ArenaResult {
   double acquires_per_step, heap_allocs_per_step;
 };
@@ -322,6 +414,28 @@ int run_kernel_suite(const std::string& json_path) {
     std::printf("%-20s fused %10.0f ns  unfused %10.0f ns  speedup %.2fx\n",
                 f.name.c_str(), f.fused_ns, f.unfused_ns, f.speedup);
   }
+  std::vector<CodecResult> codecs;
+  for (const tensor::Codec codec :
+       {tensor::Codec::kInt8, tensor::Codec::kFp16}) {
+    codecs.push_back(bench_codec(codec));
+    const auto& c = codecs.back();
+    if (!c.parity_ok) {
+      parity_ok = false;
+      std::fprintf(stderr,
+                   "PARITY FAIL codec %s: dispatched != reference\n",
+                   c.name.c_str());
+    }
+    if (c.max_err > codec_err_bound(codec)) {
+      parity_ok = false;
+      std::fprintf(stderr, "ERROR BOUND FAIL codec %s: max_err=%.3e > %.3e\n",
+                   c.name.c_str(), c.max_err, codec_err_bound(codec));
+    }
+    std::printf(
+        "codec %-5s quant %6.2f GB/s (ref %6.2f)  dequant %6.2f GB/s "
+        "(ref %6.2f)  wire %.2fx  max_err %.2e\n",
+        c.name.c_str(), c.quant_gbps, c.quant_ref_gbps, c.dequant_gbps,
+        c.dequant_ref_gbps, c.wire_ratio, c.max_err);
+  }
   const ArenaResult arena = bench_arena_steady_state();
   std::printf("arena steady-state: %.1f acquires/step, %.2f heap allocs/step\n",
               arena.acquires_per_step, arena.heap_allocs_per_step);
@@ -351,6 +465,19 @@ int run_kernel_suite(const std::string& json_path) {
         << ", \"unfused_ns\": " << f.unfused_ns
         << ", \"speedup\": " << f.speedup << "}"
         << (i + 1 < fused.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"codec\": [\n";
+  for (std::size_t i = 0; i < codecs.size(); ++i) {
+    const auto& c = codecs[i];
+    out << "    {\"name\": \"" << c.name
+        << "\", \"quant_gbps\": " << c.quant_gbps
+        << ", \"dequant_gbps\": " << c.dequant_gbps
+        << ", \"quant_ref_gbps\": " << c.quant_ref_gbps
+        << ", \"dequant_ref_gbps\": " << c.dequant_ref_gbps
+        << ", \"wire_ratio\": " << c.wire_ratio
+        << ", \"max_err\": " << c.max_err
+        << ", \"parity_ok\": " << (c.parity_ok ? "true" : "false") << "}"
+        << (i + 1 < codecs.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"arena\": {\"acquires_per_step\": "
       << arena.acquires_per_step

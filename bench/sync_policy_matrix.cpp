@@ -43,8 +43,9 @@ int main(int argc, char** argv) {
               "target_loss=%.2f seed=%llu)\n",
               spec.pipelines, spec.steps, spec.target_loss,
               static_cast<unsigned long long>(spec.seed));
-  std::printf("%-10s %-15s %12s %12s %10s %10s %7s\n", "policy", "scenario",
-              "final_loss", "best_loss", "epochs2tgt", "wall_s", "finite");
+  std::printf("%-14s %-15s %12s %12s %10s %9s %10s %7s\n", "policy",
+              "scenario", "final_loss", "best_loss", "epochs2tgt", "ratio",
+              "wall_s", "finite");
   for (const core::CellResult& c : result.cells) {
     char epochs[32];
     if (c.epochs_to_target >= 0) {
@@ -52,10 +53,16 @@ int main(int argc, char** argv) {
     } else {
       std::snprintf(epochs, sizeof(epochs), "-");
     }
-    std::printf("%-10s %-15s %12.4f %12.4f %10s %10.3f %7s\n",
-                core::to_string(c.policy).c_str(),
-                fault::to_string(c.scenario), c.final_loss, c.best_loss,
-                epochs, c.wall_seconds, c.finite ? "yes" : "NO");
+    char ratio[32];
+    if (c.codec != tensor::Codec::kNone) {
+      std::snprintf(ratio, sizeof(ratio), "%.2fx", c.sync_ratio);
+    } else {
+      std::snprintf(ratio, sizeof(ratio), "-");
+    }
+    std::printf("%-14s %-15s %12.4f %12.4f %10s %9s %10.3f %7s\n",
+                c.label.c_str(), fault::to_string(c.scenario), c.final_loss,
+                c.best_loss, epochs, ratio, c.wall_seconds,
+                c.finite ? "yes" : "NO");
   }
   std::printf("\nparity gate (N=1 degenerate config vs serial pipelined "
               "SGD, bit-exact):\n");

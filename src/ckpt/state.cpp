@@ -8,6 +8,28 @@ std::string pipeline_record(std::size_t i) {
   return "pipeline." + std::to_string(i);
 }
 
+std::string residual_record(std::size_t i) {
+  return "residual." + std::to_string(i);
+}
+
+/// Residual record payload: codec byte + tensor list.
+std::vector<std::uint8_t> encode_residuals(
+    std::uint8_t codec, const std::vector<tensor::Tensor>& residuals) {
+  ByteWriter w;
+  w.u8(codec);
+  write_tensor_list(w, residuals);
+  return w.take();
+}
+
+std::vector<tensor::Tensor> decode_residuals(
+    const std::vector<std::uint8_t>& payload, const char* what) {
+  ByteReader r(payload);
+  r.u8();  // codec byte (authoritative copy lives in residual.broadcast)
+  std::vector<tensor::Tensor> ts = read_tensor_list(r);
+  r.expect_done(what);
+  return ts;
+}
+
 std::vector<std::uint8_t> encode_pipeline(const PipelineState& p) {
   ByteWriter w;
   w.u8(p.alive ? 1 : 0);
@@ -80,6 +102,19 @@ void encode(const TrainState& state, CheckpointWriter& writer) {
     }
     writer.add_record("rng", w.take());
   }
+  // Sync-compression EF residuals ride along only when a codec was active:
+  // an uncompressed run's checkpoint bytes are unchanged, and old readers
+  // simply never ask for these records.
+  if (state.sync_codec != 0) {
+    writer.add_record(
+        "residual.broadcast",
+        encode_residuals(state.sync_codec, state.broadcast_residual));
+    for (std::size_t i = 0; i < state.pipelines.size(); ++i) {
+      writer.add_record(
+          residual_record(i),
+          encode_residuals(state.sync_codec, state.pipelines[i].residuals));
+    }
+  }
 }
 
 TrainState decode(const CheckpointReader& reader) {
@@ -112,6 +147,20 @@ TrainState decode(const CheckpointReader& reader) {
       state.rng_streams.emplace_back(std::move(name), std::move(snapshot));
     }
     r.expect_done("rng record");
+  }
+  // Optional (compression-era) records: absent in pre-compression and
+  // uncompressed checkpoints, which decode exactly as before.
+  if (reader.has("residual.broadcast")) {
+    ByteReader r(reader.payload("residual.broadcast"));
+    state.sync_codec = r.u8();
+    state.broadcast_residual = read_tensor_list(r);
+    r.expect_done("residual.broadcast record");
+    for (std::uint32_t i = 0; i < pipelines; ++i) {
+      if (!reader.has(residual_record(i))) continue;
+      state.pipelines[i].residuals =
+          decode_residuals(reader.payload(residual_record(i)),
+                           "pipeline residual record");
+    }
   }
   return state;
 }

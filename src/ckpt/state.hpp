@@ -37,6 +37,9 @@ struct PipelineState {
   bool alive = true;
   std::vector<tensor::Tensor> params;
   std::vector<runtime::StageState> stages;
+  /// Error-feedback residuals of this pipeline's sync push codec (empty
+  /// when sync compression is off or nothing was transmitted yet).
+  std::vector<tensor::Tensor> residuals;
 };
 
 /// The complete durable state of one training run at a round boundary.
@@ -44,16 +47,23 @@ struct TrainState {
   long step = 0;             ///< driver iterations completed
   std::uint8_t policy_kind = 0;  ///< core::SyncPolicyKind, as a raw byte
   double alpha = 0.0;        ///< elastic coupling strength at capture time
+  /// The sync-transport codec active at capture (tensor::Codec as a raw
+  /// byte; 0 = off). Residuals only restore onto a matching codec.
+  std::uint8_t sync_codec = 0;
   std::vector<tensor::Tensor> reference;     ///< reference model parameters
   std::vector<tensor::Tensor> policy_state;  ///< SyncPolicy::export_state()
   std::vector<tensor::Tensor> broadcast;     ///< published round broadcast
+  /// Error-feedback residuals of the broadcast codec (empty when off).
+  std::vector<tensor::Tensor> broadcast_residual;
   std::vector<PipelineState> pipelines;
   /// Named RNG engine snapshots (Rng::save_state), e.g. data-order streams.
   std::vector<std::pair<std::string, std::string>> rng_streams;
 };
 
 /// Encode `state` as records on `writer` (meta / reference / policy /
-/// broadcast / pipeline.<i> / rng).
+/// broadcast / pipeline.<i> / rng, plus residual.broadcast / residual.<i>
+/// when `sync_codec` is non-zero — an uncompressed run's checkpoint stays
+/// byte-identical to the pre-compression format).
 void encode(const TrainState& state, CheckpointWriter& writer);
 
 /// Decode a state previously written by `encode`. Throws avgpipe::Error on

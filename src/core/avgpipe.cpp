@@ -65,8 +65,19 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
   auto params0 = replicas_[0]->model.parameters();
   reference_ = std::make_unique<ReferenceModel>(clone_values(params0));
   policy_ = make_sync_policy(config_.sync);
+  // An explicit config pins the compression mode; otherwise the environment
+  // decides (default off — the bit-exact path).
+  compression_ = config_.sync_compression.has_value()
+                     ? *config_.sync_compression
+                     : sync_compression_from_env(SyncCompression{});
+  broadcast_codec_ = SyncCodec(compression_);
+  for (auto& replica : replicas_) replica->push_codec = SyncCodec(compression_);
+  // The initial publish is transmission #1 of the broadcast stream (the
+  // reference thread isn't running yet, so this is single-threaded).
+  ParamSet initial_broadcast = policy_->make_broadcast(*reference_);
+  if (compression_.enabled()) broadcast_codec_.transmit(initial_broadcast);
   latest_snapshot_ =
-      std::make_shared<const ParamSet>(policy_->make_broadcast(*reference_));
+      std::make_shared<const ParamSet>(std::move(initial_broadcast));
 
   // Each replica gets its own pipeline runtime over its own parameters and a
   // persistent worker thread driving it.
@@ -172,6 +183,10 @@ void AvgPipe::replica_loop(std::size_t i) {
       const std::shared_ptr<const ParamSet> snap = snapshot_handle();
       auto params = r.model.parameters();
       res.update = policy_->local_sync(params, *snap, job->alpha);
+      if (compression_.enabled()) {
+        const SyncCodec::Stats stats = r.push_codec.transmit(res.update);
+        record_sync_bytes(r.trace_buf, i, stats);
+      }
       if (r.trace_buf != nullptr) {
         trace::TraceEvent ev;
         ev.kind = trace::EventKind::kElasticPull;
@@ -232,8 +247,12 @@ void AvgPipe::reference_loop() {
     const Seconds t0 =
         reference_trace_ != nullptr ? config_.tracer->wall_now() : 0;
     policy_->apply_rounds(*reference_, rounds);
-    latest_snapshot_ =
-        std::make_shared<const ParamSet>(policy_->make_broadcast(*reference_));
+    ParamSet broadcast = policy_->make_broadcast(*reference_);
+    if (compression_.enabled()) {
+      const SyncCodec::Stats stats = broadcast_codec_.transmit(broadcast);
+      record_sync_bytes(reference_trace_, 0, stats);
+    }
+    latest_snapshot_ = std::make_shared<const ParamSet>(std::move(broadcast));
     if (reference_trace_ != nullptr) {
       trace::TraceEvent ev;
       ev.kind = trace::EventKind::kReferenceApply;
@@ -271,6 +290,25 @@ void AvgPipe::rebalance_alpha() {
   const std::size_t alive = alive_pipelines();
   if (alive == 0) return;  // the caller throws; keep the last valid α
   alpha_ = config_.alpha > 0.0 ? config_.alpha : default_alpha(alive);
+}
+
+void AvgPipe::record_sync_bytes(trace::TraceBuffer* buf, std::size_t pipeline,
+                                const SyncCodec::Stats& stats) {
+  if (buf == nullptr) return;
+  const Seconds now = config_.tracer->wall_now();
+  trace::TraceEvent wire;
+  wire.kind = trace::EventKind::kCounter;
+  wire.counter = trace::CounterId::kSyncBytes;
+  wire.pipeline = static_cast<std::uint32_t>(pipeline);
+  wire.t_begin = wire.t_end = now;
+  wire.bytes = stats.wire_bytes;
+  wire.value = static_cast<double>(stats.wire_bytes);
+  buf->record(wire);
+  trace::TraceEvent raw = wire;
+  raw.counter = trace::CounterId::kSyncBytesRaw;
+  raw.bytes = stats.raw_bytes;
+  raw.value = static_cast<double>(stats.raw_bytes);
+  buf->record(raw);
 }
 
 void AvgPipe::record_membership_event(trace::EventKind kind,
@@ -322,6 +360,7 @@ void AvgPipe::rejoin_pipeline(std::size_t i) {
     params[j].zero_grad();  // drop partial sums from the crashed batch
   }
   replicas_[i]->runtime = make_runtime(i);
+  replicas_[i]->push_codec.reset_residuals();  // a real restart loses them
   start_worker(i);
   health_[i].alive = true;
   health_[i].last_error.clear();
@@ -419,7 +458,13 @@ double AvgPipe::train_iteration(const std::vector<data::Batch>& batches) {
       const Seconds t0 =
           driver_trace_ != nullptr ? config_.tracer->wall_now() : 0;
       auto params = replicas_[i]->model.parameters();
-      round.push_back(policy_->local_sync(params, *snap, alpha_));
+      ParamSet update = policy_->local_sync(params, *snap, alpha_);
+      if (compression_.enabled()) {
+        const SyncCodec::Stats stats =
+            replicas_[i]->push_codec.transmit(update);
+        record_sync_bytes(driver_trace_, i, stats);
+      }
+      round.push_back(std::move(update));
       if (driver_trace_ != nullptr) {
         trace::TraceEvent ev;
         ev.kind = trace::EventKind::kElasticPull;
@@ -511,11 +556,13 @@ ckpt::TrainState AvgPipe::capture_state() {
   state.step = iteration_;
   state.policy_kind = static_cast<std::uint8_t>(policy_->kind());
   state.alpha = alpha_;
+  state.sync_codec = static_cast<std::uint8_t>(compression_.codec);
   {
     std::lock_guard<std::mutex> lock(reference_mutex_);
     state.reference = reference_->snapshot();
     state.policy_state = policy_->export_state();
     state.broadcast = clone_set(*latest_snapshot_);
+    state.broadcast_residual = clone_set(broadcast_codec_.residuals());
   }
   state.pipelines.reserve(replicas_.size());
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
@@ -524,6 +571,7 @@ ckpt::TrainState AvgPipe::capture_state() {
     if (p.alive) {
       p.params = replica_snapshot(i);
       p.stages = replicas_[i]->runtime->export_stage_state();
+      p.residuals = clone_set(replicas_[i]->push_codec.residuals());
     }
     state.pipelines.push_back(std::move(p));
   }
@@ -534,7 +582,8 @@ ckpt::TrainState AvgPipe::capture_state() {
   return state;
 }
 
-void AvgPipe::restore_pipeline(std::size_t i, const ckpt::PipelineState& p) {
+void AvgPipe::restore_pipeline(std::size_t i, const ckpt::PipelineState& p,
+                               bool codec_match) {
   auto params = replicas_[i]->model.parameters();
   AVGPIPE_CHECK(params.size() == p.params.size(),
                 "restore: pipeline " << i << " has " << params.size()
@@ -547,6 +596,11 @@ void AvgPipe::restore_pipeline(std::size_t i, const ckpt::PipelineState& p) {
   const bool was_dead = !health_[i].alive;
   if (was_dead) replicas_[i]->runtime = make_runtime(i);
   replicas_[i]->runtime->import_stage_state(p.stages);
+  if (codec_match) {
+    replicas_[i]->push_codec.set_residuals(clone_set(p.residuals));
+  } else {
+    replicas_[i]->push_codec.reset_residuals();
+  }
   if (was_dead) {
     start_worker(i);
     health_[i].alive = true;
@@ -568,6 +622,11 @@ void AvgPipe::restore_state(const ckpt::TrainState& state) {
                                          << policy_->name() << "'");
   synchronize();
   iteration_ = state.step;
+  // Residuals only transfer between identically compressed runs; restoring
+  // into a differently configured system drops them (a codec change resets
+  // the EF streams, like a fresh wire).
+  const bool codec_match =
+      state.sync_codec == static_cast<std::uint8_t>(compression_.codec);
   {
     std::lock_guard<std::mutex> lock(reference_mutex_);
     ParamSet& ref = reference_->mutable_params();
@@ -579,10 +638,15 @@ void AvgPipe::restore_state(const ckpt::TrainState& state) {
     policy_->import_state(clone_set(state.policy_state));
     latest_snapshot_ =
         std::make_shared<const ParamSet>(clone_set(state.broadcast));
+    if (codec_match) {
+      broadcast_codec_.set_residuals(clone_set(state.broadcast_residual));
+    } else {
+      broadcast_codec_.reset_residuals();
+    }
   }
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (state.pipelines[i].alive) {
-      restore_pipeline(i, state.pipelines[i]);
+      restore_pipeline(i, state.pipelines[i], codec_match);
     } else {
       detach_pipeline(i, "restored checkpoint marks pipeline dead");
     }
@@ -649,7 +713,9 @@ bool AvgPipe::restore_pipeline_from_checkpoint(std::size_t i) {
                       state.pipelines.size() == replicas_.size() &&
                       state.pipelines[i].alive;
   if (usable) {
-    restore_pipeline(i, state.pipelines[i]);
+    restore_pipeline(i, state.pipelines[i],
+                     state.sync_codec ==
+                         static_cast<std::uint8_t>(compression_.codec));
   } else {
     rejoin_pipeline(i);
   }
@@ -700,6 +766,22 @@ AvgPipeTrainer::AvgPipeTrainer(const nn::ModelFactory& factory,
   reference_ = std::make_unique<ReferenceModel>(
       clone_values(replicas_[0]->model.parameters()));
   broadcast_ = policy_->make_broadcast(*reference_);
+  compression_ = sync_compression_from_env(SyncCompression{});
+  init_codecs();
+}
+
+void AvgPipeTrainer::set_sync_compression(SyncCompression compression) {
+  compression_ = compression;
+  init_codecs();
+}
+
+void AvgPipeTrainer::init_codecs() {
+  broadcast_codec_ = SyncCodec(compression_);
+  push_codecs_.assign(replicas_.size(), SyncCodec(compression_));
+  if (compression_.enabled()) {
+    broadcast_ = policy_->make_broadcast(*reference_);
+    broadcast_codec_.transmit(broadcast_);
+  }
 }
 
 double AvgPipeTrainer::train_iteration(const std::vector<data::Batch>& batches) {
@@ -739,9 +821,28 @@ double AvgPipeTrainer::train_iteration(const std::vector<data::Batch>& batches) 
   for (auto& replica : replicas_) {
     param_sets.push_back(replica->model.parameters());
   }
-  policy_->serial_round(*reference_, param_sets, alpha_);
-  if (policy_->needs_begin()) {
+  if (!compression_.enabled()) {
+    policy_->serial_round(*reference_, param_sets, alpha_);
+    if (policy_->needs_begin()) {
+      broadcast_ = policy_->make_broadcast(*reference_);
+    }
+  } else {
+    // Compressed generic round, mirroring the threaded sync path exactly:
+    // local_sync against the *published* (already transmitted) broadcast,
+    // transmit each replica's update, apply the round, publish a freshly
+    // transmitted broadcast. The elastic fused serial_round can't be used
+    // here — it folds the update into the accumulator without ever
+    // materialising it, and the wire needs the update as a payload.
+    std::vector<ParamSet> round;
+    round.reserve(param_sets.size());
+    for (std::size_t i = 0; i < param_sets.size(); ++i) {
+      ParamSet update = policy_->local_sync(param_sets[i], broadcast_, alpha_);
+      push_codecs_[i].transmit(update);
+      round.push_back(std::move(update));
+    }
+    policy_->apply_round(*reference_, round);
     broadcast_ = policy_->make_broadcast(*reference_);
+    broadcast_codec_.transmit(broadcast_);
   }
   ++iterations_;
   return loss_sum / static_cast<double>(replicas_.size());
@@ -752,16 +853,20 @@ ckpt::TrainState AvgPipeTrainer::capture_state() const {
   state.step = iterations_;
   state.policy_kind = static_cast<std::uint8_t>(policy_->kind());
   state.alpha = alpha_;
+  state.sync_codec = static_cast<std::uint8_t>(compression_.codec);
   state.reference = reference_->snapshot();
   state.policy_state = policy_->export_state();
   state.broadcast = clone_set(broadcast_);
+  state.broadcast_residual = clone_set(broadcast_codec_.residuals());
   state.pipelines.reserve(replicas_.size());
-  for (const auto& replica : replicas_) {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const auto& replica = replicas_[i];
     ckpt::PipelineState p;
     p.params = clone_values(replica->model.parameters());
     runtime::StageState stage;
     stage.optimizer = replica->optimizer->export_state();
     p.stages.push_back(std::move(stage));
+    p.residuals = clone_set(push_codecs_[i].residuals());
     state.pipelines.push_back(std::move(p));
   }
   return state;
@@ -778,6 +883,8 @@ void AvgPipeTrainer::restore_state(const ckpt::TrainState& state) {
                                          << " != configured policy '"
                                          << policy_->name() << "'");
   iterations_ = state.step;
+  const bool codec_match =
+      state.sync_codec == static_cast<std::uint8_t>(compression_.codec);
   ParamSet& ref = reference_->mutable_params();
   AVGPIPE_CHECK(ref.size() == state.reference.size(),
                 "restore: reference size mismatch");
@@ -786,6 +893,11 @@ void AvgPipeTrainer::restore_state(const ckpt::TrainState& state) {
   }
   policy_->import_state(clone_set(state.policy_state));
   broadcast_ = clone_set(state.broadcast);
+  if (codec_match) {
+    broadcast_codec_.set_residuals(clone_set(state.broadcast_residual));
+  } else {
+    broadcast_codec_.reset_residuals();
+  }
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     const auto& p = state.pipelines[i];
     auto params = replicas_[i]->model.parameters();
@@ -799,6 +911,11 @@ void AvgPipeTrainer::restore_state(const ckpt::TrainState& state) {
                   "serial trainer checkpoints one stage per replica, got "
                       << p.stages.size());
     replicas_[i]->optimizer->import_state(p.stages[0].optimizer);
+    if (codec_match) {
+      push_codecs_[i].set_residuals(clone_set(p.residuals));
+    } else {
+      push_codecs_[i].reset_residuals();
+    }
   }
   alpha_ = state.alpha;
 }

@@ -17,12 +17,14 @@
 ///   asserts that equivalence.
 
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "ckpt/state.hpp"
 #include "common/queue.hpp"
 #include "common/rng.hpp"
 #include "core/elastic.hpp"
+#include "core/sync_compression.hpp"
 #include "core/sync_policy.hpp"
 #include "runtime/pipeline_runtime.hpp"
 #include "runtime/semantics.hpp"
@@ -76,6 +78,13 @@ struct AvgPipeConfig {
   /// checkpoint and rejoin it. When no checkpoint is loadable the pipeline
   /// degrades to the plain broadcast rejoin. Requires `checkpoints`.
   bool restore_on_failure = false;
+  /// Lossy compression of the sync transport (sync_compression.hpp): every
+  /// replica→reference push and reference→replica broadcast is degraded to
+  /// its codec round trip, with per-stream error-feedback residuals.
+  /// `nullopt` resolves against AVGPIPE_SYNC_COMPRESS (default off); an
+  /// explicit value pins the mode and ignores the environment — parity
+  /// tests pin `off`, which leaves today's bit-exact path untouched.
+  std::optional<SyncCompression> sync_compression;
 };
 
 /// The full threaded system.
@@ -106,6 +115,8 @@ class AvgPipe {
   std::size_t num_pipelines() const { return replicas_.size(); }
   double alpha() const { return alpha_; }
   const SyncPolicy& policy() const { return *policy_; }
+  /// The resolved sync-transport compression (config or env).
+  const SyncCompression& sync_compression() const { return compression_; }
 
   // -- elastic membership (fault tolerance) ----------------------------------
 
@@ -204,6 +215,10 @@ class AvgPipe {
     std::unique_ptr<SpscChannel<ReplicaResult>> results;
     std::thread thread;
     trace::TraceBuffer* trace_buf = nullptr;  ///< worker-side elastic spans
+    // Compressor of this replica's push stream (update ParamSets), with its
+    // EF residuals. Touched by the worker thread in async mode and by the
+    // driver in sync mode — one owner per configuration, never both.
+    SyncCodec push_codec;
   };
 
   void reference_loop();
@@ -218,12 +233,17 @@ class AvgPipe {
   void rebalance_alpha();
   /// Crash/rejoin marker plus an alive-pipelines counter sample.
   void record_membership_event(trace::EventKind kind, std::size_t pipeline);
+  /// kSyncBytes/kSyncBytesRaw counter pair from one codec transmission.
+  void record_sync_bytes(trace::TraceBuffer* buf, std::size_t pipeline,
+                         const SyncCodec::Stats& stats);
   /// Apply the plan's crash_at_step / rejoin_at_step records due at
   /// `iteration_`.
   void apply_scheduled_faults();
   /// Bring pipeline `i` to the checkpointed per-pipeline state `p` (weights,
-  /// optimizer slots, predictors); doubles as a rejoin when `i` is detached.
-  void restore_pipeline(std::size_t i, const ckpt::PipelineState& p);
+  /// optimizer slots, predictors, and — when `codec_match` — the push
+  /// codec's EF residuals); doubles as a rejoin when `i` is detached.
+  void restore_pipeline(std::size_t i, const ckpt::PipelineState& p,
+                        bool codec_match);
   /// Failure escalation: re-attach just-detached pipeline `i` with its
   /// durable state from the newest loadable checkpoint (kRestore span);
   /// falls back to the plain broadcast rejoin when none is loadable.
@@ -232,6 +252,7 @@ class AvgPipe {
 
   AvgPipeConfig config_;
   std::unique_ptr<SyncPolicy> policy_;
+  SyncCompression compression_;  ///< resolved config/env compression mode
   // Thread-placement plan shared by every replica runtime: replica i's K
   // stage threads occupy pin slots [i*K, (i+1)*K), then the N replica
   // workers, then the reference thread — pinned only under
@@ -263,6 +284,9 @@ class AvgPipe {
   // (latest_snapshot_) that replica pulls read without blocking on the
   // apply itself.
   std::unique_ptr<ReferenceModel> reference_;
+  /// Compressor of the broadcast stream. Reference-thread state: shares
+  /// reference_'s serialisation (reference_mutex_ plus the apply drain).
+  SyncCodec broadcast_codec_;
   std::mutex reference_mutex_;  ///< guards reference_ and latest_snapshot_
   std::shared_ptr<const ParamSet> latest_snapshot_;
   Channel<std::vector<ParamSet>> update_queue_{64};
@@ -297,6 +321,12 @@ class AvgPipeTrainer : public runtime::TrainerBase {
   nn::Sequential& replica(std::size_t i) { return replicas_.at(i)->model; }
   const SyncPolicy& policy() const { return *policy_; }
 
+  /// Pin the sync-transport compression (overriding the ctor's
+  /// AVGPIPE_SYNC_COMPRESS resolution) and reset all codec state. Call
+  /// before the first iteration; mirrors AvgPipeConfig::sync_compression.
+  void set_sync_compression(SyncCompression compression);
+  const SyncCompression& sync_compression() const { return compression_; }
+
   // -- durable checkpoint/restore (serial path) ------------------------------
 
   /// Iterations completed — the step counter serial checkpoints carry.
@@ -315,9 +345,16 @@ class AvgPipeTrainer : public runtime::TrainerBase {
     nn::Sequential model;
     std::unique_ptr<optim::Optimizer> optimizer;
   };
+  /// (Re)build the codecs for compression_ and, when it is on, republish
+  /// broadcast_ through the broadcast codec (transmission #1 of the stream,
+  /// matching the threaded ctor's initial publish).
+  void init_codecs();
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::unique_ptr<ReferenceModel> reference_;
   std::unique_ptr<SyncPolicy> policy_;
+  SyncCompression compression_;
+  SyncCodec broadcast_codec_;
+  std::vector<SyncCodec> push_codecs_;  ///< one per replica
   ParamSet broadcast_;  ///< round-start reset point (needs_begin policies)
   nn::Sequential eval_model_;
   double alpha_;

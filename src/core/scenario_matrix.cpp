@@ -10,6 +10,8 @@
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
 #include "runtime/semantics.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
 
 namespace avgpipe::core {
 
@@ -37,16 +39,27 @@ double elapsed_seconds(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 CellResult run_cell(const MatrixSpec& spec, SyncPolicyKind policy,
-                    fault::ScenarioKind scenario) {
+                    fault::ScenarioKind scenario,
+                    SyncCompression compression) {
   CellResult cell;
   cell.policy = policy;
   cell.scenario = scenario;
+  cell.codec = compression.codec;
+  cell.label = to_string(policy);
+  if (compression.enabled()) {
+    cell.label += std::string("[") + tensor::to_string(compression.codec) +
+                  "]";
+  }
 
   data::SyntheticFeatures ds(spec.samples, spec.features, spec.classes,
                              spec.seed, spec.noise);
   data::DataLoader loader(ds, spec.batch_size, spec.seed + 1);
   const fault::FaultPlan plan =
       fault::make_scenario(scenario, spec.pipelines, spec.seed);
+
+  // Only compressed cells pay for a tracer (the byte counters are all we
+  // read from it).
+  trace::Tracer tracer;
 
   AvgPipeConfig cfg;
   cfg.num_pipelines = spec.pipelines;
@@ -56,6 +69,9 @@ CellResult run_cell(const MatrixSpec& spec, SyncPolicyKind policy,
   cfg.sync_lag = spec.sync_lag;
   cfg.faults = &plan;
   cfg.sync.kind = policy;
+  // Pinned (even when off): matrix rows must not depend on the environment.
+  cfg.sync_compression = compression;
+  if (compression.enabled()) cfg.tracer = &tracer;
   AvgPipe system(matrix_model(spec), matrix_optimizer(spec), cfg);
 
   const std::size_t per_epoch = loader.batches_per_epoch();
@@ -90,6 +106,10 @@ CellResult run_cell(const MatrixSpec& spec, SyncPolicyKind policy,
   cell.final_loss =
       runtime::evaluate_loss(system.eval_model(), loader, 0, spec.eval_batches);
   cell.finite = cell.finite && std::isfinite(cell.final_loss);
+  if (compression.enabled()) {
+    system.synchronize();  // flush worker trace buffers
+    cell.sync_ratio = trace::TraceAnalysis(tracer.collect()).compression_ratio();
+  }
   return cell;
 }
 
@@ -107,6 +127,9 @@ PolicyParity run_parity(const MatrixSpec& spec, SyncPolicyKind policy) {
   cfg.micro_batches = spec.micro_batches;
   cfg.boundaries = spec.boundaries;
   cfg.sync = degenerate_config(policy);
+  // The gate asserts exact-0.0 deltas of the uncompressed math; pin the
+  // codec off so an env-forced AVGPIPE_SYNC_COMPRESS can't fail it.
+  cfg.sync_compression = SyncCompression{};
   AvgPipe system(matrix_model(spec), matrix_optimizer(spec), cfg);
 
   // Serial pipelined SGD baseline: same factory seed as AvgPipe's replicas
@@ -152,6 +175,21 @@ MatrixResult run_matrix(const MatrixSpec& spec) {
       result.cells.push_back(run_cell(spec, policy, scenario));
     }
   }
+  // Quantized-transport rows: elastic under each requested codec, across the
+  // same scenarios, so the lossy-sync accuracy claim faces the same faults.
+  for (const tensor::Codec codec : spec.elastic_codecs) {
+    if (codec == tensor::Codec::kNone) continue;  // that's the elastic row
+    SyncCompression compression;
+    compression.codec = codec;
+    for (const fault::ScenarioKind scenario : spec.scenarios) {
+      if (scenario == fault::ScenarioKind::kCrashRejoin &&
+          spec.pipelines < 2) {
+        continue;
+      }
+      result.cells.push_back(
+          run_cell(spec, SyncPolicyKind::kElastic, scenario, compression));
+    }
+  }
   return result;
 }
 
@@ -170,8 +208,12 @@ void write_matrix_json(const MatrixResult& result, std::ostream& os) {
   os << "  \"cells\": [\n";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
     const CellResult& c = result.cells[i];
-    os << "    {\"policy\": \"" << to_string(c.policy) << "\", \"scenario\": \""
-       << fault::to_string(c.scenario) << "\", \"final_loss\": " << c.final_loss
+    os << "    {\"policy\": \""
+       << (c.label.empty() ? to_string(c.policy) : c.label)
+       << "\", \"scenario\": \""
+       << fault::to_string(c.scenario) << "\", \"codec\": \""
+       << tensor::to_string(c.codec) << "\", \"sync_ratio\": " << c.sync_ratio
+       << ", \"final_loss\": " << c.final_loss
        << ", \"best_loss\": " << c.best_loss
        << ", \"steps_to_target\": " << c.steps_to_target
        << ", \"epochs_to_target\": " << c.epochs_to_target

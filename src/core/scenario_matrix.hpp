@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sync_compression.hpp"
 #include "core/sync_policy.hpp"
 #include "fault/fault_plan.hpp"
 
@@ -52,11 +53,22 @@ struct MatrixSpec {
   double target_loss = 0.32;
   // Parity gate length (iterations at N = 1 per policy).
   std::size_t parity_steps = 4;
+  // Quantized-transport rows: each codec adds an elastic[<codec>] row across
+  // all scenarios (the accuracy-under-lossy-sync story). Empty disables.
+  std::vector<tensor::Codec> elastic_codecs = {tensor::Codec::kInt8,
+                                               tensor::Codec::kFp16};
 };
 
 struct CellResult {
   SyncPolicyKind policy = SyncPolicyKind::kElastic;
   fault::ScenarioKind scenario = fault::ScenarioKind::kClean;
+  /// Row label: to_string(policy), or "elastic[int8]"-style when the cell
+  /// ran with a quantized sync transport.
+  std::string label;
+  tensor::Codec codec = tensor::Codec::kNone;
+  /// Measured bytes-moved reduction (TraceAnalysis::compression_ratio);
+  /// 1.0 for uncompressed cells.
+  double sync_ratio = 1.0;
   double final_loss = 0;
   double best_loss = 0;
   long steps_to_target = -1;      ///< -1: target never reached
@@ -80,9 +92,13 @@ struct MatrixResult {
   bool parity_ok = false;
 };
 
-/// Train one (policy, scenario) cell on the threaded system.
+/// Train one (policy, scenario) cell on the threaded system. `compression`
+/// is always pinned into the config (default: off), so matrix rows never
+/// depend on AVGPIPE_SYNC_COMPRESS; compressed cells also record the
+/// achieved bytes-moved ratio.
 CellResult run_cell(const MatrixSpec& spec, SyncPolicyKind policy,
-                    fault::ScenarioKind scenario);
+                    fault::ScenarioKind scenario,
+                    SyncCompression compression = {});
 
 /// Degenerate-config bit-parity of `policy` at N = 1 vs serial pipelined SGD.
 PolicyParity run_parity(const MatrixSpec& spec, SyncPolicyKind policy);

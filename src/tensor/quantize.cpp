@@ -1,0 +1,424 @@
+#include "tensor/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define AVGPIPE_QUANT_X86 1
+#include <immintrin.h>
+#endif
+
+namespace avgpipe::tensor {
+
+const char* to_string(Codec codec) {
+  switch (codec) {
+    case Codec::kNone: return "off";
+    case Codec::kFp16: return "fp16";
+    case Codec::kInt8: return "int8";
+  }
+  return "?";
+}
+
+bool codec_from_string(std::string_view s, Codec* out) {
+  if (s == "off" || s == "none") {
+    *out = Codec::kNone;
+  } else if (s == "fp16") {
+    *out = Codec::kFp16;
+  } else if (s == "int8") {
+    *out = Codec::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::size_t codec_wire_bytes(Codec codec, std::size_t n) {
+  switch (codec) {
+    case Codec::kNone: return n * sizeof(Scalar);
+    case Codec::kFp16: return n * 2;
+    case Codec::kInt8: return n + int8_num_blocks(n) * sizeof(float);
+  }
+  return n * sizeof(Scalar);
+}
+
+namespace {
+
+// -- int8 scalar core ---------------------------------------------------------
+//
+// Every scalar helper here is also the tail path inside the AVX2 kernels, so
+// each operation is written to match its vector twin bit-for-bit:
+// * the abs-max update `(m < ax) ? ax : m` drops NaN exactly like
+//   _mm256_max_pd(ax, acc) (which returns its second operand on NaN);
+// * the clamp `if (!(r <= 127)) r = 127; if (r < -127) r = -127;` matches
+//   max_pd(min_pd(r, 127), -127) including the NaN-saturates-high case;
+// * nearbyint under the default round-to-nearest-even mode is exactly
+//   _mm256_round_pd(v, _MM_FROUND_TO_NEAREST_INT).
+
+/// Shared f32 scale of one block: max|x| / 127, with all-zero, overflow and
+/// underflow guards. 0.0f means "all-zero block" (values are not divided).
+inline float int8_block_scale(const Scalar* src, std::size_t n) {
+  Scalar m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Scalar ax = std::fabs(src[i]);
+    if (m < ax) m = ax;  // NaN comparison is false: NaN never becomes the max
+  }
+  if (m == 0.0) return 0.0f;
+  if (!std::isfinite(m)) return std::numeric_limits<float>::max();
+  const float s = static_cast<float>(m / 127.0);
+  if (s == 0.0f) return std::numeric_limits<float>::denorm_min();
+  if (!std::isfinite(s)) return std::numeric_limits<float>::max();
+  return s;
+}
+
+inline std::int8_t int8_quant_value(Scalar x, Scalar inv) {
+  Scalar r = std::nearbyint(x * inv);
+  if (!(r <= 127.0)) r = 127.0;  // +Inf and NaN saturate high
+  if (r < -127.0) r = -127.0;
+  return static_cast<std::int8_t>(r);
+}
+
+void int8_quant_block_scalar(const Scalar* src, std::size_t n, std::int8_t* q,
+                             float s) {
+  if (s == 0.0f) {
+    std::fill(q, q + n, std::int8_t{0});
+    return;
+  }
+  const Scalar inv = 1.0 / static_cast<Scalar>(s);
+  for (std::size_t i = 0; i < n; ++i) q[i] = int8_quant_value(src[i], inv);
+}
+
+}  // namespace
+
+void quantize_int8_reference(const Scalar* src, std::size_t n, std::int8_t* q,
+                             float* scales) {
+  for (std::size_t b = 0; n > 0; ++b) {
+    const std::size_t len = std::min(n, kQuantBlock);
+    const float s = int8_block_scale(src, len);
+    scales[b] = s;
+    int8_quant_block_scalar(src, len, q, s);
+    src += len;
+    q += len;
+    n -= len;
+  }
+}
+
+void dequantize_int8_reference(const std::int8_t* q, const float* scales,
+                               std::size_t n, Scalar* dst) {
+  for (std::size_t b = 0; n > 0; ++b) {
+    const std::size_t len = std::min(n, kQuantBlock);
+    const Scalar s = static_cast<Scalar>(scales[b]);
+    for (std::size_t i = 0; i < len; ++i) {
+      dst[i] = static_cast<Scalar>(q[i]) * s;
+    }
+    q += len;
+    dst += len;
+    n -= len;
+  }
+}
+
+// -- fp16 scalar core ---------------------------------------------------------
+
+std::uint16_t float_to_half(float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const auto sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000u);
+  const std::uint32_t abs = bits & 0x7fffffffu;
+  if (abs >= 0x7f800000u) {  // Inf / NaN (kept NaN-quieting like VCVTPS2PH)
+    std::uint32_t mant = (abs >> 13) & 0x3ffu;
+    if (abs > 0x7f800000u) mant |= 0x200u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mant);
+  }
+  // Below 2^-25 everything rounds to zero; the exact tie at 2^-25 rounds to
+  // even (zero) as well, so the comparison is inclusive.
+  if (abs <= 0x33000000u) return sign;
+  int e = static_cast<int>(abs >> 23) - 127;
+  const std::uint32_t mant = abs & 0x7fffffu;
+  if (e < -14) {
+    // Subnormal half: round the 24-bit significand to multiples of 2^-24.
+    const std::uint32_t sig = 0x800000u | mant;
+    const int shift = -e - 1;  // in [14, 24]
+    std::uint32_t q = sig >> shift;
+    const std::uint32_t rem = sig & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (q & 1u) != 0)) ++q;
+    // q == 0x400 after the carry encodes the smallest normal, by design.
+    return static_cast<std::uint16_t>(sign | q);
+  }
+  std::uint32_t q = mant >> 13;
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (q & 1u) != 0)) ++q;
+  if (q == 0x400u) {
+    q = 0;
+    ++e;
+  }
+  if (e > 15) return static_cast<std::uint16_t>(sign | 0x7c00u);  // overflow
+  return static_cast<std::uint16_t>(sign |
+                                    static_cast<std::uint32_t>(e + 15) << 10 |
+                                    q);
+}
+
+float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  std::uint32_t e = (static_cast<std::uint32_t>(h) >> 10) & 0x1fu;
+  std::uint32_t m = static_cast<std::uint32_t>(h) & 0x3ffu;
+  std::uint32_t bits;
+  if (e == 0) {
+    if (m == 0) {
+      bits = sign;
+    } else {
+      // Normalize the subnormal: value is m * 2^-24.
+      e = 113;  // biased f32 exponent once the implicit bit lands on 0x400
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        --e;
+      }
+      bits = sign | (e << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (e == 31) {
+    bits = sign | 0x7f800000u | (m << 13);
+  } else {
+    bits = sign | ((e + 112) << 23) | (m << 13);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+namespace {
+
+/// f64 -> clamped f32 for the fp16 codec: saturate to ±65504 so the half
+/// encoding is always finite. `if (!(f <= hi))` matches _mm_min_ps's
+/// NaN-returns-second-operand semantics.
+inline float fp16_clamp(Scalar x) {
+  float f = static_cast<float>(x);
+  if (!(f <= 65504.0f)) f = 65504.0f;  // +Inf and NaN saturate high
+  if (f < -65504.0f) f = -65504.0f;
+  return f;
+}
+
+}  // namespace
+
+void quantize_fp16_reference(const Scalar* src, std::size_t n,
+                             std::uint16_t* h) {
+  for (std::size_t i = 0; i < n; ++i) h[i] = float_to_half(fp16_clamp(src[i]));
+}
+
+void dequantize_fp16_reference(const std::uint16_t* h, std::size_t n,
+                               Scalar* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<Scalar>(half_to_float(h[i]));
+  }
+}
+
+// -- AVX2 / F16C kernels ------------------------------------------------------
+
+namespace {
+
+#ifdef AVGPIPE_QUANT_X86
+
+/// Per-block AVX2 quantize: vector abs-max (NaN-dropping via the max_pd
+/// operand order), then round/clamp/pack 8 values at a time. Tails reuse the
+/// scalar helpers, which are bit-identical by construction.
+__attribute__((target("avx2,fma"))) void quantize_int8_avx2(
+    const Scalar* src, std::size_t n, std::int8_t* q, float* scales) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d hi = _mm256_set1_pd(127.0);
+  const __m256d lo = _mm256_set1_pd(-127.0);
+  for (std::size_t b = 0; n > 0; ++b) {
+    const std::size_t len = std::min(n, kQuantBlock);
+
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+      const __m256d a =
+          _mm256_andnot_pd(sign_mask, _mm256_loadu_pd(src + i));
+      acc = _mm256_max_pd(a, acc);  // NaN lane keeps acc (second operand)
+    }
+    alignas(32) Scalar lanes[4];
+    _mm256_store_pd(lanes, acc);
+    Scalar m = 0.0;
+    for (const Scalar lane : lanes) {
+      if (m < lane) m = lane;
+    }
+    for (; i < len; ++i) {
+      const Scalar ax = std::fabs(src[i]);
+      if (m < ax) m = ax;
+    }
+    float s = 0.0f;
+    if (m != 0.0) {
+      if (!std::isfinite(m)) {
+        s = std::numeric_limits<float>::max();
+      } else {
+        s = static_cast<float>(m / 127.0);
+        if (s == 0.0f) s = std::numeric_limits<float>::denorm_min();
+        if (!std::isfinite(s)) s = std::numeric_limits<float>::max();
+      }
+    }
+    scales[b] = s;
+
+    if (s == 0.0f) {
+      std::fill(q, q + len, std::int8_t{0});
+    } else {
+      const Scalar inv = 1.0 / static_cast<Scalar>(s);
+      const __m256d vinv = _mm256_set1_pd(inv);
+      i = 0;
+      for (; i + 8 <= len; i += 8) {
+        __m256d r0 = _mm256_round_pd(
+            _mm256_mul_pd(_mm256_loadu_pd(src + i), vinv),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        __m256d r1 = _mm256_round_pd(
+            _mm256_mul_pd(_mm256_loadu_pd(src + i + 4), vinv),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        r0 = _mm256_max_pd(_mm256_min_pd(r0, hi), lo);
+        r1 = _mm256_max_pd(_mm256_min_pd(r1, hi), lo);
+        const __m128i i0 = _mm256_cvtpd_epi32(r0);
+        const __m128i i1 = _mm256_cvtpd_epi32(r1);
+        const __m128i w = _mm_packs_epi32(i0, i1);   // 8 x int16
+        const __m128i bytes = _mm_packs_epi16(w, w);  // 8 x int8 (low half)
+        _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i), bytes);
+      }
+      for (; i < len; ++i) q[i] = int8_quant_value(src[i], inv);
+    }
+    src += len;
+    q += len;
+    n -= len;
+  }
+}
+
+__attribute__((target("avx2"))) void dequantize_int8_avx2(
+    const std::int8_t* q, const float* scales, std::size_t n, Scalar* dst) {
+  for (std::size_t b = 0; n > 0; ++b) {
+    const std::size_t len = std::min(n, kQuantBlock);
+    const Scalar s = static_cast<Scalar>(scales[b]);
+    const __m256d vs = _mm256_set1_pd(s);
+    std::size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+      std::int32_t word;
+      std::memcpy(&word, q + i, sizeof(word));
+      const __m128i qi = _mm_cvtepi8_epi32(_mm_cvtsi32_si128(word));
+      _mm256_storeu_pd(dst + i,
+                       _mm256_mul_pd(_mm256_cvtepi32_pd(qi), vs));
+    }
+    for (; i < len; ++i) dst[i] = static_cast<Scalar>(q[i]) * s;
+    q += len;
+    dst += len;
+    n -= len;
+  }
+}
+
+__attribute__((target("avx2,f16c"))) void quantize_fp16_f16c(
+    const Scalar* src, std::size_t n, std::uint16_t* h) {
+  const __m128 hi = _mm_set1_ps(65504.0f);
+  const __m128 lo = _mm_set1_ps(-65504.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 f = _mm256_cvtpd_ps(_mm256_loadu_pd(src + i));
+    f = _mm_min_ps(f, hi);  // NaN lane becomes 65504 (second operand)
+    f = _mm_max_ps(f, lo);
+    const __m128i ph = _mm_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(h + i), ph);
+  }
+  for (; i < n; ++i) h[i] = float_to_half(fp16_clamp(src[i]));
+}
+
+__attribute__((target("avx2,f16c"))) void dequantize_fp16_f16c(
+    const std::uint16_t* h, std::size_t n, Scalar* dst) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i ph =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(h + i));
+    _mm256_storeu_pd(dst + i, _mm256_cvtps_pd(_mm_cvtph_ps(ph)));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<Scalar>(half_to_float(h[i]));
+}
+
+#endif  // AVGPIPE_QUANT_X86
+
+using QuantInt8Fn = void (*)(const Scalar*, std::size_t, std::int8_t*, float*);
+using DequantInt8Fn = void (*)(const std::int8_t*, const float*, std::size_t,
+                               Scalar*);
+using QuantFp16Fn = void (*)(const Scalar*, std::size_t, std::uint16_t*);
+using DequantFp16Fn = void (*)(const std::uint16_t*, std::size_t, Scalar*);
+
+QuantInt8Fn pick_quantize_int8() {
+#ifdef AVGPIPE_QUANT_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return quantize_int8_avx2;
+  }
+#endif
+  return quantize_int8_reference;
+}
+
+DequantInt8Fn pick_dequantize_int8() {
+#ifdef AVGPIPE_QUANT_X86
+  if (__builtin_cpu_supports("avx2")) return dequantize_int8_avx2;
+#endif
+  return dequantize_int8_reference;
+}
+
+QuantFp16Fn pick_quantize_fp16() {
+#ifdef AVGPIPE_QUANT_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c")) {
+    return quantize_fp16_f16c;
+  }
+#endif
+  return quantize_fp16_reference;
+}
+
+DequantFp16Fn pick_dequantize_fp16() {
+#ifdef AVGPIPE_QUANT_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c")) {
+    return dequantize_fp16_f16c;
+  }
+#endif
+  return dequantize_fp16_reference;
+}
+
+const QuantInt8Fn quantize_int8_fn = pick_quantize_int8();
+const DequantInt8Fn dequantize_int8_fn = pick_dequantize_int8();
+const QuantFp16Fn quantize_fp16_fn = pick_quantize_fp16();
+const DequantFp16Fn dequantize_fp16_fn = pick_dequantize_fp16();
+
+}  // namespace
+
+void quantize_int8(const Scalar* src, std::size_t n, std::int8_t* q,
+                   float* scales) {
+  quantize_int8_fn(src, n, q, scales);
+}
+
+void dequantize_int8(const std::int8_t* q, const float* scales, std::size_t n,
+                     Scalar* dst) {
+  dequantize_int8_fn(q, scales, n, dst);
+}
+
+void quantize_fp16(const Scalar* src, std::size_t n, std::uint16_t* h) {
+  quantize_fp16_fn(src, n, h);
+}
+
+void dequantize_fp16(const std::uint16_t* h, std::size_t n, Scalar* dst) {
+  dequantize_fp16_fn(h, n, dst);
+}
+
+void codec_roundtrip(Codec codec, Scalar* data, std::size_t n) {
+  if (codec == Codec::kNone || n == 0) return;
+  if (codec == Codec::kInt8) {
+    thread_local std::vector<std::int8_t> q;
+    thread_local std::vector<float> scales;
+    if (q.size() < n) q.resize(n);
+    const std::size_t blocks = int8_num_blocks(n);
+    if (scales.size() < blocks) scales.resize(blocks);
+    quantize_int8(data, n, q.data(), scales.data());
+    dequantize_int8(q.data(), scales.data(), n, data);
+  } else {
+    thread_local std::vector<std::uint16_t> half;
+    if (half.size() < n) half.resize(n);
+    quantize_fp16(data, n, half.data());
+    dequantize_fp16(half.data(), n, data);
+  }
+}
+
+}  // namespace avgpipe::tensor

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file quantize.hpp
+/// Lossy sync codecs: symmetric per-block int8 and IEEE-half (fp16)
+/// quantization of Scalar (f64) buffers, with runtime-dispatched AVX2/F16C
+/// kernels next to portable `*_reference` parity oracles (same selection
+/// idiom as the GEMM micro-kernel in kernels.cpp).
+///
+/// Wire formats:
+/// * int8 — blocks of `kQuantBlock` values share one f32 scale
+///   s = max|x|/127; each value is stored as round-to-nearest-even of x/s
+///   clamped to [-127, 127]. Wire cost: 1 byte/value + 4 bytes/block
+///   (~7.9x vs f64). Decoded value: q * s.
+/// * fp16 — each value is narrowed f64 → f32 (hardware RNE) → binary16
+///   (soft-float RNE, bit-identical to F16C's VCVTPS2PH) after clamping to
+///   ±65504 so non-finite and out-of-range inputs saturate instead of
+///   encoding Inf/NaN. Wire cost: 2 bytes/value (4x vs f64).
+///
+/// Both codecs guarantee NaN-free output for arbitrary input (NaN inputs
+/// saturate: to +127·s for int8, to +65504 for fp16), and the dispatched
+/// SIMD kernels are bit-identical to their `*_reference` oracles — the gate
+/// `micro_benchmarks --kernels-only` and kernel_test enforce.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "tensor/tensor.hpp"
+
+namespace avgpipe::tensor {
+
+/// Sync-path codec selector. Values are stable (checkpointed as a raw byte).
+enum class Codec : std::uint8_t {
+  kNone = 0,  ///< raw f64, bit-exact (the parity anchor)
+  kFp16 = 1,  ///< IEEE binary16, 4x
+  kInt8 = 2,  ///< per-block symmetric int8, ~7.9x
+};
+
+const char* to_string(Codec codec);
+
+/// Parse "off" / "none" / "fp16" / "int8". Returns false on anything else.
+bool codec_from_string(std::string_view s, Codec* out);
+
+/// Values per int8 quantization block (one shared f32 scale each).
+inline constexpr std::size_t kQuantBlock = 256;
+
+/// Scales required for `n` values under the int8 codec.
+inline constexpr std::size_t int8_num_blocks(std::size_t n) {
+  return (n + kQuantBlock - 1) / kQuantBlock;
+}
+
+/// Bytes a length-`n` f64 buffer occupies on the wire under `codec`
+/// (kNone: 8n — the raw payload).
+std::size_t codec_wire_bytes(Codec codec, std::size_t n);
+
+// -- int8 block codec ---------------------------------------------------------
+
+/// Quantize `n` values: q[i] in [-127,127], one f32 scale per block.
+/// Dispatched (AVX2 when available) and portable oracle; bit-identical.
+void quantize_int8(const Scalar* src, std::size_t n, std::int8_t* q,
+                   float* scales);
+void quantize_int8_reference(const Scalar* src, std::size_t n, std::int8_t* q,
+                             float* scales);
+
+/// Decode: dst[i] = q[i] * scales[i / kQuantBlock].
+void dequantize_int8(const std::int8_t* q, const float* scales, std::size_t n,
+                     Scalar* dst);
+void dequantize_int8_reference(const std::int8_t* q, const float* scales,
+                               std::size_t n, Scalar* dst);
+
+// -- fp16 codec ---------------------------------------------------------------
+
+/// Narrow `n` values to binary16 (clamped to ±65504, RNE).
+/// Dispatched (F16C when available) and portable oracle; bit-identical.
+void quantize_fp16(const Scalar* src, std::size_t n, std::uint16_t* h);
+void quantize_fp16_reference(const Scalar* src, std::size_t n,
+                             std::uint16_t* h);
+
+/// Widen binary16 back to f64 (exact).
+void dequantize_fp16(const std::uint16_t* h, std::size_t n, Scalar* dst);
+void dequantize_fp16_reference(const std::uint16_t* h, std::size_t n,
+                               Scalar* dst);
+
+/// Scalar float<->half conversions underlying the fp16 codec, exposed for
+/// the parity tests (RNE narrowing incl. subnormal halves; exact widening).
+std::uint16_t float_to_half(float f);
+float half_to_float(std::uint16_t h);
+
+// -- whole-buffer round trip --------------------------------------------------
+
+/// In-place lossy quantize→dequantize round trip of `data` through `codec`
+/// — exactly the value degradation a compressed wire would introduce.
+/// No-op for kNone. Uses thread-local scratch; safe from any thread.
+void codec_roundtrip(Codec codec, Scalar* data, std::size_t n);
+
+}  // namespace avgpipe::tensor

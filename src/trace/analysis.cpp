@@ -244,6 +244,34 @@ double TraceAnalysis::mean_sync_batch() const {
   return n == 0 ? 0 : total / static_cast<double>(n);
 }
 
+namespace {
+
+std::uint64_t counter_total(const std::vector<TraceEvent>& events,
+                            CounterId id) {
+  double total = 0;
+  for (const auto& ev : events) {
+    if (ev.kind == EventKind::kCounter && ev.counter == id) total += ev.value;
+  }
+  return static_cast<std::uint64_t>(total);
+}
+
+}  // namespace
+
+std::uint64_t TraceAnalysis::sync_bytes() const {
+  return counter_total(events_, CounterId::kSyncBytes);
+}
+
+std::uint64_t TraceAnalysis::sync_bytes_raw() const {
+  return counter_total(events_, CounterId::kSyncBytesRaw);
+}
+
+double TraceAnalysis::compression_ratio() const {
+  const std::uint64_t raw = sync_bytes_raw();
+  const std::uint64_t wire = sync_bytes();
+  if (raw == 0 || wire == 0) return 1.0;
+  return static_cast<double>(raw) / static_cast<double>(wire);
+}
+
 std::vector<schedule::Instr> TraceAnalysis::stage_ops(
     std::size_t pipeline, std::size_t stage) const {
   std::vector<schedule::Instr> ops;

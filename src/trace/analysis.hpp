@@ -89,6 +89,15 @@ class TraceAnalysis {
   /// series has no samples; 1.0 means batching never coalesced.
   double mean_sync_batch() const;
 
+  /// Bytes-moved reduction of the sync transport: Σ kSyncBytesRaw over
+  /// Σ kSyncBytes across all events (stage-agnostic, like mean_sync_batch).
+  /// 1.0 when nothing was sampled or the codec is off (raw == wire).
+  double compression_ratio() const;
+
+  /// Σ kSyncBytes / Σ kSyncBytesRaw over all events (wire and raw totals).
+  std::uint64_t sync_bytes() const;
+  std::uint64_t sync_bytes_raw() const;
+
   /// The ordered compute instructions (forward/backward/update) one
   /// (pipeline, stage) stream executed, replayed from its spans — the
   /// sequence the conformance tests hold against schedule::Schedule.

@@ -43,6 +43,8 @@ const char* to_string(CounterId id) {
     case CounterId::kParkCount: return "parks";
     case CounterId::kSpinCount: return "spins";
     case CounterId::kSyncBatch: return "sync_batch";
+    case CounterId::kSyncBytes: return "sync_bytes";
+    case CounterId::kSyncBytesRaw: return "sync_bytes_raw";
   }
   return "?";
 }

@@ -90,6 +90,8 @@ enum class CounterId : std::uint8_t {
   kParkCount,    ///< condvar parks on the stage's inbound links, per batch
   kSpinCount,    ///< spin-window entries on the stage's inbound links
   kSyncBatch,    ///< rounds folded per batched reference apply
+  kSyncBytes,    ///< sync payload bytes actually moved (post-codec)
+  kSyncBytesRaw, ///< sync payload bytes as raw f64 (pre-codec)
 };
 
 const char* to_string(EventKind kind);

@@ -129,6 +129,25 @@ void expect_states_equal(const ckpt::TrainState& a, const ckpt::TrainState& b) {
     }
   }
   EXPECT_EQ(a.rng_streams, b.rng_streams);
+  EXPECT_EQ(a.sync_codec, b.sync_codec);
+  EXPECT_EQ(max_abs_diff(a.broadcast_residual, b.broadcast_residual), 0.0);
+  for (std::size_t i = 0; i < a.pipelines.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(a.pipelines[i].residuals,
+                           b.pipelines[i].residuals),
+              0.0)
+        << "pipeline " << i << " residuals";
+  }
+}
+
+/// tiny_state plus an active sync codec and error-feedback residuals.
+ckpt::TrainState tiny_state_compressed(long step) {
+  Rng rng(static_cast<std::uint64_t>(step) + 31);
+  ckpt::TrainState s = tiny_state(step);
+  s.sync_codec = static_cast<std::uint8_t>(tensor::Codec::kInt8);
+  s.broadcast_residual = {Tensor::randn({3, 2}, rng), Tensor::randn({2}, rng)};
+  s.pipelines[0].residuals = {Tensor::randn({3, 2}, rng),
+                              Tensor::randn({2}, rng)};
+  return s;
 }
 
 // -- format primitives -------------------------------------------------------------------
@@ -277,6 +296,46 @@ TEST(CkptStateTest, TrainStateRoundTripsThroughAFile) {
   const ckpt::TrainState back =
       ckpt::decode(ckpt::CheckpointReader::open(path));
   expect_states_equal(state, back);
+}
+
+TEST(CkptStateTest, OffModeWritesNoResidualRecordsAndStaysByteCompatible) {
+  // An uncompressed run's checkpoint must be byte-identical to the
+  // pre-compression format: no residual.* records at all, and the decoded
+  // state carries codec 0 with empty residual lists.
+  const ckpt::TrainState state = tiny_state(3);
+  ASSERT_EQ(state.sync_codec, 0);
+  ckpt::CheckpointWriter w;
+  ckpt::encode(state, w);
+  TempDir tmp;
+  const std::string path = tmp.path + "/state.bin";
+  w.commit(path);
+
+  const auto reader = ckpt::CheckpointReader::open(path);
+  EXPECT_FALSE(reader.has("residual.broadcast"));
+  EXPECT_FALSE(reader.has("residual.0"));
+  const ckpt::TrainState back = ckpt::decode(reader);
+  EXPECT_EQ(back.sync_codec, 0);
+  EXPECT_TRUE(back.broadcast_residual.empty());
+  for (const auto& p : back.pipelines) EXPECT_TRUE(p.residuals.empty());
+}
+
+TEST(CkptStateTest, CompressedStateRoundTripsResidualsExactly) {
+  // Residuals are f64 state like everything else: the round trip must be
+  // bit-exact, and a dead pipeline's empty residual list must survive too.
+  TempDir tmp;
+  const std::string path = tmp.path + "/state.bin";
+  const ckpt::TrainState state = tiny_state_compressed(9);
+
+  ckpt::CheckpointWriter w;
+  ckpt::encode(state, w);
+  w.commit(path);
+
+  const auto reader = ckpt::CheckpointReader::open(path);
+  EXPECT_TRUE(reader.has("residual.broadcast"));
+  EXPECT_TRUE(reader.has("residual.0"));
+  const ckpt::TrainState back = ckpt::decode(reader);
+  expect_states_equal(state, back);
+  EXPECT_EQ(back.sync_codec, static_cast<std::uint8_t>(tensor::Codec::kInt8));
 }
 
 // -- checkpoint directory (manifest protocol) --------------------------------------------
@@ -513,6 +572,145 @@ TEST_P(CkptResumeParityTest, ThreadedResumeIsBitIdenticalToUninterruptedRun) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, CkptResumeParityTest,
                          ::testing::ValuesIn(core::all_sync_policies()),
                          kind_name);
+
+// -- resume bit-parity under a lossy sync codec ------------------------------------------
+
+class CkptCompressedResumeTest
+    : public ::testing::TestWithParam<SyncPolicyKind> {};
+
+TEST_P(CkptCompressedResumeTest, Int8ResumeIsBitIdenticalToUninterruptedRun) {
+  // The recovery contract must survive compression: the EF residuals are
+  // part of TrainState, so a restore lands on the exact lossy trajectory the
+  // uninterrupted compressed run follows — same quantization decisions, same
+  // compensation, 0.0 delta.
+  const SyncPolicyKind kind = GetParam();
+  SyntheticFeatures ds(64, 6, 2, 3);
+  DataLoader loader(ds, 12, 1);
+  SyncPolicyConfig sync;
+  sync.kind = kind;
+  core::SyncCompression int8;
+  int8.codec = tensor::Codec::kInt8;
+  const std::size_t kHalf = 5, kTotal = 10;
+
+  AvgPipeTrainer uninterrupted(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), 2,
+                               sync);
+  uninterrupted.set_sync_compression(int8);
+  std::vector<double> losses;
+  for (std::size_t iter = 0; iter < kTotal; ++iter) {
+    losses.push_back(uninterrupted.train_iteration(
+        {loader.batch(iter, 0), loader.batch(iter, 1)}));
+  }
+
+  TempDir tmp;
+  ckpt::CheckpointDir ckpts(tmp.path);
+  {
+    AvgPipeTrainer first(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), 2, sync);
+    first.set_sync_compression(int8);
+    for (std::size_t iter = 0; iter < kHalf; ++iter) {
+      first.train_iteration({loader.batch(iter, 0), loader.batch(iter, 1)});
+    }
+    const ckpt::TrainState state = first.capture_state();
+    EXPECT_EQ(state.sync_codec,
+              static_cast<std::uint8_t>(tensor::Codec::kInt8));
+    ckpts.write(state);
+  }
+
+  AvgPipeTrainer resumed(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), 2, sync);
+  resumed.set_sync_compression(int8);
+  ckpt::TrainState state;
+  const auto res = ckpts.load_latest(&state);
+  ASSERT_TRUE(res.ok) << res.error;
+  resumed.restore_state(state);
+
+  for (std::size_t iter = kHalf; iter < kTotal; ++iter) {
+    const double loss = resumed.train_iteration(
+        {loader.batch(iter, 0), loader.batch(iter, 1)});
+    EXPECT_DOUBLE_EQ(loss, losses[iter]) << "iter " << iter;
+  }
+  EXPECT_EQ(max_abs_diff(resumed.reference().params(),
+                         uninterrupted.reference().params()),
+            0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CkptCompressedResumeTest,
+                         ::testing::ValuesIn(core::all_sync_policies()),
+                         kind_name);
+
+TEST(CkptCompressedSystemTest, ThreadedInt8ResumeIsBitIdentical) {
+  // Same contract on the threaded system with the codec pinned in config.
+  SyntheticFeatures ds(64, 6, 2, 3);
+  DataLoader loader(ds, 12, 1);
+  AvgPipeConfig cfg;
+  cfg.num_pipelines = 2;
+  cfg.micro_batches = 3;
+  cfg.boundaries = {2};
+  core::SyncCompression int8;
+  int8.codec = tensor::Codec::kInt8;
+  cfg.sync_compression = int8;
+  const std::size_t kHalf = 4, kTotal = 8;
+
+  AvgPipe uninterrupted(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), cfg);
+  std::vector<double> losses;
+  for (std::size_t iter = 0; iter < kTotal; ++iter) {
+    losses.push_back(uninterrupted.train_iteration(
+        {loader.batch(iter, 0), loader.batch(iter, 1)}));
+  }
+
+  TempDir tmp;
+  ckpt::CheckpointDir ckpts(tmp.path);
+  AvgPipeConfig cfg_ck = cfg;
+  cfg_ck.checkpoints = &ckpts;
+  {
+    AvgPipe first(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), cfg_ck);
+    for (std::size_t iter = 0; iter < kHalf; ++iter) {
+      first.train_iteration({loader.batch(iter, 0), loader.batch(iter, 1)});
+    }
+    first.save_checkpoint();
+  }
+
+  AvgPipe resumed(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), cfg_ck);
+  const auto res = resumed.restore_latest_checkpoint();
+  ASSERT_TRUE(res.ok) << res.error;
+
+  for (std::size_t iter = kHalf; iter < kTotal; ++iter) {
+    const double loss = resumed.train_iteration(
+        {loader.batch(iter, 0), loader.batch(iter, 1)});
+    EXPECT_DOUBLE_EQ(loss, losses[iter]) << "iter " << iter;
+  }
+  EXPECT_EQ(max_abs_diff(resumed.reference_snapshot(),
+                         uninterrupted.reference_snapshot()),
+            0.0);
+}
+
+TEST(CkptCompressedSystemTest, CodecMismatchResetsResidualsButRestores) {
+  // A checkpoint written under one codec must still restore into a system
+  // running another (or none): parameters land exactly, residuals reset.
+  SyntheticFeatures ds(64, 6, 2, 3);
+  DataLoader loader(ds, 12, 1);
+  AvgPipeConfig cfg;
+  cfg.num_pipelines = 2;
+  cfg.micro_batches = 3;
+  cfg.boundaries = {2};
+  core::SyncCompression int8;
+  int8.codec = tensor::Codec::kInt8;
+  cfg.sync_compression = int8;
+  AvgPipe compressed(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), cfg);
+  for (std::size_t iter = 0; iter < 3; ++iter) {
+    compressed.train_iteration({loader.batch(iter, 0), loader.batch(iter, 1)});
+  }
+  const ckpt::TrainState state = compressed.capture_state();
+
+  AvgPipeConfig off_cfg = cfg;
+  off_cfg.sync_compression = core::SyncCompression{};
+  AvgPipe plain(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), off_cfg);
+  plain.restore_state(state);  // must not throw
+  EXPECT_EQ(max_abs_diff(plain.reference_snapshot(),
+                         compressed.reference_snapshot()),
+            0.0);
+  const double loss =
+      plain.train_iteration({loader.batch(3, 0), loader.batch(3, 1)});
+  EXPECT_TRUE(std::isfinite(loss));
+}
 
 // -- registered RNG streams in system checkpoints ----------------------------------------
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
@@ -190,6 +191,10 @@ TEST(AvgPipeTrainerTest, SinglePipelineMatchesSync) {
   runtime::SyncTrainer sync(sync_model, std::move(opt));
 
   AvgPipeTrainer avg(mlp_factory(4, 6, 2, 2), sgd_factory(0.1), 1);
+  // This test asserts the exact uncompressed invariant (ref == replica to
+  // 1e-12); pin compression off so a CI-forced AVGPIPE_SYNC_COMPRESS doesn't
+  // quantize the pushed update.
+  avg.set_sync_compression(SyncCompression{});
 
   for (int i = 0; i < 3; ++i) {
     const Batch b = loader.batch(0, static_cast<std::size_t>(i));
@@ -209,6 +214,9 @@ TEST(AvgPipeTrainerTest, ReferenceIsMeanAfterEveryIteration) {
   SyntheticFeatures ds(64, 4, 2, 3);
   DataLoader loader(ds, 8, 1);
   AvgPipeTrainer avg(mlp_factory(4, 8, 2, 2), sgd_factory(0.1), 3);
+  // The exact-mean invariant only holds for lossless pushes; pin off so the
+  // test is immune to an env-forced codec.
+  avg.set_sync_compression(SyncCompression{});
 
   for (std::size_t iter = 0; iter < 3; ++iter) {
     std::vector<Batch> batches;
@@ -515,6 +523,195 @@ TEST(AvgPipeElasticTest, LoneSurvivorMatchesSinglePipelineTrainer) {
   for (std::size_t i = 0; i < sys_ref.size(); ++i) {
     EXPECT_LT(sys_ref[i].max_abs_diff(lone_ref[i]), 1e-9) << "tensor " << i;
   }
+}
+
+// -- quantized sync transport -----------------------------------------------------------
+
+namespace {
+
+bool env_forces_codec() {
+  const char* env = std::getenv("AVGPIPE_SYNC_COMPRESS");
+  if (env == nullptr) return false;
+  SyncCompression forced;
+  return parse_sync_compression(env, &forced) && forced.enabled();
+}
+
+SyncCompression int8_compression() {
+  SyncCompression c;
+  c.codec = tensor::Codec::kInt8;
+  return c;
+}
+
+}  // namespace
+
+TEST(SyncCompressionTest, OffModeIsBitIdenticalToDefaultPath) {
+  // The parity anchor: a config that explicitly pins compression off must
+  // follow the default (env-unset) config byte for byte — proving the codec
+  // layer is absent from the sync path, not merely "small". Skipped when CI
+  // forces a codec via env, because then the default config IS compressed.
+  if (env_forces_codec()) {
+    GTEST_SKIP() << "AVGPIPE_SYNC_COMPRESS forces a codec";
+  }
+  SyntheticFeatures ds(64, 6, 2, 3);
+  DataLoader loader(ds, 12, 1);
+
+  AvgPipeConfig default_cfg;
+  default_cfg.num_pipelines = 2;
+  default_cfg.micro_batches = 3;
+  default_cfg.boundaries = {2};
+  AvgPipeConfig off_cfg = default_cfg;
+  off_cfg.sync_compression = SyncCompression{};  // pinned off, env ignored
+
+  AvgPipe default_sys(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), default_cfg);
+  AvgPipe off_sys(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), off_cfg);
+
+  for (std::size_t iter = 0; iter < 4; ++iter) {
+    std::vector<Batch> batches{loader.batch(iter, 0), loader.batch(iter, 1)};
+    const double default_loss = default_sys.train_iteration(batches);
+    const double off_loss = off_sys.train_iteration(batches);
+    EXPECT_DOUBLE_EQ(default_loss, off_loss) << "iter " << iter;
+  }
+  const ParamSet a = default_sys.reference_snapshot();
+  const ParamSet b = off_sys.reference_snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].max_abs_diff(b[i]), 0.0) << "tensor " << i;
+  }
+}
+
+TEST(SyncCompressionTest, CompressedThreadedMatchesSemanticTrainer) {
+  // The serial trainer's generic compressed round must stay the semantic
+  // model of the threaded system when both pin the same codec: same
+  // transmission points (initial broadcast, per-replica push, re-publish),
+  // same replica order.
+  SyntheticFeatures ds(64, 6, 2, 3);
+  DataLoader loader(ds, 12, 1);
+
+  AvgPipeConfig config;
+  config.num_pipelines = 2;
+  config.micro_batches = 3;
+  config.boundaries = {2};
+  config.sync_compression = int8_compression();
+  AvgPipe system(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), config);
+  AvgPipeTrainer semantic(mlp_factory(6, 8, 2, 2), sgd_factory(0.1), 2);
+  semantic.set_sync_compression(int8_compression());
+
+  for (std::size_t iter = 0; iter < 3; ++iter) {
+    std::vector<Batch> batches{loader.batch(iter, 0), loader.batch(iter, 1)};
+    system.train_iteration(batches);
+    semantic.train_iteration(batches);
+  }
+  const ParamSet sys_ref = system.reference_snapshot();
+  const auto& sem_ref = semantic.reference().params();
+  ASSERT_EQ(sys_ref.size(), sem_ref.size());
+  for (std::size_t i = 0; i < sys_ref.size(); ++i) {
+    EXPECT_LT(sys_ref[i].max_abs_diff(sem_ref[i]), 1e-9) << "tensor " << i;
+  }
+}
+
+TEST(SyncCompressionTest, Int8ErrorFeedbackConverges) {
+  // The lossy trajectory must reach the same accuracy target as the exact
+  // path (the ConvergesOnSeparableData gate): error feedback keeps the
+  // quantization noise from accumulating into a bias.
+  SyntheticFeatures ds(128, 6, 2, 3, /*noise=*/0.15);
+  DataLoader loader(ds, 16, 7);
+  AvgPipeTrainer avg(mlp_factory(6, 12, 2, 2), sgd_factory(0.3), 2);
+  avg.set_sync_compression(int8_compression());
+  double loss = 0.0;
+  for (std::size_t epoch = 0; epoch < 10; ++epoch) {
+    for (std::size_t i = 0; i + 1 < loader.batches_per_epoch(); i += 2) {
+      loss = avg.train_iteration(
+          {loader.batch(epoch, i), loader.batch(epoch, i + 1)});
+      ASSERT_TRUE(std::isfinite(loss));
+    }
+  }
+  EXPECT_GT(runtime::evaluate_accuracy(avg.eval_model(), loader, 0, 4), 0.9);
+}
+
+TEST(SyncCompressionTest, Fp16ConvergesOnThreadedSystem) {
+  SyntheticFeatures ds(128, 6, 2, 5, /*noise=*/0.15);
+  DataLoader loader(ds, 16, 3);
+
+  AvgPipeConfig config;
+  config.num_pipelines = 2;
+  config.micro_batches = 4;
+  config.boundaries = {3};
+  config.kind = schedule::Kind::kAdvanceForward;
+  SyncCompression c;
+  c.codec = tensor::Codec::kFp16;
+  config.sync_compression = c;
+  AvgPipe system(mlp_factory(6, 12, 2, 2), sgd_factory(0.3), config);
+
+  for (std::size_t epoch = 0; epoch < 10; ++epoch) {
+    for (std::size_t i = 0; i + 1 < loader.batches_per_epoch(); i += 2) {
+      system.train_iteration(
+          {loader.batch(epoch, i), loader.batch(epoch, i + 1)});
+    }
+  }
+  EXPECT_GT(runtime::evaluate_accuracy(system.eval_model(), loader, 0, 4),
+            0.9);
+}
+
+TEST(SyncCompressionTest, Int8TracesBytesMovedAndRatio) {
+  // Every push and broadcast must record wire/raw byte counters, and the
+  // derived ratio must clear the int8 design floor (1 byte + amortized
+  // per-block scale vs 8-byte doubles => ~7.9x, gated at 3x).
+  trace::Tracer tracer;
+  AvgPipeConfig config;
+  config.num_pipelines = 2;
+  config.micro_batches = 2;
+  config.boundaries = {2};
+  config.tracer = &tracer;
+  config.sync_compression = int8_compression();
+  AvgPipe system(mlp_factory(4, 8, 2, 2), sgd_factory(0.1), config);
+
+  SyntheticFeatures ds(64, 4, 2, 3);
+  DataLoader loader(ds, 8, 1);
+  const std::size_t iters = 3;
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    system.train_iteration({loader.batch(iter, 0), loader.batch(iter, 1)});
+  }
+  system.synchronize();
+
+  trace::TraceAnalysis analysis(tracer.collect());
+  EXPECT_GT(analysis.sync_bytes(), 0u);
+  EXPECT_GT(analysis.sync_bytes_raw(), analysis.sync_bytes());
+  EXPECT_GE(analysis.compression_ratio(), 3.0);
+  EXPECT_LT(analysis.compression_ratio(), 8.0);  // can't beat 8 B -> 1 B
+}
+
+TEST(SyncCompressionTest, OffModeRecordsNoSyncByteCounters) {
+  trace::Tracer tracer;
+  AvgPipeConfig config;
+  config.num_pipelines = 2;
+  config.micro_batches = 2;
+  config.boundaries = {2};
+  config.tracer = &tracer;
+  config.sync_compression = SyncCompression{};
+  AvgPipe system(mlp_factory(4, 8, 2, 2), sgd_factory(0.1), config);
+
+  SyntheticFeatures ds(64, 4, 2, 3);
+  DataLoader loader(ds, 8, 1);
+  system.train_iteration({loader.batch(0, 0), loader.batch(0, 1)});
+  system.synchronize();
+
+  trace::TraceAnalysis analysis(tracer.collect());
+  EXPECT_EQ(analysis.sync_bytes(), 0u);
+  EXPECT_EQ(analysis.sync_bytes_raw(), 0u);
+  EXPECT_DOUBLE_EQ(analysis.compression_ratio(), 1.0);
+}
+
+TEST(SyncCompressionTest, EnvParsingAndPrecedence) {
+  SyncCompression c;
+  EXPECT_TRUE(parse_sync_compression("off", &c));
+  EXPECT_FALSE(c.enabled());
+  EXPECT_TRUE(parse_sync_compression("none", &c));
+  EXPECT_FALSE(c.enabled());
+  EXPECT_TRUE(parse_sync_compression("fp16", &c));
+  EXPECT_EQ(c.codec, tensor::Codec::kFp16);
+  EXPECT_TRUE(parse_sync_compression("int8", &c));
+  EXPECT_EQ(c.codec, tensor::Codec::kInt8);
+  EXPECT_FALSE(parse_sync_compression("zstd", &c));
 }
 
 TEST(AvgPipeElasticTest, RejoinRestoresAlphaAndEmitsTraceEvents) {

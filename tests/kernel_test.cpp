@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <numeric>
 #include <thread>
 #include <utility>
@@ -22,6 +24,7 @@
 #include "tensor/arena.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/quantize.hpp"
 
 namespace avgpipe {
 namespace {
@@ -542,6 +545,173 @@ TEST(AffinityTest, LayoutMath) {
   }
   // Oversubscribed compact wraps rather than going out of range.
   EXPECT_EQ(pin_core_for_slot(PinPolicy::kCompact, 5, 8, 4), 1u);
+}
+
+// -- sync codecs ----------------------------------------------------------------
+
+// Sizes chosen to cross every tail path: sub-vector, sub-block, exact block
+// multiples, and odd lengths that leave both a partial SIMD vector and a
+// partial quantization block.
+const std::size_t kCodecSizes[] = {1, 3, 7, 8, 9, 255, 256, 257, 1024, 1037};
+
+std::vector<Scalar> codec_input(std::size_t n, Rng& rng) {
+  std::vector<Scalar> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix magnitudes so per-block scales differ and small values round to 0.
+    v[i] = rng.normal(0.0, std::pow(10.0, static_cast<double>(i % 7) - 3.0));
+  }
+  return v;
+}
+
+TEST(QuantizeInt8, DispatchedMatchesReferenceBitExact) {
+  Rng rng(0x51AB);
+  for (const std::size_t n : kCodecSizes) {
+    const auto src = codec_input(n, rng);
+    const std::size_t blocks = tensor::int8_num_blocks(n);
+    std::vector<std::int8_t> q_a(n), q_b(n);
+    std::vector<float> s_a(blocks), s_b(blocks);
+    tensor::quantize_int8(src.data(), n, q_a.data(), s_a.data());
+    tensor::quantize_int8_reference(src.data(), n, q_b.data(), s_b.data());
+    ASSERT_EQ(q_a, q_b) << "n=" << n;
+    ASSERT_EQ(s_a, s_b) << "n=" << n;
+
+    std::vector<Scalar> d_a(n), d_b(n);
+    tensor::dequantize_int8(q_a.data(), s_a.data(), n, d_a.data());
+    tensor::dequantize_int8_reference(q_b.data(), s_b.data(), n, d_b.data());
+    ASSERT_EQ(d_a, d_b) << "n=" << n;
+  }
+}
+
+TEST(QuantizeInt8, RoundTripErrorBoundedByHalfStep) {
+  // |x - dq| <= s/2 per value, where s = blockmax/127 (plus a little head
+  // room for the f32 scale rounding).
+  Rng rng(0x51AC);
+  for (const std::size_t n : kCodecSizes) {
+    const auto src = codec_input(n, rng);
+    std::vector<Scalar> rt = src;
+    tensor::codec_roundtrip(tensor::Codec::kInt8, rt.data(), n);
+    for (std::size_t b = 0; b * tensor::kQuantBlock < n; ++b) {
+      const std::size_t lo = b * tensor::kQuantBlock;
+      const std::size_t hi = std::min(n, lo + tensor::kQuantBlock);
+      double block_max = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        block_max = std::max(block_max, std::abs(src[i]));
+      }
+      const double bound = block_max * (0.5 / 127.0 + 1e-6);
+      for (std::size_t i = lo; i < hi; ++i) {
+        ASSERT_LE(std::abs(src[i] - rt[i]), bound) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(QuantizeInt8, EdgeValuesStayFiniteAndSigned) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  std::vector<Scalar> src = {0.0, -0.0, denorm,  -denorm, 1.0,
+                             -1.0, nan,  inf,     -inf,    1e300};
+  const std::size_t n = src.size();
+  std::vector<Scalar> rt = src;
+  tensor::codec_roundtrip(tensor::Codec::kInt8, rt.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(std::isfinite(rt[i])) << "i=" << i;
+  }
+  // Zeros decode to exactly zero; an all-zero block keeps a zero scale.
+  EXPECT_EQ(rt[0], 0.0);
+  EXPECT_EQ(rt[1], 0.0);
+  std::vector<Scalar> zeros(tensor::kQuantBlock + 3, 0.0);
+  tensor::codec_roundtrip(tensor::Codec::kInt8, zeros.data(), zeros.size());
+  for (const Scalar v : zeros) EXPECT_EQ(v, 0.0);
+}
+
+TEST(QuantizeFp16, DispatchedMatchesReferenceBitExact) {
+  Rng rng(0xF16A);
+  for (const std::size_t n : kCodecSizes) {
+    auto src = codec_input(n, rng);
+    if (n >= 8) {
+      // Sprinkle in the hard cases so the SIMD clamp path sees them too.
+      src[0] = std::numeric_limits<double>::quiet_NaN();
+      src[1] = std::numeric_limits<double>::infinity();
+      src[2] = -std::numeric_limits<double>::infinity();
+      src[3] = 1e-10;   // subnormal half
+      src[4] = -0.0;
+      src[5] = 65504.0;
+      src[6] = 65520.0;  // above half max, below float overflow
+      src[7] = 6e-8;     // rounds within the subnormal-half range
+    }
+    std::vector<std::uint16_t> h_a(n), h_b(n);
+    tensor::quantize_fp16(src.data(), n, h_a.data());
+    tensor::quantize_fp16_reference(src.data(), n, h_b.data());
+    ASSERT_EQ(h_a, h_b) << "n=" << n;
+
+    std::vector<Scalar> d_a(n), d_b(n);
+    tensor::dequantize_fp16(h_a.data(), n, d_a.data());
+    tensor::dequantize_fp16_reference(h_b.data(), n, d_b.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Compare as bits so -0.0 vs 0.0 or NaN payloads can't slip through.
+      std::uint64_t bits_a, bits_b;
+      std::memcpy(&bits_a, &d_a[i], 8);
+      std::memcpy(&bits_b, &d_b[i], 8);
+      ASSERT_EQ(bits_a, bits_b) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(QuantizeFp16, RoundTripErrorWithinHalfPrecision) {
+  Rng rng(0xF16B);
+  const std::size_t n = 1037;
+  const auto src = codec_input(n, rng);
+  std::vector<Scalar> rt = src;
+  tensor::codec_roundtrip(tensor::Codec::kFp16, rt.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(std::isfinite(rt[i])) << "i=" << i;
+    const double abs_err = std::abs(src[i] - rt[i]);
+    // Normal halves: rel error <= 2^-11 (RNE); subnormals: abs <= 2^-25.
+    // f64 -> f32 narrowing adds a negligible extra half-ulp.
+    ASSERT_LE(abs_err, std::max(std::abs(src[i]) * 0x1.0p-10, 0x1.0p-24))
+        << "i=" << i << " x=" << src[i];
+  }
+}
+
+TEST(QuantizeFp16, HalfRoundTripIsExactForEveryFinitePattern) {
+  // Widening then re-narrowing must reproduce every finite binary16 bit
+  // pattern (including subnormals and both zeros) exactly.
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    if ((h & 0x7C00) == 0x7C00) continue;  // Inf/NaN: clamped by design
+    const float f = tensor::half_to_float(h);
+    ASSERT_EQ(tensor::float_to_half(f), h) << "pattern " << bits;
+    // And the f64 codec path agrees with the scalar helpers.
+    const Scalar wide = static_cast<Scalar>(f);
+    std::uint16_t back;
+    tensor::quantize_fp16_reference(&wide, 1, &back);
+    ASSERT_EQ(back, h) << "pattern " << bits;
+  }
+  // The codec (unlike the raw scalar helper) clamps, so an Inf input
+  // narrows to the max finite half rather than the Inf encoding.
+  const Scalar inf = std::numeric_limits<double>::infinity();
+  std::uint16_t clamped;
+  tensor::quantize_fp16_reference(&inf, 1, &clamped);
+  EXPECT_EQ(clamped, 0x7BFF);
+}
+
+TEST(CodecMeta, WireBytesAndNames) {
+  using tensor::Codec;
+  EXPECT_EQ(tensor::codec_wire_bytes(Codec::kNone, 100), 800u);
+  EXPECT_EQ(tensor::codec_wire_bytes(Codec::kFp16, 100), 200u);
+  EXPECT_EQ(tensor::codec_wire_bytes(Codec::kInt8, 100), 104u);   // 1 block
+  EXPECT_EQ(tensor::codec_wire_bytes(Codec::kInt8, 257), 265u);   // 2 blocks
+  EXPECT_STREQ(tensor::to_string(Codec::kInt8), "int8");
+  Codec c;
+  EXPECT_TRUE(tensor::codec_from_string("fp16", &c));
+  EXPECT_EQ(c, Codec::kFp16);
+  EXPECT_FALSE(tensor::codec_from_string("gzip", &c));
+  // kNone round trip is the identity.
+  std::vector<Scalar> v = {1.0, -2.5, 3.25};
+  const std::vector<Scalar> orig = v;
+  tensor::codec_roundtrip(Codec::kNone, v.data(), v.size());
+  EXPECT_EQ(v, orig);
 }
 
 TEST(AffinityTest, PinningIsBestEffortAndPreservesResults) {

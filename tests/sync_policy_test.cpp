@@ -355,16 +355,25 @@ TEST(ScenarioMatrixTest, TinyMatrixProducesCompleteJson) {
   spec.steps = 6;
   spec.eval_every = 2;
   spec.parity_steps = 2;
+  spec.elastic_codecs = {tensor::Codec::kInt8};
   const MatrixResult result = run_matrix(spec);
 
   EXPECT_TRUE(result.parity_ok);
   EXPECT_EQ(result.parity_delta, 0.0);
   ASSERT_EQ(result.parity.size(), 2u);
-  ASSERT_EQ(result.cells.size(), 4u);
+  // 2 policies x 2 scenarios, plus an elastic[int8] row over both scenarios.
+  ASSERT_EQ(result.cells.size(), 6u);
   for (const CellResult& cell : result.cells) {
     EXPECT_TRUE(cell.finite);
     EXPECT_TRUE(std::isfinite(cell.final_loss));
     EXPECT_GT(cell.wall_seconds, 0.0);
+    EXPECT_FALSE(cell.label.empty());
+    if (cell.codec == tensor::Codec::kInt8) {
+      EXPECT_EQ(cell.label, "elastic[int8]");
+      EXPECT_GE(cell.sync_ratio, 3.0);
+    } else {
+      EXPECT_DOUBLE_EQ(cell.sync_ratio, 1.0);
+    }
   }
 
   std::ostringstream os;
@@ -375,6 +384,8 @@ TEST(ScenarioMatrixTest, TinyMatrixProducesCompleteJson) {
   EXPECT_NE(json.find("\"epochs_to_target\""), std::string::npos);
   EXPECT_NE(json.find("\"parity_ok\": true"), std::string::npos);
   EXPECT_NE(json.find("\"crash_rejoin\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"elastic[int8]\""), std::string::npos);
+  EXPECT_NE(json.find("\"sync_ratio\""), std::string::npos);
 }
 
 TEST(ScenarioMatrixTest, SinglePipelineMatrixSkipsCrashRejoin) {
@@ -383,6 +394,7 @@ TEST(ScenarioMatrixTest, SinglePipelineMatrixSkipsCrashRejoin) {
   spec.pipelines = 1;
   spec.steps = 2;
   spec.parity_steps = 1;
+  spec.elastic_codecs = {};  // membership logic under test, not codecs
   const MatrixResult result = run_matrix(spec);
   // kClean, kStragglers, kDegradedLinks — kCrashRejoin needs >= 2 pipelines.
   EXPECT_EQ(result.cells.size(), 3u);

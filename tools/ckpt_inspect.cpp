@@ -62,6 +62,16 @@ const char* policy_kind_name(std::uint8_t kind) {
   }
 }
 
+/// TrainState's sync_codec byte (tensor::Codec), likewise core-free.
+const char* sync_codec_name(std::uint8_t codec) {
+  switch (codec) {
+    case 0: return "off";
+    case 1: return "fp16";
+    case 2: return "int8";
+    default: return "unknown";
+  }
+}
+
 /// Headers-only walk of one serialized tensor: returns "[d0xd1x...]" and
 /// skips the payload without materialising it. Throws on malformed headers.
 std::string walk_tensor(ByteReader& r) {
@@ -138,6 +148,13 @@ std::string describe_record(const std::string& name,
     os << (alive ? "alive" : "dead") << ", " << params.size()
        << " params, " << stages << " stages";
     if (!optimizers.empty()) os << " (" << join(optimizers) << ")";
+  } else if (name == "residual.broadcast" || name.rfind("residual.", 0) == 0) {
+    // Sync-compression error-feedback residuals: codec byte + tensor list.
+    const std::uint8_t codec = r.u8();
+    const auto shapes = walk_tensor_list(r);
+    os << "codec " << sync_codec_name(codec) << ", " << shapes.size()
+       << " residual tensors";
+    if (!shapes.empty()) os << ": " << join(shapes);
   } else if (name == "rng") {
     const std::uint32_t n = r.u32();
     std::vector<std::string> names;
