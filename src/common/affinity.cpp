@@ -1,9 +1,10 @@
 #include "common/affinity.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <cstring>
 #include <thread>
+
+#include "common/env.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -33,7 +34,7 @@ PinPolicy parse_pin_policy(const char* value) {
 PinPolicy pin_policy_from_env() {
   // Read once, before the runtime spawns its threads; nothing calls setenv.
   static const PinPolicy policy =
-      parse_pin_policy(std::getenv("AVGPIPE_PIN_THREADS"));  // NOLINT(concurrency-mt-unsafe)
+      parse_pin_policy(common::env_raw("AVGPIPE_PIN_THREADS"));
   return policy;
 }
 

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file env.hpp
+/// Typed environment-variable helpers — the one sanctioned `std::getenv`
+/// call site in the repo (lint rule `raw-getenv` bans it everywhere else).
+///
+/// `getenv` is not thread-safe against a concurrent `setenv`; the repo's
+/// contract is that every knob is read at construction or static-init time,
+/// before any worker thread exists, and nothing calls `setenv` after
+/// threads start. Centralising the reads here makes that contract auditable
+/// (one grep) instead of a clang-tidy suppression at every call site.
+///
+/// Parse semantics, shared by every knob:
+///  - unset or empty        → the caller's fallback (a knob explicitly set
+///                            to "" behaves like an unset knob)
+///  - env_flag: "0", "false", "off", "no" (any case) → false; any other
+///    non-empty value → true
+///  - env_int / env_int_opt: strict integer parse; trailing junk or a
+///    non-numeric value throws via AVGPIPE_CHECK — a mistyped knob fails
+///    loudly instead of silently training with a default.
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace avgpipe::common {
+
+/// Raw read. Prefer the typed helpers; this exists for call sites with
+/// bespoke parsers (pin policies, thread-count expressions) that want the
+/// untouched C string.
+inline const char* env_raw(const char* name) {
+  return std::getenv(name);  // LINT_ALLOW(raw-getenv): the sanctioned wrapper
+}
+
+/// Boolean knob. Unset/empty → `fallback`.
+inline bool env_flag(const char* name, bool fallback) {
+  const char* v = env_raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::string lower;
+  for (const char* p = v; *p != '\0'; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  return !(lower == "0" || lower == "false" || lower == "off" ||
+           lower == "no");
+}
+
+/// Integer knob that distinguishes "unset" from any set value. Throws on a
+/// malformed value.
+inline std::optional<long> env_int_opt(const char* name) {
+  const char* v = env_raw(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  AVGPIPE_CHECK(end != v && end != nullptr && *end == '\0',
+                "environment variable " << name << " is not an integer: '"
+                                        << v << "'");
+  return parsed;
+}
+
+/// Integer knob. Unset/empty → `fallback`; malformed → throws.
+inline long env_int(const char* name, long fallback) {
+  const auto v = env_int_opt(name);
+  return v.has_value() ? *v : fallback;
+}
+
+/// String knob. Unset/empty → `fallback`.
+inline std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = env_raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+}  // namespace avgpipe::common

@@ -3,11 +3,13 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/annotations.hpp"
+
 namespace avgpipe {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+common::Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +30,7 @@ void set_log_level(LogLevel level) {
 
 namespace detail {
 void log_write(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  common::MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 }  // namespace detail

@@ -4,7 +4,6 @@
 /// Minimal leveled logger. Thread-safe (a single global mutex serialises
 /// writes). Intended for coarse progress reporting, not hot paths.
 
-#include <mutex>
 #include <sstream>
 #include <string>
 

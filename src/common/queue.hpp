@@ -18,17 +18,22 @@
 /// bounded budget that adapts to whether spinning has been paying off), and
 /// the stage-to-stage links use `SpscChannel`, whose fast path is two atomic
 /// loads and one store — no mutex, no syscall.
+///
+/// Concurrency contracts are compiler-checked (DESIGN.md §17): `Channel`'s
+/// buffer is GUARDED_BY its mutex, and `SpscChannel`'s single-producer /
+/// single-consumer split is expressed as two phantom `common::Role`
+/// capabilities, so calling a send-side op from the consumer thread (or vice
+/// versa) is a compile error under clang -Wthread-safety.
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/check.hpp"
 #include "common/units.hpp"
 
@@ -59,6 +64,13 @@ inline void cpu_relax() {
 inline bool spin_profitable() {
   static const bool multi = std::thread::hardware_concurrency() > 1;
   return multi;
+}
+
+/// A timed wait's absolute deadline, from a relative budget in seconds.
+inline std::chrono::steady_clock::time_point deadline_after(Seconds timeout) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(timeout));
 }
 
 /// Bounded adaptive spin: the budget doubles (up to a cap) when the awaited
@@ -134,8 +146,10 @@ class Channel {
       return closed_hint_.load(std::memory_order_acquire) ||
              size_hint_.load(std::memory_order_acquire) < capacity_;
     });
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    common::MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) {
+      not_full_.wait(mutex_, lock);
+    }
     if (closed_) return false;
     items_.push_back(std::move(value));
     size_hint_.store(items_.size(), std::memory_order_release);
@@ -147,12 +161,16 @@ class Channel {
   /// Timed send: blocks up to `timeout` seconds for space. On kTimeout and
   /// kClosed the value is dropped (matching `send`'s closed behaviour).
   ChannelStatus send_for(T value, Seconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const bool ready = not_full_.wait_for(
-        lock, std::chrono::duration<double>(timeout),
-        [&] { return closed_ || items_.size() < capacity_; });
+    const auto deadline = detail::deadline_after(timeout);
+    common::MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) {
+      if (not_full_.wait_until(mutex_, lock, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
     if (closed_) return ChannelStatus::kClosed;
-    if (!ready) return ChannelStatus::kTimeout;
+    if (items_.size() >= capacity_) return ChannelStatus::kTimeout;
     items_.push_back(std::move(value));
     size_hint_.store(items_.size(), std::memory_order_release);
     lock.unlock();
@@ -163,7 +181,7 @@ class Channel {
   /// Non-blocking send. Returns false if full or closed.
   bool try_send(T value) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
       size_hint_.store(items_.size(), std::memory_order_release);
@@ -178,8 +196,10 @@ class Channel {
       return closed_hint_.load(std::memory_order_acquire) ||
              size_hint_.load(std::memory_order_acquire) > 0;
     });
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    common::MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      not_empty_.wait(mutex_, lock);
+    }
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -192,9 +212,14 @@ class Channel {
   /// Timed receive: blocks up to `timeout` seconds for an item. Pending
   /// items are still delivered after close (kOk), mirroring `recv`.
   ChannelStatus recv_for(T* out, Seconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait_for(lock, std::chrono::duration<double>(timeout),
-                        [&] { return closed_ || !items_.empty(); });
+    const auto deadline = detail::deadline_after(timeout);
+    common::MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      if (not_empty_.wait_until(mutex_, lock, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
     if (items_.empty()) {
       return closed_ ? ChannelStatus::kClosed : ChannelStatus::kTimeout;
     }
@@ -208,7 +233,7 @@ class Channel {
 
   /// Non-blocking receive.
   std::optional<T> try_recv() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -227,7 +252,7 @@ class Channel {
   /// queue with a blocked producer. Holding the lock closes that window:
   /// no waiter can complete its predicate check until close() has finished.
   void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (closed_) return;
     closed_ = true;
     closed_hint_.store(true, std::memory_order_release);
@@ -236,12 +261,12 @@ class Channel {
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -249,11 +274,11 @@ class Channel {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable common::Mutex mutex_;
+  common::CondVar not_full_;
+  common::CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
   // Lock-free occupancy hints driving the pre-park spin. Written only under
   // the mutex; the slow path re-checks the authoritative state, so a stale
   // hint costs at most one wasted spin window, never correctness.
@@ -275,8 +300,12 @@ class Channel {
 /// so a wakeup can never be missed.
 ///
 /// Contract: exactly one thread performs send-side ops and one thread
-/// recv-side ops. `close()`/`closed()`/`size()` may be called from any
-/// thread. As with `Channel`, items pending at close() remain receivable.
+/// recv-side ops. The roles are phantom capabilities: a thread asserts its
+/// role with `common::RoleGuard prod(ch.producer_role())` (resp.
+/// `consumer_role()`) and the compiler rejects cross-role calls — the guard
+/// costs nothing at runtime, it only makes the structural claim checkable.
+/// `close()`/`closed()`/`size()` may be called from any thread. As with
+/// `Channel`, items pending at close() remain receivable.
 /// One deliberate difference: a send *racing* with close() may be dropped
 /// even though it returned true — close is a shutdown/failure signal here,
 /// and every runtime path that closes a live link also abandons the batch,
@@ -290,8 +319,8 @@ class Channel {
 /// *after* the consumer observed the drain. Without this, a recovery drain
 /// loop could see kClosed, tear down, and a retry could then surface a
 /// resurrected item, making the end-of-stream point scheduling-dependent.
-/// The flag is consumer-owned (only recv-side ops touch it), so it needs no
-/// synchronisation under the SPSC contract.
+/// The flag is consumer-owned (GUARDED_BY the consumer role: only recv-side
+/// ops touch it), so it needs no synchronisation under the SPSC contract.
 template <typename T>
 class SpscChannel {
  public:
@@ -305,8 +334,19 @@ class SpscChannel {
   SpscChannel(const SpscChannel&) = delete;
   SpscChannel& operator=(const SpscChannel&) = delete;
 
+  /// The phantom capability a thread must hold (via RoleGuard) to perform
+  /// send-side ops. Holding it is a structural claim — "I am the one
+  /// producer of this link" — that the surrounding design must justify.
+  common::Role& producer_role() const RETURN_CAPABILITY(producer_role_) {
+    return producer_role_;
+  }
+  /// Recv-side counterpart of `producer_role()`.
+  common::Role& consumer_role() const RETURN_CAPABILITY(consumer_role_) {
+    return consumer_role_;
+  }
+
   /// Blocking send. Returns false (and drops `value`) if closed.
-  bool send(T value) {
+  bool send(T value) REQUIRES(producer_role_) {
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     if (wait_for_space(t, kForever) != ChannelStatus::kOk) return false;
     slots_[t % capacity_] = std::move(value);
@@ -316,7 +356,7 @@ class SpscChannel {
 
   /// Timed send: blocks up to `timeout` seconds for space. On kTimeout and
   /// kClosed the value is dropped.
-  ChannelStatus send_for(T value, Seconds timeout) {
+  ChannelStatus send_for(T value, Seconds timeout) REQUIRES(producer_role_) {
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     const ChannelStatus st = wait_for_space(t, timeout);
     if (st != ChannelStatus::kOk) return st;
@@ -326,7 +366,7 @@ class SpscChannel {
   }
 
   /// Non-blocking send. Returns false if full or closed.
-  bool try_send(T value) {
+  bool try_send(T value) REQUIRES(producer_role_) {
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     if (closed_.load(std::memory_order_acquire) || !have_space(t)) {
       return false;
@@ -339,7 +379,7 @@ class SpscChannel {
   /// Blocking receive. Returns nullopt when the channel is closed and
   /// drained; once it has, every later recv-side op agrees (see class
   /// comment).
-  std::optional<T> recv() {
+  std::optional<T> recv() REQUIRES(consumer_role_) {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (wait_for_item(h, kForever) != ChannelStatus::kOk) return std::nullopt;
     T value = std::move(slots_[h % capacity_]);
@@ -350,7 +390,7 @@ class SpscChannel {
   /// Timed receive: pending items are still delivered after close (kOk),
   /// and kClosed is terminal — after the first kClosed the channel never
   /// reports kOk or kTimeout again.
-  ChannelStatus recv_for(T* out, Seconds timeout) {
+  ChannelStatus recv_for(T* out, Seconds timeout) REQUIRES(consumer_role_) {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     const ChannelStatus st = wait_for_item(h, timeout);
     if (st != ChannelStatus::kOk) return st;
@@ -360,7 +400,7 @@ class SpscChannel {
   }
 
   /// Non-blocking receive.
-  std::optional<T> try_recv() {
+  std::optional<T> try_recv() REQUIRES(consumer_role_) {
     if (drained_) return std::nullopt;
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (!item_ready(h)) return std::nullopt;
@@ -372,7 +412,7 @@ class SpscChannel {
   /// Close the channel; wakes all parked waiters. Idempotent. See the class
   /// comment for the in-flight-send caveat.
   void close() {
-    std::lock_guard<std::mutex> lock(park_mutex_);
+    common::MutexLock lock(park_mutex_);
     closed_.store(true, std::memory_order_seq_cst);
     park_cv_.notify_all();
   }
@@ -411,23 +451,24 @@ class SpscChannel {
     return tail_.load(std::memory_order_acquire) != h;
   }
 
-  void publish_tail(std::size_t t) {
+  void publish_tail(std::size_t t) REQUIRES(producer_role_) {
     tail_.store(t + 1, std::memory_order_seq_cst);
     if (recv_waiters_.load(std::memory_order_seq_cst) != 0) {
-      std::lock_guard<std::mutex> lock(park_mutex_);
+      common::MutexLock lock(park_mutex_);
       park_cv_.notify_all();
     }
   }
 
-  void consume_head(std::size_t h) {
+  void consume_head(std::size_t h) REQUIRES(consumer_role_) {
     head_.store(h + 1, std::memory_order_seq_cst);
     if (send_waiters_.load(std::memory_order_seq_cst) != 0) {
-      std::lock_guard<std::mutex> lock(park_mutex_);
+      common::MutexLock lock(park_mutex_);
       park_cv_.notify_all();
     }
   }
 
-  ChannelStatus wait_for_space(std::size_t t, Seconds timeout) {
+  ChannelStatus wait_for_space(std::size_t t, Seconds timeout)
+      REQUIRES(producer_role_) {
     if (closed_.load(std::memory_order_acquire)) return ChannelStatus::kClosed;
     if (have_space(t)) return ChannelStatus::kOk;
     spin_waits_.fetch_add(1, std::memory_order_relaxed);
@@ -451,14 +492,16 @@ class SpscChannel {
   /// sticky. A publish_tail racing close() can land *after* the consumer
   /// already observed the drain; without the latch the stream would
   /// "resurrect" and the end-of-stream point would depend on thread timing.
-  ChannelStatus wait_for_item(std::size_t h, Seconds timeout) {
+  ChannelStatus wait_for_item(std::size_t h, Seconds timeout)
+      REQUIRES(consumer_role_) {
     if (drained_) return ChannelStatus::kClosed;
     const ChannelStatus st = wait_for_item_once(h, timeout);
     if (st == ChannelStatus::kClosed) drained_ = true;
     return st;
   }
 
-  ChannelStatus wait_for_item_once(std::size_t h, Seconds timeout) {
+  ChannelStatus wait_for_item_once(std::size_t h, Seconds timeout)
+      REQUIRES(consumer_role_) {
     if (item_ready(h)) return ChannelStatus::kOk;
     if (closed_.load(std::memory_order_acquire)) {
       // Re-check after the closed read: pending items drain after close.
@@ -480,19 +523,27 @@ class SpscChannel {
 
   /// Shared park slow path: register as a waiter, wait on the condvar until
   /// `ready()` or closed (or the timeout elapses), and report the outcome.
+  /// `ready` reads only the channel's atomics, never role-guarded state, so
+  /// it is safe to evaluate from either role.
   template <typename Ready>
   ChannelStatus park(std::atomic<std::uint32_t>& waiters, Seconds timeout,
                      Ready&& ready) {
     parks_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(park_mutex_);
+    common::MutexLock lock(park_mutex_);
     waiters.fetch_add(1, std::memory_order_seq_cst);
     const auto pred = [&] {
       return ready() || closed_.load(std::memory_order_seq_cst);
     };
     if (timeout < 0) {
-      park_cv_.wait(lock, pred);
+      while (!pred()) park_cv_.wait(park_mutex_, lock);
     } else {
-      park_cv_.wait_for(lock, std::chrono::duration<double>(timeout), pred);
+      const auto deadline = detail::deadline_after(timeout);
+      while (!pred()) {
+        if (park_cv_.wait_until(park_mutex_, lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
     }
     waiters.fetch_sub(1, std::memory_order_relaxed);
     if (ready()) return ChannelStatus::kOk;
@@ -507,15 +558,18 @@ class SpscChannel {
   std::atomic<std::size_t> head_{0};
   std::atomic<std::size_t> tail_{0};
   std::atomic<bool> closed_{false};
-  // Consumer-owned end-of-stream latch (recv-side ops only; no atomics
-  // needed under the SPSC contract).
-  bool drained_ = false;
+  // Phantom role capabilities (no runtime state; mutable so const accessors
+  // can hand them to RoleGuard).
+  mutable common::Role producer_role_;
+  mutable common::Role consumer_role_;
+  // Consumer-owned end-of-stream latch (recv-side ops only).
+  bool drained_ GUARDED_BY(consumer_role_) = false;
   std::atomic<std::uint32_t> send_waiters_{0};
   std::atomic<std::uint32_t> recv_waiters_{0};
   std::atomic<std::uint64_t> spin_waits_{0};
   std::atomic<std::uint64_t> parks_{0};
-  std::mutex park_mutex_;
-  std::condition_variable park_cv_;
+  common::Mutex park_mutex_;
+  common::CondVar park_cv_;
   detail::SpinPolicy spin_send_;
   detail::SpinPolicy spin_recv_;
 };

@@ -1,9 +1,10 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/annotations.hpp"
+#include "common/env.hpp"
 
 namespace avgpipe {
 
@@ -32,7 +33,7 @@ std::size_t default_stage_workers(std::size_t stages) {
 
 std::size_t stage_workers_from_env(std::size_t stages) {
   // Read before the runtime spawns its stage threads; nothing calls setenv.
-  return parse_num_threads(std::getenv("AVGPIPE_STAGE_THREADS"),  // NOLINT(concurrency-mt-unsafe)
+  return parse_num_threads(common::env_raw("AVGPIPE_STAGE_THREADS"),
                            default_stage_workers(stages));
 }
 
@@ -92,8 +93,8 @@ void ThreadPool::parallel_for(
     return;
   }
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
+  common::Mutex mutex;
+  common::CondVar done_cv;
   std::size_t remaining = chunks - 1;
 
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
@@ -115,15 +116,15 @@ void ThreadPool::parallel_for(
       }
       if (lo < hi) fn(lo, hi);
       active_.fetch_sub(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mutex);
+      common::MutexLock lock(mutex);
       if (--remaining == 0) done_cv.notify_one();
     });
   }
 
   fn(begin, std::min(end, begin + chunk_size));
 
-  std::unique_lock<std::mutex> lock(mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+  common::MutexLock lock(mutex);
+  while (remaining != 0) done_cv.wait(mutex, lock);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -142,7 +143,7 @@ std::size_t parse_num_threads(const char* value, std::size_t fallback) {
 std::size_t configured_num_threads() {
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   // Read before the pool spawns its workers; nothing calls setenv.
-  return parse_num_threads(std::getenv("AVGPIPE_NUM_THREADS"), hw);  // NOLINT(concurrency-mt-unsafe)
+  return parse_num_threads(common::env_raw("AVGPIPE_NUM_THREADS"), hw);
 }
 
 }  // namespace avgpipe

@@ -73,7 +73,9 @@ AvgPipe::AvgPipe(const nn::ModelFactory& factory,
   broadcast_codec_ = SyncCodec(compression_);
   for (auto& replica : replicas_) replica->push_codec = SyncCodec(compression_);
   // The initial publish is transmission #1 of the broadcast stream (the
-  // reference thread isn't running yet, so this is single-threaded).
+  // reference thread isn't running yet, so this is single-threaded — the
+  // justification for asserting the reference capability here).
+  common::RoleGuard ref_role(reference_capability());
   ParamSet initial_broadcast = policy_->make_broadcast(*reference_);
   if (compression_.enabled()) broadcast_codec_.transmit(initial_broadcast);
   latest_snapshot_ =
@@ -135,6 +137,7 @@ void AvgPipe::stop_worker(std::size_t i) {
   if (r.thread.joinable()) r.thread.join();
 }
 
+AVGPIPE_HOT_PATH
 void AvgPipe::replica_loop(std::size_t i) {
   auto& r = *replicas_[i];
   // Elastic-sync worker slot: after every replica's stage threads. Pinning
@@ -201,10 +204,11 @@ void AvgPipe::replica_loop(std::size_t i) {
 }
 
 std::shared_ptr<const ParamSet> AvgPipe::snapshot_handle() {
-  std::lock_guard<std::mutex> lock(reference_mutex_);
+  common::MutexLock lock(reference_mutex_);
   return latest_snapshot_;
 }
 
+AVGPIPE_HOT_PATH
 void AvgPipe::reference_loop() {
   // The reference process (paper §3.2): one message per iteration carries
   // the round of local updates from every surviving pipeline; normalise by
@@ -229,7 +233,10 @@ void AvgPipe::reference_loop() {
     while (auto more = update_queue_.try_recv()) {
       rounds.push_back(std::move(*more));
     }
-    std::lock_guard<std::mutex> lock(reference_mutex_);
+    common::MutexLock lock(reference_mutex_);
+    // The reference thread is the reference process; reference_mutex_ (held
+    // above) serialises it against the driver's snapshot/restore paths.
+    common::RoleGuard ref_role(reference_capability());
     if (reference_trace_ != nullptr) {
       // Staleness: local updates received per round but not yet visible to
       // the pipelines through an apply.
@@ -252,6 +259,8 @@ void AvgPipe::reference_loop() {
       const SyncCodec::Stats stats = broadcast_codec_.transmit(broadcast);
       record_sync_bytes(reference_trace_, 0, stats);
     }
+    // LINT_ALLOW(hot-path-alloc): the snapshot handle is published by design
+    // as a fresh shared_ptr so replica pulls never block on the apply.
     latest_snapshot_ = std::make_shared<const ParamSet>(std::move(broadcast));
     if (reference_trace_ != nullptr) {
       trace::TraceEvent ev;
@@ -519,13 +528,16 @@ nn::Sequential& AvgPipe::eval_model() {
 
 ParamSet AvgPipe::reference_snapshot() {
   synchronize();  // observe every completed iteration's apply
-  std::lock_guard<std::mutex> lock(reference_mutex_);
+  common::MutexLock lock(reference_mutex_);
   return reference_->snapshot();
 }
 
 ParamSet AvgPipe::broadcast_snapshot() {
   synchronize();
-  std::lock_guard<std::mutex> lock(reference_mutex_);
+  common::MutexLock lock(reference_mutex_);
+  // Apply drain + reference_mutex_: the driver is the reference process for
+  // the duration of this snapshot.
+  common::RoleGuard ref_role(reference_capability());
   return policy_->make_broadcast(*reference_);
 }
 
@@ -558,7 +570,10 @@ ckpt::TrainState AvgPipe::capture_state() {
   state.alpha = alpha_;
   state.sync_codec = static_cast<std::uint8_t>(compression_.codec);
   {
-    std::lock_guard<std::mutex> lock(reference_mutex_);
+    common::MutexLock lock(reference_mutex_);
+    // Capture barrier (the synchronize() above) + reference_mutex_: the
+    // driver is the reference process while it snapshots policy state.
+    common::RoleGuard ref_role(reference_capability());
     state.reference = reference_->snapshot();
     state.policy_state = policy_->export_state();
     state.broadcast = clone_set(*latest_snapshot_);
@@ -628,7 +643,10 @@ void AvgPipe::restore_state(const ckpt::TrainState& state) {
   const bool codec_match =
       state.sync_codec == static_cast<std::uint8_t>(compression_.codec);
   {
-    std::lock_guard<std::mutex> lock(reference_mutex_);
+    common::MutexLock lock(reference_mutex_);
+    // Restore barrier (the synchronize() above) + reference_mutex_: the
+    // driver is the reference process while it rewrites policy state.
+    common::RoleGuard ref_role(reference_capability());
     ParamSet& ref = reference_->mutable_params();
     AVGPIPE_CHECK(ref.size() == state.reference.size(),
                   "restore: reference size mismatch");
@@ -779,6 +797,8 @@ void AvgPipeTrainer::init_codecs() {
   broadcast_codec_ = SyncCodec(compression_);
   push_codecs_.assign(replicas_.size(), SyncCodec(compression_));
   if (compression_.enabled()) {
+    // The serial trainer's only thread is the reference process.
+    common::RoleGuard ref_role(reference_capability());
     broadcast_ = policy_->make_broadcast(*reference_);
     broadcast_codec_.transmit(broadcast_);
   }
@@ -821,6 +841,8 @@ double AvgPipeTrainer::train_iteration(const std::vector<data::Batch>& batches) 
   for (auto& replica : replicas_) {
     param_sets.push_back(replica->model.parameters());
   }
+  // The serial trainer's only thread is the reference process.
+  common::RoleGuard ref_role(reference_capability());
   if (!compression_.enabled()) {
     policy_->serial_round(*reference_, param_sets, alpha_);
     if (policy_->needs_begin()) {
@@ -849,6 +871,8 @@ double AvgPipeTrainer::train_iteration(const std::vector<data::Batch>& batches) 
 }
 
 ckpt::TrainState AvgPipeTrainer::capture_state() const {
+  // The serial trainer's only thread is the reference process.
+  common::RoleGuard ref_role(reference_capability());
   ckpt::TrainState state;
   state.step = iterations_;
   state.policy_kind = static_cast<std::uint8_t>(policy_->kind());
@@ -885,6 +909,8 @@ void AvgPipeTrainer::restore_state(const ckpt::TrainState& state) {
   iterations_ = state.step;
   const bool codec_match =
       state.sync_codec == static_cast<std::uint8_t>(compression_.codec);
+  // The serial trainer's only thread is the reference process.
+  common::RoleGuard ref_role(reference_capability());
   ParamSet& ref = reference_->mutable_params();
   AVGPIPE_CHECK(ref.size() == state.reference.size(),
                 "restore: reference size mismatch");

@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "ckpt/state.hpp"
+#include "common/annotations.hpp"
 #include "common/queue.hpp"
 #include "common/rng.hpp"
 #include "core/elastic.hpp"
@@ -222,7 +223,10 @@ class AvgPipe {
   };
 
   void reference_loop();
-  void replica_loop(std::size_t i);
+  /// Replica worker main. Runs concurrently with the reference process and
+  /// must never hold the reference capability — every reference interaction
+  /// goes through the published snapshot handle or the message queues.
+  void replica_loop(std::size_t i) EXCLUDES(reference_capability());
   void start_worker(std::size_t i);
   void stop_worker(std::size_t i);
   /// The most recent reference snapshot published by the reference process.
@@ -283,12 +287,12 @@ class AvgPipe {
   // After every apply the reference thread publishes a fresh snapshot
   // (latest_snapshot_) that replica pulls read without blocking on the
   // apply itself.
-  std::unique_ptr<ReferenceModel> reference_;
+  std::unique_ptr<ReferenceModel> reference_ PT_GUARDED_BY(reference_mutex_);
   /// Compressor of the broadcast stream. Reference-thread state: shares
   /// reference_'s serialisation (reference_mutex_ plus the apply drain).
-  SyncCodec broadcast_codec_;
-  std::mutex reference_mutex_;  ///< guards reference_ and latest_snapshot_
-  std::shared_ptr<const ParamSet> latest_snapshot_;
+  SyncCodec broadcast_codec_ GUARDED_BY(reference_mutex_);
+  common::Mutex reference_mutex_;
+  std::shared_ptr<const ParamSet> latest_snapshot_ GUARDED_BY(reference_mutex_);
   Channel<std::vector<ParamSet>> update_queue_{64};
   Channel<int> applied_queue_{64};
   std::size_t outstanding_applies_ = 0;  ///< driver-side in-flight rounds

@@ -1,8 +1,9 @@
 #include "core/sync_compression.hpp"
 
-#include <cstdlib>
+#include <string>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 
 namespace avgpipe::core {
 
@@ -14,8 +15,8 @@ bool parse_sync_compression(std::string_view s, SyncCompression* out) {
 }
 
 SyncCompression sync_compression_from_env(SyncCompression configured) {
-  const char* env = std::getenv("AVGPIPE_SYNC_COMPRESS");
-  if (env == nullptr) return configured;
+  const std::string env = common::env_string("AVGPIPE_SYNC_COMPRESS", "");
+  if (env.empty()) return configured;
   SyncCompression forced = configured;
   AVGPIPE_CHECK(parse_sync_compression(env, &forced),
                 "AVGPIPE_SYNC_COMPRESS='"

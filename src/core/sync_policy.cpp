@@ -4,6 +4,15 @@
 
 namespace avgpipe::core {
 
+common::Role& reference_capability() {
+  // One process-wide phantom capability: it carries no runtime state, it is
+  // only a name the thread-safety analysis can track across translation
+  // units. Function-local static so the reference is valid at any point of
+  // static initialisation.
+  static common::Role role;
+  return role;
+}
+
 std::string to_string(SyncPolicyKind kind) {
   switch (kind) {
     case SyncPolicyKind::kElastic: return "elastic";
@@ -105,14 +114,15 @@ class ElasticPolicy : public SyncPolicy {
   }
 
   void apply_round(ReferenceModel& reference,
-                   const std::vector<ParamSet>& round) override {
+                   const std::vector<ParamSet>& round)
+      REQUIRES(reference_capability()) override {
     for (const auto& update : round) reference.accumulate(update);
     reference.apply_accumulated(round.size());
   }
 
-  void apply_rounds(
-      ReferenceModel& reference,
-      const std::vector<std::vector<ParamSet>>& rounds) override {
+  void apply_rounds(ReferenceModel& reference,
+                    const std::vector<std::vector<ParamSet>>& rounds)
+      REQUIRES(reference_capability()) override {
     // Fused sweep: bit-identical to the sequential apply_round loop but one
     // pass over the reference weights per batch (XPipe inherits this too).
     reference.apply_round_batch(rounds);
@@ -120,7 +130,7 @@ class ElasticPolicy : public SyncPolicy {
 
   void serial_round(ReferenceModel& reference,
                     std::vector<std::vector<tensor::Variable>>& replicas,
-                    double alpha) override {
+                    double alpha) REQUIRES(reference_capability()) override {
     // Fused ❷+❸+❹ against the live reference (no snapshot clone, no update
     // materialisation) — bit-identical to local_sync + apply_round.
     for (auto& params : replicas) {
@@ -160,7 +170,8 @@ class BspPolicy : public SyncPolicy {
   }
 
   void apply_round(ReferenceModel& reference,
-                   const std::vector<ParamSet>& round) override {
+                   const std::vector<ParamSet>& round)
+      REQUIRES(reference_capability()) override {
     round_mean(reference.mutable_params(), round);
   }
 };
@@ -179,34 +190,43 @@ class BmufPolicy : public BspPolicy {
   std::string name() const override { return "bmuf"; }
 
   void apply_round(ReferenceModel& reference,
-                   const std::vector<ParamSet>& round) override {
+                   const std::vector<ParamSet>& round)
+      REQUIRES(reference_capability()) override {
     if (mean_.empty()) mean_ = reference.snapshot();  // shape donor
     round_mean(mean_, round);
     momentum_.filter_apply(reference.mutable_params(), mean_);
   }
 
-  ParamSet make_broadcast(const ReferenceModel& reference) const override {
+  ParamSet make_broadcast(const ReferenceModel& reference) const
+      REQUIRES(reference_capability()) override {
     ParamSet out = reference.snapshot();
     if (config_.nesterov_restart) momentum_.add_restart_offset(out);
     return out;
   }
 
-  const optim::BlockMomentum& momentum() const { return momentum_; }
+  const optim::BlockMomentum& momentum() const
+      REQUIRES(reference_capability()) {
+    return momentum_;
+  }
 
-  std::vector<tensor::Tensor> export_state() const override {
+  std::vector<tensor::Tensor> export_state() const
+      REQUIRES(reference_capability()) override {
     std::vector<tensor::Tensor> out;
     out.reserve(momentum_.delta().size());
     for (const auto& d : momentum_.delta()) out.push_back(d.clone());
     return out;
   }
 
-  void import_state(std::vector<tensor::Tensor> state) override {
+  void import_state(std::vector<tensor::Tensor> state)
+      REQUIRES(reference_capability()) override {
     momentum_.set_delta(std::move(state));
   }
 
  private:
-  optim::BlockMomentum momentum_;
-  ParamSet mean_;  ///< scratch for the block mean (reference side only)
+  // The analysis proves these are only touched from reference-side hooks —
+  // the data-race freedom DESIGN.md §13 used to assert by prose alone.
+  optim::BlockMomentum momentum_ GUARDED_BY(reference_capability());
+  ParamSet mean_ GUARDED_BY(reference_capability());  ///< block-mean scratch
 };
 
 /// XPipe: elastic coupling across replicas; the runtime layer additionally

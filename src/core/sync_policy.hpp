@@ -48,10 +48,20 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "core/elastic.hpp"
 #include "optim/optimizer.hpp"
 
 namespace avgpipe::core {
+
+/// The phantom capability standing for "I am serialised with the reference
+/// process". Every reference-side policy hook REQUIRES it; a caller asserts
+/// it with a `common::RoleGuard` whose justification is real serialisation —
+/// holding `reference_mutex_` in the threaded system, the single-threaded
+/// phase of construction, or the serial trainer's only thread. One global
+/// capability (not per-policy) because the contract is about the reference
+/// *process*, which is unique per address space in this in-proc system.
+common::Role& reference_capability();
 
 enum class SyncPolicyKind : std::uint8_t {
   kElastic = 0,  ///< the paper's elastic averaging (default)
@@ -108,12 +118,14 @@ class SyncPolicy {
                               const ParamSet& broadcast,
                               double alpha) const = 0;
 
-  // -- reference side: serialised by the caller -------------------------------
+  // -- reference side: serialised by the caller, which asserts that
+  //    serialisation by holding `reference_capability()` ----------------------
 
   /// Fold one round of `local_sync` results into the reference model.
   /// `round` is ordered by replica index (deterministic).
   virtual void apply_round(ReferenceModel& reference,
-                           const std::vector<ParamSet>& round) = 0;
+                           const std::vector<ParamSet>& round)
+      REQUIRES(reference_capability()) = 0;
 
   /// Fold a *batch* of queued rounds, oldest first — the asynchronous
   /// reference process drains its update queue and applies everything it
@@ -123,18 +135,21 @@ class SyncPolicy {
   /// (`ReferenceModel::apply_round_batch`) that is bit-identical to the
   /// sequential loop but touches each reference weight once per batch.
   virtual void apply_rounds(ReferenceModel& reference,
-                            const std::vector<std::vector<ParamSet>>& rounds);
+                            const std::vector<std::vector<ParamSet>>& rounds)
+      REQUIRES(reference_capability());
 
   /// The snapshot replicas pull/reset against next round — also what a
   /// rejoining pipeline restores from, so a policy with reference-side state
   /// (BMUF) bakes its reconstruction (the Nesterov restart point) in here.
-  virtual ParamSet make_broadcast(const ReferenceModel& reference) const;
+  /// Const but reads reference-side state, hence the shared serialisation.
+  virtual ParamSet make_broadcast(const ReferenceModel& reference) const
+      REQUIRES(reference_capability());
 
   /// One full round for the serial trainer: local_sync every replica, apply.
   /// Elastic overrides this with the fused `pull_and_accumulate` fast path.
   virtual void serial_round(ReferenceModel& reference,
                             std::vector<std::vector<tensor::Variable>>& replicas,
-                            double alpha);
+                            double alpha) REQUIRES(reference_capability());
 
   // -- durable state (checkpoint layer, src/ckpt) -----------------------------
 
@@ -142,11 +157,15 @@ class SyncPolicy {
   /// the momentum Δ(t); stateless policies: empty). Shares apply_round's
   /// serialisation. XPipe's EMA predictors are *runtime* state and are
   /// persisted per stage (`runtime::StageState`), not here.
-  virtual std::vector<tensor::Tensor> export_state() const { return {}; }
+  virtual std::vector<tensor::Tensor> export_state() const
+      REQUIRES(reference_capability()) {
+    return {};
+  }
 
   /// Restore a snapshot produced by `export_state` on a same-kind policy.
   /// Throws avgpipe::Error if state is offered to a stateless policy.
-  virtual void import_state(std::vector<tensor::Tensor> state);
+  virtual void import_state(std::vector<tensor::Tensor> state)
+      REQUIRES(reference_capability());
 
  protected:
   SyncPolicyConfig config_;

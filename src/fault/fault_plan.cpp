@@ -1,12 +1,13 @@
 #include "fault/fault_plan.hpp"
 
-#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 
 namespace avgpipe::fault {
 
@@ -342,8 +343,8 @@ const FaultPlan* env_plan() {
   static FaultPlan plan;
   static const FaultPlan* result = nullptr;
   std::call_once(once, [] {
-    const char* path = std::getenv("AVGPIPE_FAULT_PLAN");  // NOLINT(concurrency-mt-unsafe): call_once-guarded
-    if (path == nullptr || path[0] == '\0') return;
+    const std::string path = common::env_string("AVGPIPE_FAULT_PLAN", "");
+    if (path.empty()) return;
     plan = FaultPlan::load_file(path);
     result = &plan;
   });

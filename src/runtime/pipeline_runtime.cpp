@@ -1,10 +1,10 @@
 #include "runtime/pipeline_runtime.hpp"
 
 #include <chrono>
-#include <cstdlib>
 #include <sstream>
 
 #include "common/affinity.hpp"
+#include "common/env.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
@@ -35,12 +35,11 @@ Seconds elapsed_since(std::chrono::steady_clock::time_point t0) {
 
 std::size_t env_channel_capacity() {
   // Construction-time read, before any worker thread exists.
-  const char* v = std::getenv("AVGPIPE_CHANNEL_CAPACITY");  // NOLINT(concurrency-mt-unsafe)
-  if (v == nullptr || *v == '\0') return 0;
-  const long parsed = std::strtol(v, nullptr, 10);
-  AVGPIPE_CHECK(parsed >= 1, "AVGPIPE_CHANNEL_CAPACITY must be >= 1, got '"
-                                 << v << "'");
-  return static_cast<std::size_t>(parsed);
+  const auto v = common::env_int_opt("AVGPIPE_CHANNEL_CAPACITY");
+  if (!v.has_value()) return 0;
+  AVGPIPE_CHECK(*v >= 1,
+                "AVGPIPE_CHANNEL_CAPACITY must be >= 1, got " << *v);
+  return static_cast<std::size_t>(*v);
 }
 
 /// Whether to assert the "+1 slack" link-capacity contract on every send.
@@ -48,12 +47,10 @@ std::size_t env_channel_capacity() {
 /// either way (CI arms it in release tier-1 runs).
 bool env_assert_link_slack() {
   // Construction-time read, before any worker thread exists.
-  const char* v = std::getenv("AVGPIPE_ASSERT_CHANNEL_SLACK");  // NOLINT(concurrency-mt-unsafe)
-  if (v != nullptr && *v != '\0') return *v != '0';
 #ifdef NDEBUG
-  return false;
+  return common::env_flag("AVGPIPE_ASSERT_CHANNEL_SLACK", false);
 #else
-  return true;
+  return common::env_flag("AVGPIPE_ASSERT_CHANNEL_SLACK", true);
 #endif
 }
 }  // namespace
@@ -180,7 +177,7 @@ void PipelineRuntime::ensure_channels(std::size_t micro_batches) {
 
 void PipelineRuntime::fail(const std::string& what) {
   {
-    std::lock_guard<std::mutex> lock(failure_mutex_);
+    common::MutexLock lock(failure_mutex_);
     if (failure_.empty()) failure_ = what;  // first failure wins
   }
   failed_.store(true, std::memory_order_release);
@@ -188,7 +185,7 @@ void PipelineRuntime::fail(const std::string& what) {
 }
 
 std::string PipelineRuntime::failure_message() const {
-  std::lock_guard<std::mutex> lock(failure_mutex_);
+  common::MutexLock lock(failure_mutex_);
   return failure_;
 }
 
@@ -256,9 +253,12 @@ void PipelineRuntime::record_queue_depth(Stage& stage, std::size_t depth) {
                  static_cast<double>(depth));
 }
 
+// Generic over MPMC Channel and SPSC stage links, so the SPSC role
+// requirement cannot be spelled here; the enclosing run_forward/run_backward
+// hold the RoleGuard instead (allowlisted analysis opt-out).
 template <typename Ch>
 auto PipelineRuntime::robust_recv(Stage& stage, Ch& ch, const char* what)
-    -> decltype(ch.recv()) {
+    NO_THREAD_SAFETY_ANALYSIS -> decltype(ch.recv()) {
   if (!faults_active_) return ch.recv();
   fault::Backoff backoff(kRecvInitialWait, kRecvMaxWait, kRecvDeadline);
   typename decltype(ch.recv())::value_type out;
@@ -282,10 +282,11 @@ auto PipelineRuntime::robust_recv(Stage& stage, Ch& ch, const char* what)
   throw PeerUnresponsiveError(msg.str());
 }
 
+// Same generic-channel analysis opt-out as robust_recv (see the header).
 template <typename Ch, typename T>
 void PipelineRuntime::faulty_send(Stage& stage, Ch& ch, T msg,
                                   const schedule::Instr& instr, long step,
-                                  fault::LinkDir dir) {
+                                  fault::LinkDir dir) NO_THREAD_SAFETY_ANALYSIS {
   if (faults_active_) {
     const std::uint64_t key = fault::message_key(
         step, instr.micro_batch, static_cast<int>(stage.index), dir);
@@ -330,6 +331,7 @@ void PipelineRuntime::faulty_send(Stage& stage, Ch& ch, T msg,
                                 "failure in flight)");
 }
 
+AVGPIPE_HOT_PATH
 void PipelineRuntime::worker_loop(Stage& stage) {
   while (auto m = stage_start_[stage.index]->recv()) {
     if (tracer_ != nullptr && stage.trace_buf == nullptr) {
@@ -414,6 +416,7 @@ void PipelineRuntime::worker_loop(Stage& stage) {
   }
 }
 
+AVGPIPE_HOT_PATH
 void PipelineRuntime::run_instr(Stage& stage, const schedule::Instr& instr,
                                 long step) {
   if (faults_active_ &&
@@ -472,6 +475,9 @@ void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr,
   const bool last = stage.index + 1 == stages_.size();
 
   SpscChannel<ActMessage>& in_ch = first ? *input_ : *acts_[stage.index - 1];
+  // This stage thread is the one consumer of its inbound activation link
+  // (the upstream worker — or the driver, for input_ — is the one producer).
+  common::RoleGuard in_role(in_ch.consumer_role());
   const Seconds t_wait = stage.trace_buf ? tracer_->wall_now() : 0;
   auto msg = robust_recv(stage, in_ch, "activation");
   record_span(stage, trace::EventKind::kWaitBubble, instr, t_wait);
@@ -492,6 +498,8 @@ void PipelineRuntime::run_forward(Stage& stage, const schedule::Instr& instr,
     stage.loss_sum += loss_var.value()[0];
     stash.output = loss_var;
   } else {
+    // One producer per outbound activation link: this stage thread.
+    common::RoleGuard out_role(acts_[stage.index]->producer_role());
     faulty_send(stage, *acts_[stage.index],
                 ActMessage{instr.micro_batch, out.value(),
                            std::move(msg->targets)},
@@ -520,6 +528,8 @@ void PipelineRuntime::run_backward(Stage& stage,
     stash.output.backward();  // loss scalar, seed = 1
   } else {
     SpscChannel<GradMessage>& grad_ch = *grads_[stage.index];
+    // One consumer per inbound gradient link: this stage thread.
+    common::RoleGuard grad_role(grad_ch.consumer_role());
     const Seconds t_wait = t0;
     auto grad = robust_recv(stage, grad_ch, "gradient");
     record_span(stage, trace::EventKind::kWaitBubble, instr, t_wait);
@@ -536,7 +546,9 @@ void PipelineRuntime::run_backward(Stage& stage,
     // Ownership transfer, not a clone: the stash entry dies at end of scope
     // and the receiver's accumulate_grad deep-copies the seed into its own
     // grad buffer on first contribution, so the storage is never shared
-    // across the link after the send.
+    // across the link after the send. One producer per outbound gradient
+    // link: this stage thread.
+    common::RoleGuard out_role(grads_[stage.index - 1]->producer_role());
     faulty_send(stage, *grads_[stage.index - 1],
                 GradMessage{instr.micro_batch,
                             std::move(stash.input.mutable_grad())},
@@ -639,11 +651,16 @@ BatchStats PipelineRuntime::train_batch(const data::Batch& batch,
       AVGPIPE_THROW("pipeline failed: " << failure_message());
     }
   }
-  for (std::size_t i = 0; i < micro.size(); ++i) {
-    // A closed (failed) channel drops the message; the failure surfaces at
-    // the done barrier below.
-    input_->send(ActMessage{static_cast<int>(i), std::move(micro[i].inputs),
-                            std::move(micro[i].targets)});
+  {
+    // The driver thread is the one producer of the stage-0 feed link (no
+    // batch is in flight, so no other thread touches input_'s send side).
+    common::RoleGuard feed_role(input_->producer_role());
+    for (std::size_t i = 0; i < micro.size(); ++i) {
+      // A closed (failed) channel drops the message; the failure surfaces at
+      // the done barrier below.
+      input_->send(ActMessage{static_cast<int>(i), std::move(micro[i].inputs),
+                              std::move(micro[i].targets)});
+    }
   }
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     auto d = done_->recv();

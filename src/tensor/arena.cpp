@@ -1,10 +1,11 @@
 #include "tensor/arena.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <new>
 #include <unordered_map>
 #include <vector>
+
+#include "common/env.hpp"
 
 namespace avgpipe::tensor::arena {
 
@@ -23,11 +24,9 @@ std::atomic<bool> g_enabled{true};
 std::size_t max_cached_bytes() {
   static const std::size_t limit = [] {
     // Once-guarded read; nothing calls setenv.
-    if (const char* env = std::getenv("AVGPIPE_ARENA_MAX_MB")) {  // NOLINT(concurrency-mt-unsafe)
-      const long mb = std::atol(env);
-      if (mb >= 0) return static_cast<std::size_t>(mb) << 20;
-    }
-    return std::size_t{256} << 20;
+    const long mb = common::env_int("AVGPIPE_ARENA_MAX_MB", 256);
+    return mb >= 0 ? static_cast<std::size_t>(mb) << 20
+                   : std::size_t{256} << 20;
   }();
   return limit;
 }

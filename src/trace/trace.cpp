@@ -80,7 +80,7 @@ bool operator==(const TraceEvent& a, const TraceEvent& b) {
 }
 
 TraceBuffer* Tracer::create_buffer() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   buffers_.push_back(std::make_unique<TraceBuffer>());
   return buffers_.back().get();
 }
@@ -88,9 +88,9 @@ TraceBuffer* Tracer::create_buffer() {
 std::vector<TraceEvent> Tracer::collect() const {
   std::vector<TraceEvent> merged;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (const auto& buf : buffers_) {
-      std::lock_guard<std::mutex> buf_lock(buf->mutex_);
+      common::MutexLock buf_lock(buf->mutex_);
       merged.insert(merged.end(), buf->events_.begin(), buf->events_.end());
     }
   }
@@ -104,15 +104,15 @@ std::vector<TraceEvent> Tracer::collect() const {
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mutex_);
+    common::MutexLock buf_lock(buf->mutex_);
     buf->events_.clear();
   }
 }
 
 std::size_t Tracer::num_buffers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return buffers_.size();
 }
 

@@ -23,9 +23,9 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/units.hpp"
 
 namespace avgpipe::trace {
@@ -127,19 +127,19 @@ inline bool operator!=(const TraceEvent& a, const TraceEvent& b) {
 class TraceBuffer {
  public:
   void record(const TraceEvent& ev) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     events_.push_back(ev);
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return events_.size();
   }
 
  private:
   friend class Tracer;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable common::Mutex mutex_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
 };
 
 /// Registry of per-thread buffers plus the trace clock.
@@ -179,8 +179,8 @@ class Tracer {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_ GUARDED_BY(mutex_);
 };
 
 /// RAII wall-clock span: stamps t_begin at construction and records the

@@ -1,0 +1,205 @@
+#include "common/annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+
+namespace avgpipe::common {
+namespace {
+
+// -- Mutex / MutexLock / CondVar behaviour ------------------------------------
+
+TEST(MutexTest, MutualExclusionAcrossThreads) {
+  Mutex mutex;
+  long counter = 0;  // guarded by mutex (locals cannot carry GUARDED_BY)
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        MutexLock lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  MutexLock lock(mutex);
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(MutexTest, TryLockReflectsContention) {
+  Mutex mutex;
+  mutex.lock();
+  // Owned by this thread now: another thread must fail to acquire it. The
+  // branch-on-try_lock shape is the one the thread-safety analysis tracks.
+  bool other_acquired = true;
+  std::thread probe([&] {
+    if (mutex.try_lock()) {
+      mutex.unlock();
+    } else {
+      other_acquired = false;
+    }
+  });
+  probe.join();
+  EXPECT_FALSE(other_acquired);
+  mutex.unlock();
+}
+
+TEST(MutexTest, EarlyUnlockReleasesBeforeScopeEnd) {
+  Mutex mutex;
+  {
+    MutexLock lock(mutex);
+    lock.unlock();
+    // Released: a fresh try_lock from another thread must succeed while the
+    // MutexLock object is still alive.
+    bool acquired = false;
+    std::thread probe([&] {
+      if (mutex.try_lock()) {
+        acquired = true;
+        mutex.unlock();
+      }
+    });
+    probe.join();
+    EXPECT_TRUE(acquired);
+  }  // destructor must not double-release
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;  // guarded by mutex
+  std::thread producer([&] {
+    MutexLock lock(mutex);
+    ready = true;
+    lock.unlock();
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mutex);
+    while (!ready) cv.wait(mutex, lock);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, WaitUntilTimesOutWithoutNotify) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;  // guarded by mutex
+  MutexLock lock(mutex);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  while (!ready) {
+    if (cv.wait_until(mutex, lock, deadline) == std::cv_status::timeout) break;
+  }
+  EXPECT_FALSE(ready);  // nothing notified; the deadline loop must exit
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mutex;
+  CondVar cv;
+  bool go = false;  // guarded by mutex
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 3; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mutex);
+      while (!go) cv.wait(mutex, lock);
+      ++woke;
+    });
+  }
+  {
+    MutexLock lock(mutex);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(RoleTest, RoleGuardIsZeroCostAndScoped) {
+  // Phantom capability: acquire/release are no-ops; the value is the
+  // compile-time contract. This test pins the runtime side: constructible,
+  // scoped, and usable for guarded state under clang.
+  Role role;
+  long shadowed = 0;  // conceptually guarded by role
+  {
+    RoleGuard guard(role);
+    shadowed = 7;
+  }
+  RoleGuard again(role);
+  EXPECT_EQ(shadowed, 7);
+}
+
+// -- env.hpp parse semantics --------------------------------------------------
+
+class EnvTest : public ::testing::Test {
+ protected:
+  // NOLINTBEGIN(concurrency-mt-unsafe) -- single-threaded test fixture.
+  void SetUp() override { unsetenv(kName); }
+  void TearDown() override { unsetenv(kName); }
+  static void set(const char* value) { setenv(kName, value, 1); }
+  // NOLINTEND(concurrency-mt-unsafe)
+  static constexpr const char* kName = "AVGPIPE_ANNOTATIONS_TEST_KNOB";
+};
+
+TEST_F(EnvTest, FlagUnsetAndEmptyUseFallback) {
+  EXPECT_TRUE(env_flag(kName, true));
+  EXPECT_FALSE(env_flag(kName, false));
+  set("");
+  EXPECT_TRUE(env_flag(kName, true));
+}
+
+TEST_F(EnvTest, FlagFalseSpellings) {
+  for (const char* spelling : {"0", "false", "FALSE", "Off", "no", "No"}) {
+    set(spelling);
+    EXPECT_FALSE(env_flag(kName, true)) << spelling;
+  }
+}
+
+TEST_F(EnvTest, FlagAnyOtherValueIsTrue) {
+  for (const char* spelling : {"1", "true", "on", "yes", "weird"}) {
+    set(spelling);
+    EXPECT_TRUE(env_flag(kName, false)) << spelling;
+  }
+}
+
+TEST_F(EnvTest, IntParsesAndFallsBack) {
+  EXPECT_EQ(env_int(kName, 42), 42);
+  set("");
+  EXPECT_EQ(env_int(kName, 42), 42);
+  set("-17");
+  EXPECT_EQ(env_int(kName, 42), -17);
+}
+
+TEST_F(EnvTest, IntThrowsLoudlyOnJunk) {
+  set("junk");
+  EXPECT_THROW(env_int(kName, 0), avgpipe::Error);
+  set("12abc");
+  EXPECT_THROW(env_int(kName, 0), avgpipe::Error);
+}
+
+TEST_F(EnvTest, IntOptDistinguishesUnsetFromZero) {
+  EXPECT_FALSE(env_int_opt(kName).has_value());
+  set("0");
+  const auto v = env_int_opt(kName);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0);
+}
+
+TEST_F(EnvTest, StringEmptyBehavesLikeUnset) {
+  EXPECT_EQ(env_string(kName, "fallback"), "fallback");
+  set("");
+  EXPECT_EQ(env_string(kName, "fallback"), "fallback");
+  set("int8");
+  EXPECT_EQ(env_string(kName, "fallback"), "int8");
+}
+
+}  // namespace
+}  // namespace avgpipe::common

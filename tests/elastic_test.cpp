@@ -3,8 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <cstdlib>
+#include <string>
 
+#include "common/env.hpp"
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
 #include "trace/analysis.hpp"
@@ -164,6 +165,9 @@ TEST(SyncPolicyBatching, ApplyRoundsMatchesSequentialLoopForEveryPolicy) {
     }
     rounds.push_back(std::move(round));
   }
+  // The test body is single-threaded and owns both reference models — it is
+  // the reference process for the policies it drives directly.
+  common::RoleGuard ref_role(reference_capability());
   for (const SyncPolicyKind kind : all_sync_policies()) {
     auto loop_policy = make_sync_policy(degenerate_config(kind));
     auto batch_policy = make_sync_policy(degenerate_config(kind));
@@ -530,8 +534,8 @@ TEST(AvgPipeElasticTest, LoneSurvivorMatchesSinglePipelineTrainer) {
 namespace {
 
 bool env_forces_codec() {
-  const char* env = std::getenv("AVGPIPE_SYNC_COMPRESS");
-  if (env == nullptr) return false;
+  const std::string env = common::env_string("AVGPIPE_SYNC_COMPRESS", "");
+  if (env.empty()) return false;
   SyncCompression forced;
   return parse_sync_compression(env, &forced) && forced.enabled();
 }

@@ -1,0 +1,43 @@
+// Positive control for the negative-compile suite: correct use of every
+// construct the violation files abuse. Must compile cleanly under
+// -Wthread-safety -Werror=thread-safety — otherwise the violations would
+// "fail" for reasons unrelated to the analysis gate.
+#include "common/annotations.hpp"
+#include "common/queue.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    avgpipe::common::MutexLock lock(mutex_);
+    ++value_;
+  }
+  long read() {
+    avgpipe::common::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  avgpipe::common::Mutex mutex_;
+  long value_ GUARDED_BY(mutex_) = 0;
+};
+
+long spsc_roundtrip() {
+  avgpipe::SpscChannel<long> ch(2);
+  {
+    avgpipe::common::RoleGuard producer(ch.producer_role());
+    ch.send(41);
+  }
+  avgpipe::common::RoleGuard consumer(ch.consumer_role());
+  const auto v = ch.recv();
+  return v.has_value() ? *v : 0;
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read() + spsc_roundtrip() == 42 ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+// Must NOT compile under -Wthread-safety -Werror=thread-safety: reads a
+// GUARDED_BY member without holding its mutex. If this file ever compiles
+// under the clang gate, the annotation layer has stopped guarding anything.
+#include "common/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  long read_unlocked() { return value_; }  // racy read — the gate must fire
+
+ private:
+  avgpipe::common::Mutex mutex_;
+  long value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return static_cast<int>(c.read_unlocked());
+}

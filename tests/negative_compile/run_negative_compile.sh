@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Negative-compile gate for the thread-safety annotation layer.
+#
+#   tests/negative_compile/run_negative_compile.sh [repo-root]
+#
+# Proves the clang -Wthread-safety gate actually fires: the control file must
+# compile cleanly, every *_violation/cross_role file must FAIL to compile and
+# the failure must be a thread-safety diagnostic (not a stray syntax error).
+# Needs clang++ (set CLANG_CXX to override); exits 77 — ctest's skip code —
+# when none is available, e.g. in the gcc-only sanitizer containers.
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/../.." && pwd)}"
+here="${root}/tests/negative_compile"
+
+clang_bin="${CLANG_CXX:-clang++}"
+if ! command -v "${clang_bin}" >/dev/null 2>&1; then
+  echo "SKIP: ${clang_bin} not found (set CLANG_CXX to override)"
+  exit 77
+fi
+
+flags=(-std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+       "-I${root}/src")
+
+fail() { echo "FAIL: $*"; exit 1; }
+
+echo "== control.cpp must compile =="
+if ! "${clang_bin}" "${flags[@]}" "${here}/control.cpp"; then
+  fail "control.cpp does not compile — the suite cannot prove anything"
+fi
+
+for bad in guarded_by_violation.cpp spsc_cross_role.cpp; do
+  echo "== ${bad} must fail with a thread-safety diagnostic =="
+  if out=$("${clang_bin}" "${flags[@]}" "${here}/${bad}" 2>&1); then
+    fail "${bad} compiled — the thread-safety gate is not firing"
+  fi
+  if ! grep -q "thread-safety" <<<"${out}"; then
+    printf '%s\n' "${out}"
+    fail "${bad} failed for a reason other than -Wthread-safety"
+  fi
+  grep "error:" <<<"${out}" | head -3
+done
+
+echo "negative-compile gate: OK"

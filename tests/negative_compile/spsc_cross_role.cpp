@@ -1,0 +1,12 @@
+// Must NOT compile under -Wthread-safety -Werror=thread-safety: sends on an
+// SPSC link while holding only the *consumer* role. The producer/consumer
+// split is the channel's whole correctness argument (the Dekker handshake
+// assumes one thread per side); cross-role access must be a compile error.
+#include "common/queue.hpp"
+
+int main() {
+  avgpipe::SpscChannel<int> ch(2);
+  avgpipe::common::RoleGuard consumer(ch.consumer_role());
+  ch.send(1);  // requires producer_role() — cross-role access, gate must fire
+  return 0;
+}

@@ -399,19 +399,23 @@ TEST(ThreadPoolTest, SubmitRunsTask) {
   // workers, so declaring it last guarantees no worker can still be touching
   // cv when cv is destroyed.
   std::atomic<int> counter{0};
-  std::mutex m;
-  std::condition_variable cv;
+  common::Mutex m;
+  common::CondVar cv;
   ThreadPool pool(2);
   for (int i = 0; i < 10; ++i) {
     pool.submit([&] {
       if (++counter == 10) {
-        std::lock_guard<std::mutex> lock(m);
+        common::MutexLock lock(m);
         cv.notify_one();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(m);
-  cv.wait_for(lock, std::chrono::seconds(5), [&] { return counter == 10; });
+  common::MutexLock lock(m);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (counter != 10) {
+    if (cv.wait_until(m, lock, deadline) == std::cv_status::timeout) break;
+  }
   EXPECT_EQ(counter.load(), 10);
 }
 

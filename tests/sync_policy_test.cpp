@@ -160,6 +160,9 @@ TEST_P(SyncPolicyTrajectoryTest, SystemMatchesSemanticTrainerTrajectory) {
   // The broadcast reconstruction must agree too (for BMUF this is the
   // Nesterov restart point, not the raw reference weights).
   const ParamSet sys_bcast = system.broadcast_snapshot();
+  // Both trainers are idle here; this thread is the reference process for
+  // the direct make_broadcast probe below.
+  common::RoleGuard ref_role(reference_capability());
   const ParamSet sem_bcast = semantic.policy().make_broadcast(semantic.reference());
   ASSERT_EQ(sys_bcast.size(), sem_bcast.size());
   for (std::size_t i = 0; i < sys_bcast.size(); ++i) {

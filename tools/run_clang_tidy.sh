@@ -7,8 +7,10 @@
 # back to HEAD~1), keeps the .cpp files under src/ tools/ bench/ tests/,
 # and runs clang-tidy against the compile database in build-dir (default:
 # build — configure with CMAKE_EXPORT_COMPILE_COMMANDS, which the top-level
-# CMakeLists.txt always sets). Exits non-zero on any finding; prints and
-# exits 0 when nothing relevant changed.
+# CMakeLists.txt always sets). When no merge base is resolvable (shallow
+# clone, fresh repo with no parent commit, missing remote) it degrades to a
+# full-tree run instead of silently checking nothing. Exits non-zero on any
+# finding; prints and exits 0 when nothing relevant changed.
 set -euo pipefail
 
 base_ref="${1:-}"
@@ -17,9 +19,13 @@ build_dir="${2:-build}"
 if [[ -z "${base_ref}" ]]; then
   if git rev-parse --verify -q origin/main >/dev/null; then
     base_ref=origin/main
-  else
+  elif git rev-parse --verify -q HEAD~1 >/dev/null; then
     base_ref=HEAD~1
   fi
+fi
+if [[ -n "${base_ref}" ]] && ! git rev-parse --verify -q "${base_ref}" >/dev/null; then
+  echo "clang-tidy: base ref '${base_ref}' not resolvable — full-tree run"
+  base_ref=""
 fi
 
 if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
@@ -33,14 +39,21 @@ if ! command -v "${tidy_bin}" >/dev/null; then
   exit 1
 fi
 
-mapfile -t changed < <(git diff --name-only --diff-filter=d "${base_ref}" -- \
-  'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'tests/*.cpp')
+if [[ -n "${base_ref}" ]]; then
+  mapfile -t changed < <(git diff --name-only --diff-filter=d "${base_ref}" -- \
+    'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'tests/*.cpp')
+  scope="files changed since ${base_ref}"
+else
+  mapfile -t changed < <(git ls-files \
+    'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'tests/*.cpp')
+  scope="full tree (no merge base)"
+fi
 
 if [[ ${#changed[@]} -eq 0 ]]; then
-  echo "clang-tidy: no changed C++ sources against ${base_ref}"
+  echo "clang-tidy: no relevant C++ sources (${scope})"
   exit 0
 fi
 
-echo "clang-tidy (${tidy_bin}) over ${#changed[@]} files changed since ${base_ref}:"
+echo "clang-tidy (${tidy_bin}) over ${#changed[@]} files — ${scope}:"
 printf '  %s\n' "${changed[@]}"
 "${tidy_bin}" -p "${build_dir}" --quiet --warnings-as-errors='' "${changed[@]}"
